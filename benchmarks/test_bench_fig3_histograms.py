@@ -1,0 +1,58 @@
+"""Fig. 3a-c: histograms of the reward difference between the RL compiler and the baselines.
+
+Each benchmark regenerates one panel of the paper's Fig. 3: the distribution
+of ``RL reward - baseline reward`` over the benchmark suite, for Qiskit-O3
+and TKET-O2, under the respective optimization objective.  The headline
+percentages ("outperforms Qiskit/TKET in X% of cases") are printed alongside.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import format_histogram, reward_difference_histogram, summarize
+
+from conftest import report
+
+
+def _run_panel(records):
+    histogram = reward_difference_histogram(records)
+    summary = summarize(records)
+    return histogram, summary
+
+
+def _report(metric, histogram, summary):
+    report(f"\n=== Fig. 3 panel ({metric}) ===")
+    report(summary.format_table())
+    report(format_histogram(histogram))
+
+
+@pytest.mark.parametrize("metric", ["fidelity"])
+def test_fig3a_fidelity_histogram(benchmark, comparison_records, metric):
+    records = comparison_records[metric]
+    histogram, summary = benchmark.pedantic(
+        _run_panel, args=(records,), rounds=1, iterations=1
+    )
+    _report(metric, histogram, summary)
+    assert abs(histogram.qiskit_frequencies.sum() - 1.0) < 1e-9
+    assert summary.num_circuits == len(records)
+
+
+@pytest.mark.parametrize("metric", ["critical_depth"])
+def test_fig3b_critical_depth_histogram(benchmark, comparison_records, metric):
+    records = comparison_records[metric]
+    histogram, summary = benchmark.pedantic(
+        _run_panel, args=(records,), rounds=1, iterations=1
+    )
+    _report(metric, histogram, summary)
+    assert abs(histogram.tket_frequencies.sum() - 1.0) < 1e-9
+
+
+@pytest.mark.parametrize("metric", ["combination"])
+def test_fig3c_combination_histogram(benchmark, comparison_records, metric):
+    records = comparison_records[metric]
+    histogram, summary = benchmark.pedantic(
+        _run_panel, args=(records,), rounds=1, iterations=1
+    )
+    _report(metric, histogram, summary)
+    assert summary.num_circuits == len(records)

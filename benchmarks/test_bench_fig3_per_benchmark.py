@@ -1,0 +1,44 @@
+"""Fig. 3d-f: average reward difference per benchmark family.
+
+Each benchmark regenerates one per-family bar-chart panel of the paper's
+Fig. 3 (d: fidelity, e: critical depth, f: combination): the mean
+``RL reward - baseline reward`` for every one of the 22 benchmark families,
+against Qiskit-O3 and TKET-O2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import format_per_benchmark, per_benchmark_differences
+
+from conftest import report
+
+
+def _report(metric, data):
+    report(f"\n=== Fig. 3 per-benchmark panel ({metric}) ===")
+    report(format_per_benchmark(data))
+
+
+@pytest.mark.parametrize("metric", ["fidelity"])
+def test_fig3d_fidelity_per_benchmark(benchmark, comparison_records, metric):
+    records = comparison_records[metric]
+    data = benchmark.pedantic(per_benchmark_differences, args=(records,), rounds=1, iterations=1)
+    _report(metric, data)
+    assert len(data.benchmarks) == len({r.benchmark for r in records})
+
+
+@pytest.mark.parametrize("metric", ["critical_depth"])
+def test_fig3e_critical_depth_per_benchmark(benchmark, comparison_records, metric):
+    records = comparison_records[metric]
+    data = benchmark.pedantic(per_benchmark_differences, args=(records,), rounds=1, iterations=1)
+    _report(metric, data)
+    assert data.mean_diff_qiskit.shape == data.mean_diff_tket.shape
+
+
+@pytest.mark.parametrize("metric", ["combination"])
+def test_fig3f_combination_per_benchmark(benchmark, comparison_records, metric):
+    records = comparison_records[metric]
+    data = benchmark.pedantic(per_benchmark_differences, args=(records,), rounds=1, iterations=1)
+    _report(metric, data)
+    assert len(data.benchmarks) > 0

@@ -1,0 +1,75 @@
+"""Micro-benchmarks of individual compilation passes (runtime, not in the paper).
+
+These measure the runtime of each action available to the RL agent on
+representative circuits — useful for understanding the cost of an RL episode
+and for catching performance regressions in the pass implementations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import benchmark_circuit
+from repro.circuit import random_circuit
+from repro.devices import get_device
+from repro.passes import (
+    BasisTranslator,
+    CommutativeCancellation,
+    FullPeepholeOptimise,
+    Optimize1qGatesDecomposition,
+    PassContext,
+    RemoveRedundancies,
+    SabreLayout,
+    SabreSwap,
+    TrivialLayout,
+)
+
+_OPTIMIZATION_PASSES = {
+    "optimize_1q": Optimize1qGatesDecomposition,
+    "commutative_cancellation": CommutativeCancellation,
+    "remove_redundancies": RemoveRedundancies,
+    "full_peephole": FullPeepholeOptimise,
+}
+
+
+@pytest.mark.parametrize("pass_name", sorted(_OPTIMIZATION_PASSES))
+def test_optimization_pass_runtime_qft8(benchmark, pass_name):
+    circuit = benchmark_circuit("qft", 8)
+    pass_ = _OPTIMIZATION_PASSES[pass_name]()
+    result = benchmark(pass_.run, circuit, PassContext())
+    assert result.num_two_qubit_gates() <= circuit.num_two_qubit_gates()
+
+
+def test_basis_translation_runtime_washington(benchmark):
+    device = get_device("ibmq_washington")
+    circuit = benchmark_circuit("su2random", 8)
+    result = benchmark(BasisTranslator().run, circuit, PassContext(device=device))
+    assert device.gates_native(result)
+
+
+def test_sabre_mapping_runtime_washington(benchmark):
+    device = get_device("ibmq_washington")
+    circuit = benchmark_circuit("qftentangled", 10)
+    native = BasisTranslator().run(circuit, PassContext(device=device))
+
+    def map_circuit():
+        context = PassContext(device=device, seed=1)
+        placed = SabreLayout(seed=1).run(native, context)
+        return SabreSwap(seed=1).run(placed, context)
+
+    routed = benchmark(map_circuit)
+    assert device.mapping_satisfied(routed)
+
+
+def test_trivial_mapping_runtime_washington(benchmark):
+    device = get_device("ibmq_washington")
+    circuit = random_circuit(10, 12, seed=2)
+    native = BasisTranslator().run(circuit, PassContext(device=device))
+
+    def map_circuit():
+        context = PassContext(device=device, seed=1)
+        placed = TrivialLayout().run(native, context)
+        return SabreSwap(seed=1).run(placed, context)
+
+    routed = benchmark(map_circuit)
+    assert device.mapping_satisfied(routed)

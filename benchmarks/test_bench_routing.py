@@ -1,0 +1,52 @@
+"""Routing-quality benchmarks: SWAP overhead of the four routers (supporting data).
+
+Not a figure of the paper, but it quantifies the quality differences between
+the mapping actions available to the RL agent — the spread that the agent
+learns to exploit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import benchmark_circuit
+from repro.devices import get_device
+from repro.passes import (
+    BasicSwap,
+    BasisTranslator,
+    PassContext,
+    SabreLayout,
+    SabreSwap,
+    StochasticSwap,
+    TketRouting,
+)
+
+from conftest import report
+
+_ROUTERS = {
+    "basic": BasicSwap,
+    "stochastic": StochasticSwap,
+    "sabre": SabreSwap,
+    "tket": TketRouting,
+}
+
+
+@pytest.mark.parametrize("router_name", sorted(_ROUTERS))
+def test_router_swap_overhead_qft10_washington(benchmark, router_name):
+    device = get_device("ibmq_washington")
+    circuit = benchmark_circuit("qft", 10)
+    context = PassContext(device=device, seed=3)
+    native = BasisTranslator().run(circuit, context)
+    placed = SabreLayout(seed=3).run(native, context)
+    router = _ROUTERS[router_name](seed=3)
+
+    def route():
+        return router.run(placed, PassContext(device=device, seed=3))
+
+    routed = benchmark(route)
+    overhead = routed.num_two_qubit_gates() - native.num_two_qubit_gates()
+    report(
+        f"\nrouter={router_name}: 2q gates {native.num_two_qubit_gates()} -> "
+        f"{routed.num_two_qubit_gates()} (overhead {overhead})"
+    )
+    assert device.mapping_satisfied(routed)

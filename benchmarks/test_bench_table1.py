@@ -1,0 +1,22 @@
+"""Table I: cross-evaluation of the three trained models under all three rewards.
+
+Regenerates the paper's Table I: the model trained for a given reward
+function should achieve the best average value of that reward among the
+three models (diagonal dominance of the matrix).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import cross_model_rewards, format_table1
+
+from conftest import report
+
+
+def test_table1_cross_model_rewards(benchmark, trained_models, evaluation_suite):
+    table = benchmark.pedantic(
+        cross_model_rewards, args=(trained_models, evaluation_suite), rounds=1, iterations=1
+    )
+    report("\n=== Table I (cross-model average rewards) ===")
+    report(format_table1(table))
+    assert table.values.shape == (len(trained_models), len(trained_models))
+    assert (table.values >= 0).all() and (table.values <= 1).all()

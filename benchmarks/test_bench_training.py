@@ -1,0 +1,34 @@
+"""Training-throughput benchmark (supporting data for the paper's runtime claim).
+
+The paper reports training runtimes "of the order of hours" for 100 000
+timesteps; this benchmark measures PPO steps/second of this implementation so
+the full-scale runtime can be extrapolated from the reduced-scale run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import benchmark_suite
+from repro.core import CompilationEnv
+from repro.rl import PPO, PPOConfig
+
+from conftest import report
+
+
+def test_ppo_training_throughput(benchmark):
+    circuits = benchmark_suite(2, 4, step=1, names=["ghz", "dj", "qft", "wstate"])
+    env = CompilationEnv(circuits, reward="fidelity", max_steps=20, seed=1)
+    agent = PPO(env, PPOConfig(n_steps=64, batch_size=32, n_epochs=3), seed=1)
+    timesteps = 500
+
+    def train_chunk():
+        start = time.perf_counter()
+        agent.learn(agent.num_timesteps + timesteps)
+        return time.perf_counter() - start
+
+    elapsed = benchmark.pedantic(train_chunk, rounds=1, iterations=1)
+    rate = timesteps / elapsed
+    report(f"\nPPO training throughput: {rate:.1f} env steps/second")
+    report(f"extrapolated time for the paper's 100k timesteps: {100_000 / rate / 60:.1f} minutes")
+    assert rate > 5

@@ -1,0 +1,60 @@
+"""Train compilers for different optimization objectives and cross-evaluate them.
+
+Run with::
+
+    python examples/custom_objective.py [--steps 4000]
+
+Reproduces the idea behind the paper's Table I at a small scale: train one
+model per reward function (expected fidelity, critical depth, combination)
+and evaluate every model under every metric.  The model trained for a metric
+should be the best model for that metric.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import benchmark_circuit, benchmark_suite
+from repro.core.training import TrainingConfig, train_all_models
+from repro.evaluation import cross_model_rewards, format_table1
+from repro.rl import PPOConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=4000)
+    args = parser.parse_args()
+
+    training_circuits = benchmark_suite(2, 5, step=1, names=["ghz", "dj", "qft", "wstate", "qaoa", "vqe"])
+    print(f"Training 3 models ({args.steps} timesteps each) on {len(training_circuits)} circuits...")
+    models = train_all_models(
+        training_circuits,
+        TrainingConfig(
+            total_timesteps=args.steps,
+            max_steps=25,
+            seed=0,
+            ppo=PPOConfig(n_steps=128, batch_size=64, n_epochs=4),
+        ),
+    )
+
+    evaluation_circuits = [benchmark_circuit(name, 5) for name in ["ghz", "qft", "qaoa", "dj", "wstate"]]
+    table = cross_model_rewards(models, evaluation_circuits)
+    print()
+    print(format_table1(table))
+
+    print("\nPer-model compilation of a 5-qubit QAOA circuit:")
+    circuit = benchmark_circuit("qaoa", 5)
+    for reward_name, model in models.items():
+        result = model.compile(circuit)
+        print(
+            f"  trained for {reward_name:<15}: device={result.device.name:<18} "
+            f"reward={result.reward:.4f} 2q-gates={result.circuit.num_two_qubit_gates()}"
+        )
+
+
+if __name__ == "__main__":
+    main()

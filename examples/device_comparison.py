@@ -1,0 +1,75 @@
+"""Compile one algorithm to every registered device and compare the outcomes.
+
+Run with::
+
+    python examples/device_comparison.py [--benchmark qaoa] [--qubits 6]
+
+Shows how the same circuit fares on each of the five devices (IBM Montreal /
+Washington, Rigetti Aspen-M-2, IonQ Harmony, OQC Lucy) when compiled with the
+Qiskit-style O3 baseline, and what an RL compiler that is free to pick its
+own device chooses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import (
+    Predictor,
+    benchmark_circuit,
+    benchmark_suite,
+    compile_qiskit_style,
+    expected_fidelity,
+    get_device,
+    list_devices,
+)
+from repro.reward import critical_depth_reward
+from repro.rl import PPOConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="qaoa")
+    parser.add_argument("--qubits", type=int, default=6)
+    parser.add_argument("--steps", type=int, default=4000)
+    args = parser.parse_args()
+
+    circuit = benchmark_circuit(args.benchmark, args.qubits)
+    print(f"Benchmark circuit: {circuit.summary()}\n")
+
+    print(f"{'device':<22}{'qubits':>8}{'2q gates':>10}{'depth':>8}{'fidelity':>10}{'1-critdep':>11}")
+    for device_name in list_devices():
+        device = get_device(device_name)
+        if device.num_qubits < args.qubits:
+            print(f"{device_name:<22}{device.num_qubits:>8}{'too small':>30}")
+            continue
+        compiled = compile_qiskit_style(circuit, device, optimization_level=3).circuit
+        print(
+            f"{device_name:<22}{device.num_qubits:>8}"
+            f"{compiled.num_two_qubit_gates():>10}{compiled.depth():>8}"
+            f"{expected_fidelity(compiled, device):>10.4f}"
+            f"{critical_depth_reward(compiled, device):>11.4f}"
+        )
+
+    print("\nTraining an RL compiler that may pick its own device...")
+    predictor = Predictor(
+        reward="fidelity",
+        max_steps=25,
+        ppo_config=PPOConfig(n_steps=128, batch_size=64, n_epochs=4),
+        seed=1,
+    )
+    predictor.train(benchmark_suite(2, args.qubits, step=2), total_timesteps=args.steps)
+    result = predictor.compile(circuit)
+    print(
+        f"RL choice: {result.device.name} "
+        f"(fidelity reward {result.reward:.4f}) via {len(result.actions)} actions"
+    )
+    print("  actions:", " -> ".join(result.actions))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: train a small RL compiler and compile a benchmark circuit.
+
+Run with::
+
+    python examples/quickstart.py
+
+Trains a fidelity-optimized compiler with a small budget (about a minute),
+then compiles a 5-qubit QFT and reports the chosen device, the applied pass
+sequence, and the achieved expected fidelity compared against the
+Qiskit-style and TKET-style baseline flows.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import (
+    Predictor,
+    benchmark_circuit,
+    benchmark_suite,
+    compile_qiskit_style,
+    compile_tket_style,
+    expected_fidelity,
+    get_device,
+)
+from repro.rl import PPOConfig
+
+
+def main() -> None:
+    print("Building training suite (2-6 qubit MQT-Bench-style circuits)...")
+    training_circuits = benchmark_suite(2, 6, step=2)
+    print(f"  {len(training_circuits)} circuits")
+
+    print("Training the fidelity-optimized compiler (PPO, 5000 timesteps)...")
+    predictor = Predictor(
+        reward="fidelity",
+        max_steps=25,
+        ppo_config=PPOConfig(n_steps=128, batch_size=64, n_epochs=4),
+        seed=0,
+    )
+    summary = predictor.train(training_circuits, total_timesteps=5000)
+    print(
+        f"  trained on {summary.episodes} episodes, "
+        f"mean episode reward {summary.mean_episode_reward:.3f}"
+    )
+
+    circuit = benchmark_circuit("qft", 5)
+    print(f"\nCompiling {circuit.name}: {circuit.summary()}")
+    result = predictor.compile(circuit)
+    print(f"  RL flow      : device={result.device.name}, reward={result.reward:.4f}")
+    print(f"  pass sequence: {' -> '.join(result.actions)}")
+    print(f"  compiled     : {result.circuit.summary()}")
+
+    washington = get_device("ibmq_washington")
+    qiskit = compile_qiskit_style(circuit, washington, optimization_level=3)
+    tket = compile_tket_style(circuit, washington, optimization_level=2)
+    print("\nBaselines (targeting ibmq_washington):")
+    print(f"  Qiskit-style O3: fidelity={expected_fidelity(qiskit.circuit, washington):.4f}")
+    print(f"  TKET-style  O2: fidelity={expected_fidelity(tket.circuit, washington):.4f}")
+
+
+if __name__ == "__main__":
+    main()

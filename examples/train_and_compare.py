@@ -1,0 +1,60 @@
+"""Reproduce the paper's Fig. 3-style comparison at a configurable scale.
+
+Run with::
+
+    python examples/train_and_compare.py [--steps 8000] [--max-qubits 8]
+
+Trains one model per reward function, compares each against the Qiskit-O3 /
+TKET-O2 baselines on the benchmark suite, and prints the headline
+percentages, the reward-difference histograms (Figs. 3a-c) and the
+per-benchmark tables (Figs. 3d-f), plus the Table I cross-model matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.evaluation import (
+    ExperimentConfig,
+    format_histogram,
+    format_per_benchmark,
+    format_table1,
+    run_experiment,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=6000, help="PPO timesteps per model")
+    parser.add_argument("--min-qubits", type=int, default=2)
+    parser.add_argument("--max-qubits", type=int, default=6)
+    parser.add_argument("--qubit-step", type=int, default=2)
+    args = parser.parse_args()
+
+    config = ExperimentConfig(
+        train_timesteps=args.steps,
+        min_qubits=args.min_qubits,
+        max_qubits=args.max_qubits,
+        qubit_step=args.qubit_step,
+    )
+    print(
+        f"Running experiment: {config.train_timesteps} timesteps/model, "
+        f"{config.min_qubits}-{config.max_qubits} qubit circuits"
+    )
+    results = run_experiment(config)
+
+    for reward_name, summary in results.summaries.items():
+        print(f"\n{'=' * 70}\n{summary.format_table()}")
+        print(format_histogram(results.histograms[reward_name]))
+        print(format_per_benchmark(results.per_benchmark[reward_name]))
+
+    print(f"\n{'=' * 70}")
+    print(format_table1(results.table1))
+
+
+if __name__ == "__main__":
+    main()

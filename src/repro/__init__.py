@@ -1,0 +1,54 @@
+"""repro — RL-based quantum circuit compiler optimization.
+
+Reproduction of "Compiler Optimization for Quantum Computing Using
+Reinforcement Learning" (Quetschlich, Burgholzer, Wille — DAC 2023).
+
+The package models quantum circuit compilation as a Markov Decision Process
+whose actions are individual compilation passes (synthesis, layout, routing,
+device-independent optimization) drawn from multiple compiler styles, and
+trains a PPO agent to pick the best sequence of passes for a given circuit
+and optimization objective (expected fidelity, critical depth, or their
+combination).
+
+Quickstart::
+
+    from repro import Predictor, benchmark_circuit
+
+    circuit = benchmark_circuit("qft", 5)
+    predictor = Predictor(reward="fidelity")
+    predictor.train(total_timesteps=2_000)
+    result = predictor.compile(circuit)
+    print(result.reward, result.circuit.summary())
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from .bench import available_benchmarks, benchmark_circuit, benchmark_suite
+from .circuit import Gate, Instruction, QuantumCircuit
+from .compilers import compile_qiskit_style, compile_tket_style
+from .core import CompilationEnv, CompilationResult, Predictor
+from .devices import Device, get_device, list_devices
+from .reward import combined_reward, critical_depth_reward, expected_fidelity
+
+__all__ = [
+    "__version__",
+    "QuantumCircuit",
+    "Gate",
+    "Instruction",
+    "Device",
+    "get_device",
+    "list_devices",
+    "Predictor",
+    "CompilationEnv",
+    "CompilationResult",
+    "compile_qiskit_style",
+    "compile_tket_style",
+    "expected_fidelity",
+    "critical_depth_reward",
+    "combined_reward",
+    "benchmark_circuit",
+    "benchmark_suite",
+    "available_benchmarks",
+]

@@ -1,0 +1,60 @@
+"""Benchmark circuit generators (MQT-Bench style, 22 families)."""
+
+from .algorithms import (
+    amplitude_estimation,
+    dj,
+    ghz,
+    graphstate,
+    qft,
+    qft_entangled,
+    qpe_exact,
+    qpe_inexact,
+    wstate,
+)
+from .ansatz import (
+    efficient_su2_random,
+    groundstate,
+    portfolio_vqe,
+    qgan,
+    real_amplitudes_random,
+    two_local_random,
+    vqe,
+)
+from .applications import portfolio_qaoa, pricing_call, pricing_put, qaoa, routing, tsp
+from .suite import (
+    BENCHMARK_GENERATORS,
+    available_benchmarks,
+    benchmark_circuit,
+    benchmark_suite,
+    paper_benchmark_names,
+)
+
+__all__ = [
+    "BENCHMARK_GENERATORS",
+    "available_benchmarks",
+    "benchmark_circuit",
+    "benchmark_suite",
+    "paper_benchmark_names",
+    "ghz",
+    "wstate",
+    "dj",
+    "graphstate",
+    "qft",
+    "qft_entangled",
+    "qpe_exact",
+    "qpe_inexact",
+    "amplitude_estimation",
+    "real_amplitudes_random",
+    "efficient_su2_random",
+    "two_local_random",
+    "qgan",
+    "vqe",
+    "portfolio_vqe",
+    "groundstate",
+    "qaoa",
+    "portfolio_qaoa",
+    "tsp",
+    "routing",
+    "pricing_call",
+    "pricing_put",
+]

@@ -1,0 +1,209 @@
+"""Textbook-algorithm benchmark circuits (MQT-Bench style).
+
+These generators produce the target-independent versions of the algorithmic
+benchmarks used in the paper's evaluation: GHZ / W state preparation,
+Deutsch-Jozsa, graph states, the quantum Fourier transform (plain and on an
+entangled register), quantum phase estimation (exact and inexact), and
+amplitude estimation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+
+__all__ = [
+    "ghz",
+    "wstate",
+    "dj",
+    "graphstate",
+    "qft",
+    "qft_entangled",
+    "qpe_exact",
+    "qpe_inexact",
+    "amplitude_estimation",
+]
+
+
+def ghz(num_qubits: int) -> QuantumCircuit:
+    """GHZ state preparation: H followed by a CX chain."""
+    if num_qubits < 2:
+        raise ValueError("GHZ needs at least 2 qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    circuit.measure_all()
+    return circuit
+
+
+def wstate(num_qubits: int) -> QuantumCircuit:
+    """W-state preparation via the standard cascade of controlled rotations."""
+    if num_qubits < 2:
+        raise ValueError("W state needs at least 2 qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"wstate_{num_qubits}")
+    circuit.x(num_qubits - 1)
+    for i in range(num_qubits - 1, 0, -1):
+        angle = 2.0 * math.acos(math.sqrt(1.0 / (i + 1)))
+        # Controlled-RY followed by CX distributes one excitation across qubits.
+        circuit.cry(angle, i, i - 1)
+        circuit.cx(i - 1, i)
+    circuit.measure_all()
+    return circuit
+
+
+def dj(num_qubits: int, *, balanced: bool = True) -> QuantumCircuit:
+    """Deutsch-Jozsa with a balanced (or constant) oracle on ``num_qubits - 1`` inputs."""
+    if num_qubits < 2:
+        raise ValueError("Deutsch-Jozsa needs at least 2 qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"dj_{num_qubits}")
+    ancilla = num_qubits - 1
+    circuit.x(ancilla)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    if balanced:
+        for qubit in range(ancilla):
+            circuit.cx(qubit, ancilla)
+    for qubit in range(ancilla):
+        circuit.h(qubit)
+    for qubit in range(ancilla):
+        circuit.measure(qubit, qubit)
+    return circuit
+
+
+def graphstate(num_qubits: int, *, degree: int = 3, seed: int | None = None) -> QuantumCircuit:
+    """Graph state on a random (near-)regular graph of the given degree."""
+    if num_qubits < 2:
+        raise ValueError("graph state needs at least 2 qubits")
+    rng = np.random.default_rng(seed if seed is not None else num_qubits)
+    circuit = QuantumCircuit(num_qubits, name=f"graphstate_{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    edges: set[tuple[int, int]] = set()
+    # ring backbone guarantees connectivity
+    for qubit in range(num_qubits):
+        edges.add(tuple(sorted((qubit, (qubit + 1) % num_qubits))))
+    target_edges = max(num_qubits, (degree * num_qubits) // 2)
+    attempts = 0
+    while len(edges) < target_edges and attempts < 20 * num_qubits:
+        attempts += 1
+        a, b = rng.choice(num_qubits, size=2, replace=False)
+        edges.add(tuple(sorted((int(a), int(b)))))
+    for a, b in sorted(edges):
+        circuit.cz(a, b)
+    circuit.measure_all()
+    return circuit
+
+
+def qft(num_qubits: int, *, with_measurements: bool = True, inverse: bool = False) -> QuantumCircuit:
+    """Quantum Fourier transform (with final qubit-reversal SWAPs)."""
+    if num_qubits < 1:
+        raise ValueError("QFT needs at least 1 qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    _append_qft(circuit, list(range(num_qubits)), inverse=inverse)
+    if with_measurements:
+        circuit.measure_all()
+    return circuit
+
+
+def _append_qft(circuit: QuantumCircuit, qubits: list[int], *, inverse: bool = False) -> None:
+    n = len(qubits)
+    ops: list[tuple[str, tuple]] = []
+    for i in range(n):
+        ops.append(("h", (qubits[i],)))
+        for j in range(i + 1, n):
+            angle = math.pi / (2 ** (j - i))
+            ops.append(("cp", (angle, qubits[j], qubits[i])))
+    for i in range(n // 2):
+        ops.append(("swap", (qubits[i], qubits[n - 1 - i])))
+    if inverse:
+        for name, args in reversed(ops):
+            if name == "h":
+                circuit.h(*args)
+            elif name == "swap":
+                circuit.swap(*args)
+            else:
+                angle, control, target = args
+                circuit.cp(-angle, control, target)
+    else:
+        for name, args in ops:
+            if name == "h":
+                circuit.h(*args)
+            elif name == "swap":
+                circuit.swap(*args)
+            else:
+                angle, control, target = args
+                circuit.cp(angle, control, target)
+
+
+def qft_entangled(num_qubits: int) -> QuantumCircuit:
+    """QFT applied to a GHZ-entangled register."""
+    if num_qubits < 2:
+        raise ValueError("entangled QFT needs at least 2 qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"qftentangled_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    _append_qft(circuit, list(range(num_qubits)))
+    circuit.measure_all()
+    return circuit
+
+
+def _qpe(num_qubits: int, phase: float, name: str) -> QuantumCircuit:
+    """Quantum phase estimation of a phase gate with the given phase."""
+    if num_qubits < 2:
+        raise ValueError("QPE needs at least 2 qubits")
+    counting = num_qubits - 1
+    circuit = QuantumCircuit(num_qubits, name=name)
+    target = num_qubits - 1
+    circuit.x(target)
+    for qubit in range(counting):
+        circuit.h(qubit)
+    for qubit in range(counting):
+        angle = 2.0 * math.pi * phase * (2**qubit)
+        circuit.cp(angle, qubit, target)
+    _append_qft(circuit, list(range(counting)), inverse=True)
+    for qubit in range(counting):
+        circuit.measure(qubit, qubit)
+    return circuit
+
+
+def qpe_exact(num_qubits: int) -> QuantumCircuit:
+    """QPE where the phase is exactly representable with the counting register."""
+    counting = num_qubits - 1
+    phase = 1.0 / (2**counting) * max(1, 2 ** (counting - 1) - 1)
+    return _qpe(num_qubits, phase, f"qpeexact_{num_qubits}")
+
+
+def qpe_inexact(num_qubits: int) -> QuantumCircuit:
+    """QPE where the phase is *not* exactly representable (1/3)."""
+    return _qpe(num_qubits, 1.0 / 3.0, f"qpeinexact_{num_qubits}")
+
+
+def amplitude_estimation(num_qubits: int, *, probability: float = 0.2) -> QuantumCircuit:
+    """Canonical amplitude estimation of a Bernoulli A operator.
+
+    One objective qubit carries the Bernoulli amplitude; the remaining
+    evaluation qubits apply controlled powers of the Grover operator
+    (rotations by multiples of the Bernoulli angle) followed by an inverse
+    QFT — the same structure as MQT Bench's ``ae`` benchmark.
+    """
+    if num_qubits < 2:
+        raise ValueError("amplitude estimation needs at least 2 qubits")
+    evaluation = num_qubits - 1
+    objective = num_qubits - 1
+    theta = 2.0 * math.asin(math.sqrt(probability))
+    circuit = QuantumCircuit(num_qubits, name=f"ae_{num_qubits}")
+    circuit.ry(theta, objective)
+    for qubit in range(evaluation):
+        circuit.h(qubit)
+    for qubit in range(evaluation):
+        power = 2**qubit
+        circuit.cry(2.0 * theta * power, qubit, objective)
+    _append_qft(circuit, list(range(evaluation)), inverse=True)
+    for qubit in range(evaluation):
+        circuit.measure(qubit, qubit)
+    return circuit

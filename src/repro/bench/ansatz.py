@@ -1,0 +1,171 @@
+"""Variational-ansatz benchmark circuits (MQT-Bench style).
+
+Parameterised ansatz circuits with randomly bound parameters: RealAmplitudes,
+EfficientSU2, TwoLocal, the qGAN generator ansatz, a VQE ansatz, the
+portfolio-VQE ansatz and a ground-state (chemistry-style) ansatz.  The random
+parameter values are seeded by the qubit count so the suite is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+
+__all__ = [
+    "real_amplitudes_random",
+    "efficient_su2_random",
+    "two_local_random",
+    "qgan",
+    "vqe",
+    "portfolio_vqe",
+    "groundstate",
+]
+
+
+def _parameters(rng: np.random.Generator, count: int) -> np.ndarray:
+    return rng.uniform(-np.pi, np.pi, count)
+
+
+def _entangle(circuit: QuantumCircuit, pattern: str, gate: str = "cx") -> None:
+    n = circuit.num_qubits
+    pairs: list[tuple[int, int]]
+    if pattern == "linear":
+        pairs = [(i, i + 1) for i in range(n - 1)]
+    elif pattern == "circular":
+        pairs = [(i, i + 1) for i in range(n - 1)] + ([(n - 1, 0)] if n > 2 else [])
+    elif pattern == "full":
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    else:
+        raise ValueError(f"unknown entanglement pattern {pattern!r}")
+    for a, b in pairs:
+        circuit.append(gate, [a, b])
+
+
+def real_amplitudes_random(num_qubits: int, *, reps: int = 2, seed: int | None = None) -> QuantumCircuit:
+    """RealAmplitudes ansatz (RY rotations + full CX entanglement) with random parameters."""
+    if num_qubits < 2:
+        raise ValueError("RealAmplitudes needs at least 2 qubits")
+    rng = np.random.default_rng(seed if seed is not None else num_qubits)
+    circuit = QuantumCircuit(num_qubits, name=f"realamprandom_{num_qubits}")
+    params = iter(_parameters(rng, num_qubits * (reps + 1)))
+    for rep in range(reps):
+        for qubit in range(num_qubits):
+            circuit.ry(float(next(params)), qubit)
+        _entangle(circuit, "full", "cx")
+    for qubit in range(num_qubits):
+        circuit.ry(float(next(params)), qubit)
+    circuit.measure_all()
+    return circuit
+
+
+def efficient_su2_random(num_qubits: int, *, reps: int = 2, seed: int | None = None) -> QuantumCircuit:
+    """EfficientSU2 ansatz (RY+RZ rotations, full CX entanglement) with random parameters."""
+    if num_qubits < 2:
+        raise ValueError("EfficientSU2 needs at least 2 qubits")
+    rng = np.random.default_rng(seed if seed is not None else num_qubits + 1)
+    circuit = QuantumCircuit(num_qubits, name=f"su2random_{num_qubits}")
+    params = iter(_parameters(rng, 2 * num_qubits * (reps + 1)))
+    for rep in range(reps):
+        for qubit in range(num_qubits):
+            circuit.ry(float(next(params)), qubit)
+            circuit.rz(float(next(params)), qubit)
+        _entangle(circuit, "full", "cx")
+    for qubit in range(num_qubits):
+        circuit.ry(float(next(params)), qubit)
+        circuit.rz(float(next(params)), qubit)
+    circuit.measure_all()
+    return circuit
+
+
+def two_local_random(num_qubits: int, *, reps: int = 3, seed: int | None = None) -> QuantumCircuit:
+    """TwoLocal ansatz (RY rotations, circular CX entanglement) with random parameters."""
+    if num_qubits < 2:
+        raise ValueError("TwoLocal needs at least 2 qubits")
+    rng = np.random.default_rng(seed if seed is not None else num_qubits + 2)
+    circuit = QuantumCircuit(num_qubits, name=f"twolocalrandom_{num_qubits}")
+    params = iter(_parameters(rng, num_qubits * (reps + 1)))
+    for rep in range(reps):
+        for qubit in range(num_qubits):
+            circuit.ry(float(next(params)), qubit)
+        _entangle(circuit, "circular", "cx")
+    for qubit in range(num_qubits):
+        circuit.ry(float(next(params)), qubit)
+    circuit.measure_all()
+    return circuit
+
+
+def qgan(num_qubits: int, *, seed: int | None = None) -> QuantumCircuit:
+    """qGAN generator ansatz: RY layer, CZ entanglement, RY layer."""
+    if num_qubits < 2:
+        raise ValueError("qGAN needs at least 2 qubits")
+    rng = np.random.default_rng(seed if seed is not None else num_qubits + 3)
+    circuit = QuantumCircuit(num_qubits, name=f"qgan_{num_qubits}")
+    params = iter(_parameters(rng, 2 * num_qubits))
+    for qubit in range(num_qubits):
+        circuit.ry(float(next(params)), qubit)
+    _entangle(circuit, "linear", "cz")
+    for qubit in range(num_qubits):
+        circuit.ry(float(next(params)), qubit)
+    circuit.measure_all()
+    return circuit
+
+
+def vqe(num_qubits: int, *, reps: int = 2, seed: int | None = None) -> QuantumCircuit:
+    """VQE ansatz: RY rotations with linear CX entanglement (TwoLocal 'ry'/'cx')."""
+    if num_qubits < 2:
+        raise ValueError("VQE needs at least 2 qubits")
+    rng = np.random.default_rng(seed if seed is not None else num_qubits + 4)
+    circuit = QuantumCircuit(num_qubits, name=f"vqe_{num_qubits}")
+    params = iter(_parameters(rng, num_qubits * (reps + 1)))
+    for rep in range(reps):
+        for qubit in range(num_qubits):
+            circuit.ry(float(next(params)), qubit)
+        _entangle(circuit, "linear", "cx")
+    for qubit in range(num_qubits):
+        circuit.ry(float(next(params)), qubit)
+    circuit.measure_all()
+    return circuit
+
+
+def portfolio_vqe(num_qubits: int, *, reps: int = 2, seed: int | None = None) -> QuantumCircuit:
+    """Portfolio-optimization VQE ansatz: RY+RZ layers with full CZ entanglement."""
+    if num_qubits < 2:
+        raise ValueError("portfolio VQE needs at least 2 qubits")
+    rng = np.random.default_rng(seed if seed is not None else num_qubits + 5)
+    circuit = QuantumCircuit(num_qubits, name=f"portfoliovqe_{num_qubits}")
+    params = iter(_parameters(rng, 2 * num_qubits * (reps + 1)))
+    for rep in range(reps):
+        for qubit in range(num_qubits):
+            circuit.ry(float(next(params)), qubit)
+            circuit.rz(float(next(params)), qubit)
+        _entangle(circuit, "full", "cz")
+    for qubit in range(num_qubits):
+        circuit.ry(float(next(params)), qubit)
+        circuit.rz(float(next(params)), qubit)
+    circuit.measure_all()
+    return circuit
+
+
+def groundstate(num_qubits: int, *, seed: int | None = None) -> QuantumCircuit:
+    """Molecular ground-state ansatz (chemistry-inspired, hardware-efficient).
+
+    MQT Bench derives this benchmark from small molecules (H2, LiH); here the
+    same hardware-efficient structure is used: an initial Hartree-Fock-like X
+    layer on half the qubits, followed by parameterised RY/RZ layers with
+    linear CX entanglement.
+    """
+    if num_qubits < 2:
+        raise ValueError("ground-state ansatz needs at least 2 qubits")
+    rng = np.random.default_rng(seed if seed is not None else num_qubits + 6)
+    circuit = QuantumCircuit(num_qubits, name=f"groundstate_{num_qubits}")
+    for qubit in range(0, num_qubits, 2):
+        circuit.x(qubit)
+    params = iter(_parameters(rng, 4 * num_qubits))
+    for _ in range(2):
+        for qubit in range(num_qubits):
+            circuit.ry(float(next(params)), qubit)
+            circuit.rz(float(next(params)), qubit)
+        _entangle(circuit, "linear", "cx")
+    circuit.measure_all()
+    return circuit

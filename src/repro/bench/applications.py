@@ -1,0 +1,173 @@
+"""Application-level benchmark circuits (MQT-Bench style).
+
+QAOA-type combinatorial-optimization circuits (MaxCut QAOA, portfolio QAOA,
+TSP, vehicle routing) and the option-pricing benchmarks (European call/put
+via iterative amplitude estimation structure).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+
+__all__ = [
+    "qaoa",
+    "portfolio_qaoa",
+    "tsp",
+    "routing",
+    "pricing_call",
+    "pricing_put",
+]
+
+
+def _random_regular_edges(num_qubits: int, degree: int, rng: np.random.Generator) -> list[tuple[int, int]]:
+    edges: set[tuple[int, int]] = set()
+    for qubit in range(num_qubits):
+        edges.add(tuple(sorted((qubit, (qubit + 1) % num_qubits))))
+    target = max(num_qubits, (degree * num_qubits) // 2)
+    attempts = 0
+    while len(edges) < target and attempts < 30 * num_qubits:
+        attempts += 1
+        a, b = rng.choice(num_qubits, size=2, replace=False)
+        edges.add(tuple(sorted((int(a), int(b)))))
+    return sorted(edges)
+
+
+def _qaoa_circuit(
+    name: str,
+    num_qubits: int,
+    edges: list[tuple[int, int]],
+    weights: list[float],
+    *,
+    layers: int,
+    rng: np.random.Generator,
+) -> QuantumCircuit:
+    circuit = QuantumCircuit(num_qubits, name=name)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    gammas = rng.uniform(0, math.pi, layers)
+    betas = rng.uniform(0, math.pi, layers)
+    for layer in range(layers):
+        for (a, b), weight in zip(edges, weights):
+            circuit.rzz(float(2.0 * gammas[layer] * weight), a, b)
+        for qubit in range(num_qubits):
+            circuit.rx(float(2.0 * betas[layer]), qubit)
+    circuit.measure_all()
+    return circuit
+
+
+def qaoa(num_qubits: int, *, layers: int = 2, seed: int | None = None) -> QuantumCircuit:
+    """MaxCut QAOA on a random 3-regular graph."""
+    if num_qubits < 3:
+        raise ValueError("QAOA needs at least 3 qubits")
+    rng = np.random.default_rng(seed if seed is not None else num_qubits)
+    edges = _random_regular_edges(num_qubits, 3, rng)
+    weights = [1.0] * len(edges)
+    return _qaoa_circuit(f"qaoa_{num_qubits}", num_qubits, edges, weights, layers=layers, rng=rng)
+
+
+def portfolio_qaoa(num_qubits: int, *, layers: int = 1, seed: int | None = None) -> QuantumCircuit:
+    """Portfolio-optimization QAOA: fully-connected weighted cost Hamiltonian."""
+    if num_qubits < 3:
+        raise ValueError("portfolio QAOA needs at least 3 qubits")
+    rng = np.random.default_rng(seed if seed is not None else num_qubits + 11)
+    edges = [(i, j) for i in range(num_qubits) for j in range(i + 1, num_qubits)]
+    weights = [float(w) for w in rng.uniform(0.1, 1.0, len(edges))]
+    return _qaoa_circuit(
+        f"portfolioqaoa_{num_qubits}", num_qubits, edges, weights, layers=layers, rng=rng
+    )
+
+
+def tsp(num_qubits: int, *, seed: int | None = None) -> QuantumCircuit:
+    """Travelling-salesman QAOA instance (quadratic assignment cost Hamiltonian).
+
+    MQT Bench encodes an n-city TSP on n^2 qubits; to cover the full 2-20
+    qubit range the cost Hamiltonian here couples qubit pairs within "city
+    blocks" and between neighbouring blocks.
+    """
+    if num_qubits < 4:
+        raise ValueError("TSP needs at least 4 qubits")
+    rng = np.random.default_rng(seed if seed is not None else num_qubits + 13)
+    block = max(2, int(round(math.sqrt(num_qubits))))
+    edges: set[tuple[int, int]] = set()
+    for start in range(0, num_qubits, block):
+        members = list(range(start, min(start + block, num_qubits)))
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                edges.add((a, b))
+        if start + block < num_qubits:
+            edges.add((members[-1], start + block))
+    weights = [float(w) for w in rng.uniform(0.2, 1.5, len(edges))]
+    return _qaoa_circuit(f"tsp_{num_qubits}", num_qubits, sorted(edges), weights, layers=2, rng=rng)
+
+
+def routing(num_qubits: int, *, seed: int | None = None) -> QuantumCircuit:
+    """Vehicle-routing QAOA instance on a sparse (line + chords) graph."""
+    if num_qubits < 2:
+        raise ValueError("routing needs at least 2 qubits")
+    rng = np.random.default_rng(seed if seed is not None else num_qubits + 17)
+    edges = [(i, i + 1) for i in range(num_qubits - 1)]
+    for i in range(0, num_qubits - 2, 2):
+        edges.append((i, i + 2))
+    weights = [float(w) for w in rng.uniform(0.5, 1.5, len(edges))]
+    return _qaoa_circuit(f"routing_{num_qubits}", num_qubits, edges, weights, layers=2, rng=rng)
+
+
+def _pricing(num_qubits: int, name: str, *, strike_fraction: float, seed: int) -> QuantumCircuit:
+    """European-option pricing circuit (uncertainty model + comparator + AE readout).
+
+    The real benchmark loads a log-normal distribution, compares against the
+    strike price and estimates the payoff amplitude.  The same three-stage
+    structure is reproduced: RY loading layer with linear entanglement,
+    a cascade of controlled rotations implementing the payoff comparator, and
+    an inverse-QFT style readout on the estimation qubits.
+    """
+    if num_qubits < 3:
+        raise ValueError("option pricing needs at least 3 qubits")
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=name)
+    objective = num_qubits - 1
+    state_qubits = list(range(num_qubits - 1))
+
+    # 1) uncertainty model: load a smooth distribution over the state register
+    for qubit in state_qubits:
+        circuit.ry(float(rng.uniform(0.2, math.pi - 0.2)), qubit)
+    for a, b in zip(state_qubits, state_qubits[1:]):
+        circuit.cx(a, b)
+    for qubit in state_qubits:
+        circuit.ry(float(rng.uniform(0.1, 0.6)), qubit)
+
+    # 2) payoff comparator: controlled rotations onto the objective qubit
+    slope = math.pi * strike_fraction
+    for i, qubit in enumerate(state_qubits):
+        circuit.cry(float(slope / (2**i)), qubit, objective)
+
+    # 3) amplitude-estimation style readout
+    for a, b in zip(reversed(state_qubits[1:]), reversed(state_qubits[:-1])):
+        circuit.cp(float(-math.pi / 2), a, b)
+        circuit.h(b)
+    circuit.measure_all()
+    return circuit
+
+
+def pricing_call(num_qubits: int, *, seed: int | None = None) -> QuantumCircuit:
+    """European call option pricing benchmark."""
+    return _pricing(
+        num_qubits,
+        f"pricingcall_{num_qubits}",
+        strike_fraction=0.7,
+        seed=seed if seed is not None else num_qubits + 19,
+    )
+
+
+def pricing_put(num_qubits: int, *, seed: int | None = None) -> QuantumCircuit:
+    """European put option pricing benchmark."""
+    return _pricing(
+        num_qubits,
+        f"pricingput_{num_qubits}",
+        strike_fraction=0.4,
+        seed=seed if seed is not None else num_qubits + 23,
+    )

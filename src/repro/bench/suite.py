@@ -1,0 +1,97 @@
+"""Benchmark registry and suite assembly (MQT-Bench style).
+
+The paper evaluates on 200 circuits from 22 benchmark families with 2-20
+qubits, taken from MQT Bench at the target-independent level.  This module
+exposes the same families by name and assembles qubit-range suites.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..circuit.circuit import QuantumCircuit
+from . import algorithms, ansatz, applications
+
+__all__ = [
+    "BENCHMARK_GENERATORS",
+    "available_benchmarks",
+    "benchmark_circuit",
+    "benchmark_suite",
+    "paper_benchmark_names",
+]
+
+#: benchmark name -> (generator, minimum number of qubits)
+BENCHMARK_GENERATORS: dict[str, tuple[Callable[[int], QuantumCircuit], int]] = {
+    "ae": (algorithms.amplitude_estimation, 2),
+    "dj": (algorithms.dj, 2),
+    "ghz": (algorithms.ghz, 2),
+    "graphstate": (algorithms.graphstate, 3),
+    "groundstate": (ansatz.groundstate, 2),
+    "portfolioqaoa": (applications.portfolio_qaoa, 3),
+    "portfoliovqe": (ansatz.portfolio_vqe, 2),
+    "pricingcall": (applications.pricing_call, 3),
+    "pricingput": (applications.pricing_put, 3),
+    "qaoa": (applications.qaoa, 3),
+    "qft": (algorithms.qft, 2),
+    "qftentangled": (algorithms.qft_entangled, 2),
+    "qgan": (ansatz.qgan, 2),
+    "qpeexact": (algorithms.qpe_exact, 2),
+    "qpeinexact": (algorithms.qpe_inexact, 2),
+    "realamprandom": (ansatz.real_amplitudes_random, 2),
+    "routing": (applications.routing, 2),
+    "su2random": (ansatz.efficient_su2_random, 2),
+    "tsp": (applications.tsp, 4),
+    "twolocalrandom": (ansatz.two_local_random, 2),
+    "vqe": (ansatz.vqe, 2),
+    "wstate": (algorithms.wstate, 2),
+}
+
+
+def paper_benchmark_names() -> tuple[str, ...]:
+    """The 22 benchmark families shown in Fig. 3d-f of the paper."""
+    return tuple(sorted(BENCHMARK_GENERATORS))
+
+
+def available_benchmarks() -> list[str]:
+    """Names of all available benchmark families."""
+    return sorted(BENCHMARK_GENERATORS)
+
+
+def benchmark_circuit(name: str, num_qubits: int) -> QuantumCircuit:
+    """Generate one benchmark circuit by family name and qubit count."""
+    if name not in BENCHMARK_GENERATORS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(available_benchmarks())}"
+        )
+    generator, min_qubits = BENCHMARK_GENERATORS[name]
+    if num_qubits < min_qubits:
+        raise ValueError(f"benchmark {name!r} needs at least {min_qubits} qubits")
+    circuit = generator(num_qubits)
+    circuit.metadata["benchmark"] = name
+    circuit.metadata["num_qubits"] = num_qubits
+    return circuit
+
+
+def benchmark_suite(
+    min_qubits: int = 2,
+    max_qubits: int = 20,
+    names: list[str] | None = None,
+    *,
+    step: int = 2,
+) -> list[QuantumCircuit]:
+    """Assemble a suite of benchmark circuits over a qubit range.
+
+    The default paper-scale configuration (2-20 qubits, all 22 families)
+    yields roughly 200 circuits, matching the training-set size used in the
+    paper.  Smaller ranges/steps yield reduced suites for tests and quick
+    benchmarks.
+    """
+    if names is None:
+        names = available_benchmarks()
+    suite: list[QuantumCircuit] = []
+    for name in names:
+        generator, family_min = BENCHMARK_GENERATORS[name]
+        for num_qubits in range(max(min_qubits, family_min), max_qubits + 1, step):
+            circuit = benchmark_circuit(name, num_qubits)
+            suite.append(circuit)
+    return suite

@@ -1,0 +1,42 @@
+"""Quantum circuit intermediate representation.
+
+The circuit IR is the unified data format shared by every compilation action
+in the framework, mirroring the paper's requirement that all passes consume
+and produce the same circuit representation regardless of which SDK the pass
+was inspired by.
+"""
+
+from .circuit import QuantumCircuit
+from .dag import DAGCircuit, DAGNode
+from .drawing import draw
+from .gates import (
+    GATE_SPECS,
+    Gate,
+    GateSpec,
+    Instruction,
+    gate_inverse,
+    gate_matrix,
+    is_supported_gate,
+    standard_gate_names,
+)
+from .qasm import from_qasm, to_qasm
+from .random_circuits import random_circuit, random_clifford_circuit
+
+__all__ = [
+    "QuantumCircuit",
+    "DAGCircuit",
+    "DAGNode",
+    "draw",
+    "Gate",
+    "GateSpec",
+    "Instruction",
+    "GATE_SPECS",
+    "gate_matrix",
+    "gate_inverse",
+    "is_supported_gate",
+    "standard_gate_names",
+    "to_qasm",
+    "from_qasm",
+    "random_circuit",
+    "random_clifford_circuit",
+]

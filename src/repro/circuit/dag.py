@@ -1,0 +1,192 @@
+"""Directed-acyclic-graph view of a quantum circuit.
+
+Optimization and routing passes need to reason about gate dependencies
+(which gates can commute past each other, which gates form the current
+"front layer", which single-qubit runs can be fused).  The DAG view mirrors
+Qiskit's ``DAGCircuit``: one node per instruction, edges follow qubit/clbit
+wires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .circuit import QuantumCircuit
+from .gates import Instruction
+
+__all__ = ["DAGNode", "DAGCircuit"]
+
+
+@dataclass
+class DAGNode:
+    """A single instruction inside the DAG."""
+
+    node_id: int
+    instruction: Instruction
+    predecessors: set[int] = field(default_factory=set)
+    successors: set[int] = field(default_factory=set)
+
+    @property
+    def name(self) -> str:
+        return self.instruction.name
+
+    @property
+    def qubits(self) -> tuple[int, ...]:
+        return self.instruction.qubits
+
+
+class DAGCircuit:
+    """Dependency DAG over the instructions of a :class:`QuantumCircuit`."""
+
+    def __init__(self, num_qubits: int, num_clbits: int = 0):
+        self.num_qubits = num_qubits
+        self.num_clbits = num_clbits
+        self._nodes: dict[int, DAGNode] = {}
+        self._next_id = 0
+        # last node seen on each wire, used while building
+        self._qubit_frontier: dict[int, int] = {}
+        self._clbit_frontier: dict[int, int] = {}
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_circuit(cls, circuit: QuantumCircuit) -> "DAGCircuit":
+        dag = cls(circuit.num_qubits, circuit.num_clbits)
+        for instr in circuit:
+            dag.add_instruction(instr)
+        return dag
+
+    def add_instruction(self, instruction: Instruction) -> DAGNode:
+        node = DAGNode(self._next_id, instruction)
+        self._next_id += 1
+        self._nodes[node.node_id] = node
+        for q in instruction.qubits:
+            prev = self._qubit_frontier.get(q)
+            if prev is not None:
+                node.predecessors.add(prev)
+                self._nodes[prev].successors.add(node.node_id)
+            self._qubit_frontier[q] = node.node_id
+        for c in instruction.clbits:
+            prev = self._clbit_frontier.get(c)
+            if prev is not None:
+                node.predecessors.add(prev)
+                self._nodes[prev].successors.add(node.node_id)
+            self._clbit_frontier[c] = node.node_id
+        return node
+
+    # -- queries ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> dict[int, DAGNode]:
+        return self._nodes
+
+    def node(self, node_id: int) -> DAGNode:
+        return self._nodes[node_id]
+
+    def front_layer(self) -> list[DAGNode]:
+        """Nodes with no remaining predecessors (the executable frontier)."""
+        return [n for n in self._nodes.values() if not n.predecessors]
+
+    def topological_nodes(self) -> Iterator[DAGNode]:
+        """Yield nodes in a topological (and circuit-stable) order."""
+        in_degree = {nid: len(n.predecessors) for nid, n in self._nodes.items()}
+        ready = sorted(nid for nid, deg in in_degree.items() if deg == 0)
+        emitted = []
+        import heapq
+
+        heap = list(ready)
+        heapq.heapify(heap)
+        while heap:
+            nid = heapq.heappop(heap)
+            node = self._nodes[nid]
+            emitted.append(nid)
+            yield node
+            for succ in node.successors:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    heapq.heappush(heap, succ)
+        if len(emitted) != len(self._nodes):
+            raise RuntimeError("cycle detected in DAG (corrupted circuit)")
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node, stitching its predecessors to its successors per wire."""
+        node = self._nodes[node_id]
+        # Re-wire on a per-wire basis so dependencies stay faithful.
+        for q in list(node.instruction.qubits) + [
+            -1 - c for c in node.instruction.clbits
+        ]:
+            pred = self._wire_neighbor(node, q, direction="pred")
+            succ = self._wire_neighbor(node, q, direction="succ")
+            if pred is not None and succ is not None:
+                self._nodes[pred].successors.add(succ)
+                self._nodes[succ].predecessors.add(pred)
+        for pred in node.predecessors:
+            self._nodes[pred].successors.discard(node_id)
+        for succ in node.successors:
+            self._nodes[succ].predecessors.discard(node_id)
+        del self._nodes[node_id]
+
+    def _wire_neighbor(self, node: DAGNode, wire: int, direction: str) -> int | None:
+        """Find the adjacent node on ``wire`` (negative wires are clbits)."""
+        neighbors = node.predecessors if direction == "pred" else node.successors
+        for nid in neighbors:
+            other = self._nodes[nid]
+            wires = list(other.instruction.qubits) + [
+                -1 - c for c in other.instruction.clbits
+            ]
+            if wire in wires:
+                return nid
+        return None
+
+    # -- analysis helpers ------------------------------------------------------------
+
+    def longest_path_length(self, *, only_2q: bool = False) -> int:
+        """Number of gates along the longest dependency path."""
+        dist: dict[int, int] = {}
+        longest = 0
+        for node in self.topological_nodes():
+            weight = 1
+            if node.name == "barrier":
+                weight = 0
+            elif only_2q and len(node.qubits) < 2:
+                weight = 0
+            best_pred = max((dist[p] for p in node.predecessors), default=0)
+            dist[node.node_id] = best_pred + weight
+            longest = max(longest, dist[node.node_id])
+        return longest
+
+    def two_qubit_gates_on_longest_path(self) -> int:
+        """Count of 2q+ gates on (one of) the longest paths of the full DAG.
+
+        This is the quantity the SupermarQ critical-depth feature is built
+        from: how many multi-qubit gates lie on the critical path.
+        """
+        dist: dict[int, int] = {}
+        twoq: dict[int, int] = {}
+        best_total = 0
+        best_twoq = 0
+        for node in self.topological_nodes():
+            weight = 0 if node.name == "barrier" else 1
+            is_2q = node.instruction.gate.is_unitary and len(node.qubits) >= 2
+            if node.predecessors:
+                pred = max(node.predecessors, key=lambda p: (dist[p], twoq[p]))
+                dist[node.node_id] = dist[pred] + weight
+                twoq[node.node_id] = twoq[pred] + (1 if is_2q else 0)
+            else:
+                dist[node.node_id] = weight
+                twoq[node.node_id] = 1 if is_2q else 0
+            if (dist[node.node_id], twoq[node.node_id]) > (best_total, best_twoq):
+                best_total, best_twoq = dist[node.node_id], twoq[node.node_id]
+        return best_twoq
+
+    # -- conversion ---------------------------------------------------------------------
+
+    def to_circuit(self, name: str = "circuit") -> QuantumCircuit:
+        out = QuantumCircuit(self.num_qubits, self.num_clbits, name)
+        for node in self.topological_nodes():
+            out._instructions.append(node.instruction)
+        return out

@@ -1,0 +1,102 @@
+"""Plain-text rendering of quantum circuits.
+
+A lightweight column-per-instruction ASCII drawer, handy for inspecting
+small circuits in examples, logs, and debugging sessions::
+
+    q0: ─[h]──●──────M
+              │
+    q1: ──────X──●───M
+                 │
+    q2: ─────────X───M
+"""
+
+from __future__ import annotations
+
+from .circuit import QuantumCircuit
+from .gates import Instruction
+
+__all__ = ["draw"]
+
+_MAX_COLUMNS = 400
+
+
+def _gate_label(instruction: Instruction) -> str:
+    if instruction.params:
+        args = ",".join(f"{p:.2g}" for p in instruction.params)
+        return f"{instruction.name}({args})"
+    return instruction.name
+
+
+def draw(circuit: QuantumCircuit, *, max_width: int = 120) -> str:
+    """Render ``circuit`` as an ASCII diagram (one row per qubit).
+
+    Instructions are placed into the earliest column in which all of their
+    qubits are free, so parallel gates share a column.  Output is truncated
+    (with an ellipsis marker) once ``max_width`` characters per row are
+    reached.
+    """
+    n = circuit.num_qubits
+    if n == 0:
+        return "(empty circuit)"
+    # column index where each qubit wire is currently free
+    free_at = [0] * n
+    columns: list[dict[int, str]] = []
+
+    def place(instruction: Instruction) -> None:
+        qubits = instruction.qubits or tuple(range(n))
+        start = max(free_at[q] for q in qubits)
+        while len(columns) <= start:
+            columns.append({})
+        cells = columns[start]
+        label = _render_cells(instruction)
+        for qubit, text in label.items():
+            cells[qubit] = text
+        low, high = min(qubits), max(qubits)
+        for qubit in range(low, high + 1):
+            cells.setdefault(qubit, "│")
+            free_at[qubit] = start + 1
+
+    for instruction in circuit:
+        if len(columns) > _MAX_COLUMNS:
+            break
+        place(instruction)
+
+    rows = []
+    for qubit in range(n):
+        parts = [f"q{qubit}: "]
+        for cells in columns:
+            text = cells.get(qubit, "─")
+            parts.append(f"─{text}─" if text not in ("─", "│") else f"─{text}─")
+        row = "".join(parts)
+        if len(row) > max_width:
+            row = row[: max_width - 1] + "…"
+        rows.append(row)
+    return "\n".join(rows)
+
+
+def _render_cells(instruction: Instruction) -> dict[int, str]:
+    """Choose the per-qubit symbols for one instruction."""
+    name = instruction.name
+    qubits = instruction.qubits
+    if name == "barrier":
+        return {q: "░" for q in qubits}
+    if name == "measure":
+        return {qubits[0]: "M"}
+    if name == "reset":
+        return {qubits[0]: "|0>"}
+    if len(qubits) == 1:
+        return {qubits[0]: f"[{_gate_label(instruction)}]"}
+    if name in ("cx", "cy", "cz", "ch", "cp", "crx", "cry", "crz", "cu", "csx"):
+        control, target = qubits
+        symbol = "X" if name == "cx" else f"[{_gate_label(instruction)}]"
+        if name == "cz":
+            symbol = "●"
+        return {control: "●", target: symbol}
+    if name == "swap":
+        return {qubits[0]: "x", qubits[1]: "x"}
+    if name in ("ccx", "ccz"):
+        return {qubits[0]: "●", qubits[1]: "●", qubits[2]: "X" if name == "ccx" else "●"}
+    if name == "cswap":
+        return {qubits[0]: "●", qubits[1]: "x", qubits[2]: "x"}
+    label = f"[{_gate_label(instruction)}]"
+    return {q: label for q in qubits}

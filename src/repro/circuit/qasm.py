@@ -1,0 +1,126 @@
+"""Minimal OpenQASM 2 serialisation for :class:`QuantumCircuit`.
+
+Only the subset needed to round-trip circuits produced by this library is
+supported: a single quantum register ``q`` and classical register ``c``,
+the gates listed in :mod:`repro.circuit.gates`, barriers and measurements.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .circuit import QuantumCircuit
+from .gates import GATE_SPECS
+
+__all__ = ["to_qasm", "from_qasm"]
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+# Gate names that differ between this library and qelib1.
+_TO_QASM_NAME = {"p": "u1", "xx_plus_yy": "xx_plus_yy"}
+_FROM_QASM_NAME = {"u1": "p", "cu1": "cp", "cu3": "cu3", "id": "id", "iden": "id"}
+
+
+def _format_param(value: float) -> str:
+    """Render a parameter, using multiples of pi where exact."""
+    for denom in (1, 2, 3, 4, 6, 8, 16):
+        for num in range(-16 * denom, 16 * denom + 1):
+            if num == 0:
+                continue
+            if abs(value - num * math.pi / denom) < 1e-12:
+                frac = f"pi*{num}/{denom}" if denom != 1 else f"pi*{num}"
+                return frac
+    if abs(value) < 1e-15:
+        return "0"
+    return repr(float(value))
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise a circuit to an OpenQASM 2 string."""
+    lines = [_HEADER.rstrip("\n")]
+    lines.append(f"qreg q[{max(circuit.num_qubits, 1)}];")
+    lines.append(f"creg c[{max(circuit.num_clbits, 1)}];")
+    for instr in circuit:
+        name = _TO_QASM_NAME.get(instr.name, instr.name)
+        if instr.name == "barrier":
+            qubits = ",".join(f"q[{q}]" for q in instr.qubits)
+            lines.append(f"barrier {qubits};" if qubits else "barrier q;")
+            continue
+        if instr.name == "measure":
+            q = instr.qubits[0]
+            c = instr.clbits[0] if instr.clbits else q
+            lines.append(f"measure q[{q}] -> c[{c}];")
+            continue
+        params = ""
+        if instr.params:
+            params = "(" + ",".join(_format_param(p) for p in instr.params) + ")"
+        qubits = ",".join(f"q[{q}]" for q in instr.qubits)
+        lines.append(f"{name}{params} {qubits};")
+    return "\n".join(lines) + "\n"
+
+
+_TOKEN_RE = re.compile(
+    r"^\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*"
+    r"(?:\((?P<params>[^)]*)\))?\s*"
+    r"(?P<args>[^;]*);"
+)
+
+
+def _eval_param(expr: str) -> float:
+    """Evaluate a QASM parameter expression (numbers, pi, + - * /)."""
+    expr = expr.strip().replace("pi", repr(math.pi))
+    if not re.fullmatch(r"[0-9eE\.\+\-\*/\(\) ]+", expr):
+        raise ValueError(f"unsupported parameter expression: {expr!r}")
+    return float(eval(expr, {"__builtins__": {}}, {}))  # noqa: S307 - sanitised above
+
+
+def from_qasm(text: str) -> QuantumCircuit:
+    """Parse an OpenQASM 2 string produced by :func:`to_qasm`."""
+    num_qubits = 0
+    num_clbits = 0
+    body: list[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line:
+            continue
+        if line.startswith(("OPENQASM", "include")):
+            continue
+        match = re.match(r"qreg\s+(\w+)\[(\d+)\];", line)
+        if match:
+            num_qubits += int(match.group(2))
+            continue
+        match = re.match(r"creg\s+(\w+)\[(\d+)\];", line)
+        if match:
+            num_clbits += int(match.group(2))
+            continue
+        body.append(line)
+
+    circuit = QuantumCircuit(num_qubits, num_clbits or None)
+    for line in body:
+        if line.startswith("measure"):
+            match = re.match(r"measure\s+\w+\[(\d+)\]\s*->\s*\w+\[(\d+)\];", line)
+            if not match:
+                raise ValueError(f"cannot parse measurement: {line!r}")
+            circuit.measure(int(match.group(1)), int(match.group(2)))
+            continue
+        match = _TOKEN_RE.match(line)
+        if not match:
+            raise ValueError(f"cannot parse QASM line: {line!r}")
+        name = match.group("name").lower()
+        name = _FROM_QASM_NAME.get(name, name)
+        args = match.group("args") or ""
+        qubits = [int(m) for m in re.findall(r"\[(\d+)\]", args)]
+        if name == "barrier":
+            circuit.barrier(*qubits)
+            continue
+        params_text = match.group("params")
+        params = (
+            [_eval_param(p) for p in params_text.split(",")] if params_text else []
+        )
+        if name == "cu3":
+            name, params = "cu", params + [0.0]
+        if name not in GATE_SPECS:
+            raise ValueError(f"unsupported gate in QASM input: {name!r}")
+        circuit.append(name, qubits, params)
+    return circuit

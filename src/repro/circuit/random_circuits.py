@@ -1,0 +1,69 @@
+"""Random circuit generation used by tests, fuzzing, and micro-benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+
+__all__ = ["random_circuit", "random_clifford_circuit"]
+
+_ONE_Q_GATES = ("x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx")
+_ONE_Q_PARAM_GATES = ("rx", "ry", "rz", "p")
+_TWO_Q_GATES = ("cx", "cz", "swap", "ch", "cy")
+_TWO_Q_PARAM_GATES = ("cp", "crz", "rzz", "rxx", "crx", "cry")
+_CLIFFORD_1Q = ("x", "y", "z", "h", "s", "sdg", "sx", "sxdg")
+_CLIFFORD_2Q = ("cx", "cz", "swap")
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    *,
+    seed: int | None = None,
+    two_qubit_prob: float = 0.4,
+    parametrised_prob: float = 0.5,
+    measure: bool = False,
+) -> QuantumCircuit:
+    """Generate a random circuit with roughly ``depth`` layers.
+
+    Each layer pairs up a random subset of qubits for two-qubit gates (with
+    probability ``two_qubit_prob`` per available pair) and fills the rest
+    with single-qubit gates.
+    """
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random_{num_qubits}q")
+    for _ in range(depth):
+        qubits = list(rng.permutation(num_qubits))
+        while len(qubits) >= 2 and rng.random() < two_qubit_prob:
+            a, b = int(qubits.pop()), int(qubits.pop())
+            if rng.random() < parametrised_prob:
+                gate = str(rng.choice(_TWO_Q_PARAM_GATES))
+                circuit.append(gate, [a, b], [float(rng.uniform(0, 2 * np.pi))])
+            else:
+                circuit.append(str(rng.choice(_TWO_Q_GATES)), [a, b])
+        for q in qubits:
+            if rng.random() < parametrised_prob:
+                gate = str(rng.choice(_ONE_Q_PARAM_GATES))
+                circuit.append(gate, [int(q)], [float(rng.uniform(0, 2 * np.pi))])
+            else:
+                circuit.append(str(rng.choice(_ONE_Q_GATES)), [int(q)])
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def random_clifford_circuit(
+    num_qubits: int, depth: int, *, seed: int | None = None
+) -> QuantumCircuit:
+    """Generate a random circuit containing only Clifford gates."""
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"clifford_{num_qubits}q")
+    for _ in range(depth):
+        qubits = list(rng.permutation(num_qubits))
+        while len(qubits) >= 2 and rng.random() < 0.4:
+            a, b = int(qubits.pop()), int(qubits.pop())
+            circuit.append(str(rng.choice(_CLIFFORD_2Q)), [a, b])
+        for q in qubits:
+            circuit.append(str(rng.choice(_CLIFFORD_1Q)), [int(q)])
+    return circuit

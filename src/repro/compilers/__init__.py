@@ -1,0 +1,5 @@
+"""Baseline preset compilers (Qiskit-style and TKET-style flows)."""
+
+from .presets import CompiledCircuit, compile_qiskit_style, compile_tket_style
+
+__all__ = ["CompiledCircuit", "compile_qiskit_style", "compile_tket_style"]

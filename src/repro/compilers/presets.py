@@ -1,0 +1,170 @@
+"""Baseline preset compilation flows in the style of Qiskit and TKET.
+
+These are the comparison points of the paper's evaluation: every benchmark
+circuit is also compiled with "Qiskit at its highest optimization level (O3)"
+and "TKET at its highest optimization level (O2)".  The presets below are
+assembled from the same pass implementations that the RL agent can choose
+from, with pass selections that follow the published structure of the two
+SDKs' preset pipelines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..devices.device import Device
+from ..passes.base import PassContext
+from ..passes.layout import DenseLayout, SabreLayout, TrivialLayout
+from ..passes.optimization import (
+    CliffordSimp,
+    Collect2qBlocksConsolidate,
+    CommutativeCancellation,
+    CXCancellation,
+    FullPeepholeOptimise,
+    InverseCancellation,
+    Optimize1qGatesDecomposition,
+    RemoveDiagonalGatesBeforeMeasure,
+    RemoveRedundancies,
+)
+from ..passes.routing import BasicSwap, SabreSwap, StochasticSwap, TketRouting
+from ..passes.synthesis import BasisTranslator
+
+__all__ = ["compile_qiskit_style", "compile_tket_style", "CompiledCircuit"]
+
+
+class CompiledCircuit:
+    """Result of a preset compilation: the circuit plus flow bookkeeping."""
+
+    def __init__(self, circuit: QuantumCircuit, device: Device, passes: list[str]):
+        self.circuit = circuit
+        self.device = device
+        self.passes = passes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledCircuit({self.circuit.name!r}, device={self.device.name!r})"
+
+
+def _finalise(circuit: QuantumCircuit, device: Device, context: PassContext) -> QuantumCircuit:
+    """Ensure the output is executable: re-synthesise and clean up if needed."""
+    if not device.gates_native(circuit):
+        circuit = BasisTranslator().run(circuit, context)
+        circuit = Optimize1qGatesDecomposition().run(circuit, context)
+    if not device.is_executable(circuit):
+        raise RuntimeError(
+            f"preset compilation failed to produce an executable circuit for {device.name}"
+        )
+    return circuit
+
+
+def compile_qiskit_style(
+    circuit: QuantumCircuit,
+    device: Device,
+    optimization_level: int = 3,
+    seed: int = 0,
+) -> CompiledCircuit:
+    """Compile with a Qiskit-style preset pipeline (levels 0-3, default O3)."""
+    if not 0 <= optimization_level <= 3:
+        raise ValueError("Qiskit-style optimization level must be between 0 and 3")
+    context = PassContext(device=device, seed=seed)
+    applied: list[str] = []
+
+    def run(pass_, circ):
+        applied.append(pass_.name)
+        return pass_.run(circ, context)
+
+    work = circuit.copy()
+
+    # Stage 1: device-independent optimization.
+    if optimization_level >= 1:
+        work = run(Optimize1qGatesDecomposition(basis="u3"), work)
+        work = run(InverseCancellation(), work)
+    if optimization_level >= 2:
+        work = run(CommutativeCancellation(), work)
+    if optimization_level >= 3:
+        work = run(Collect2qBlocksConsolidate(), work)
+        work = run(Optimize1qGatesDecomposition(basis="u3"), work)
+
+    # Stage 2: synthesis to the native gate set.
+    work = run(BasisTranslator(), work)
+
+    # Stage 3: layout.
+    if optimization_level == 0:
+        work = run(TrivialLayout(), work)
+    elif optimization_level == 1:
+        work = run(DenseLayout(), work)
+    else:
+        work = run(SabreLayout(seed=seed), work)
+
+    # Stage 4: routing.
+    if optimization_level == 0:
+        work = run(BasicSwap(), work)
+    elif optimization_level == 1:
+        work = run(StochasticSwap(seed=seed), work)
+    else:
+        work = run(SabreSwap(seed=seed), work)
+
+    # Stage 5: post-mapping optimization.
+    if optimization_level >= 1:
+        work = run(Optimize1qGatesDecomposition(), work)
+        work = run(CXCancellation(), work)
+    if optimization_level >= 2:
+        work = run(CommutativeCancellation(), work)
+    if optimization_level >= 3:
+        work = run(Collect2qBlocksConsolidate(), work)
+        work = run(BasisTranslator(), work)
+        work = run(Optimize1qGatesDecomposition(), work)
+        work = run(RemoveDiagonalGatesBeforeMeasure(), work)
+
+    work = _finalise(work, device, context)
+    return CompiledCircuit(work, device, applied)
+
+
+def compile_tket_style(
+    circuit: QuantumCircuit,
+    device: Device,
+    optimization_level: int = 2,
+    seed: int = 0,
+) -> CompiledCircuit:
+    """Compile with a TKET-style preset pipeline (levels 0-2, default O2)."""
+    if not 0 <= optimization_level <= 2:
+        raise ValueError("TKET-style optimization level must be between 0 and 2")
+    context = PassContext(device=device, seed=seed)
+    applied: list[str] = []
+
+    def run(pass_, circ):
+        applied.append(pass_.name)
+        return pass_.run(circ, context)
+
+    work = circuit.copy()
+
+    # Stage 1: device-independent optimization ("SynthesiseTket" / "FullPeepholeOptimise").
+    if optimization_level == 1:
+        work = run(RemoveRedundancies(), work)
+        work = run(Optimize1qGatesDecomposition(basis="u3"), work)
+        work = run(CliffordSimp(), work)
+    elif optimization_level >= 2:
+        work = run(FullPeepholeOptimise(), work)
+
+    # Stage 2: rebase (synthesis) to the native gate set.
+    work = run(BasisTranslator(), work)
+
+    # Stage 3: placement + routing.
+    if optimization_level == 0:
+        work = run(TrivialLayout(), work)
+    else:
+        work = run(DenseLayout(), work)
+    work = run(TketRouting(seed=seed), work)
+
+    # Stage 4: post-routing clean-up.
+    if optimization_level >= 1:
+        work = run(Optimize1qGatesDecomposition(), work)
+        work = run(RemoveRedundancies(), work)
+    if optimization_level >= 2:
+        work = run(CliffordSimp(), work)
+        work = run(BasisTranslator(), work)
+        work = run(Optimize1qGatesDecomposition(), work)
+        work = run(RemoveRedundancies(), work)
+
+    work = _finalise(work, device, context)
+    return CompiledCircuit(work, device, applied)

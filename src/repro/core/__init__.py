@@ -1,0 +1,21 @@
+"""Core of the framework: the compilation MDP, environment, and Predictor API."""
+
+from .actions import Action, ActionKind, build_action_registry
+from .environment import CompilationEnv
+from .predictor import CompilationResult, Predictor
+from .state import CompilationState, CompilationStatus
+from .training import TrainingConfig, train_all_models, train_model
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "build_action_registry",
+    "CompilationEnv",
+    "CompilationState",
+    "CompilationStatus",
+    "CompilationResult",
+    "Predictor",
+    "TrainingConfig",
+    "train_all_models",
+    "train_model",
+]

@@ -1,0 +1,163 @@
+"""The action registry of the compilation MDP.
+
+Five kinds of actions are distinguished, exactly as in the paper's Fig. 2:
+
+* **platform selection** — fix the native gate set (IBM / Rigetti / IonQ / OQC);
+* **device selection** — fix qubit count and topology (one action per device
+  of the chosen platform);
+* **synthesis** — translate to the native gate set (Qiskit's BasisTranslator);
+* **mapping** — one action per (layout, routing) combination, covering
+  Qiskit's Trivial/Dense/Sabre layouts and Basic/Stochastic/Sabre/TKET routers;
+* **optimization** — the twelve device-independent/-dependent optimization
+  passes from Qiskit and TKET listed in Section IV-A.
+
+Every action exposes the same ``apply(circuit, context) -> circuit``
+interface, which is what makes passes from different SDK styles composable
+inside one learned compilation flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..circuit.circuit import QuantumCircuit
+from ..devices.library import devices_for_platform, list_platforms
+from ..passes.base import BasePass, PassContext
+from ..passes.layout import DenseLayout, SabreLayout, TrivialLayout
+from ..passes.optimization import (
+    CliffordSimp,
+    Collect2qBlocksConsolidate,
+    CommutativeCancellation,
+    CommutativeInverseCancellation,
+    CXCancellation,
+    FullPeepholeOptimise,
+    InverseCancellation,
+    Optimize1qGatesDecomposition,
+    OptimizeCliffords,
+    PeepholeOptimise2Q,
+    RemoveDiagonalGatesBeforeMeasure,
+    RemoveRedundancies,
+)
+from ..passes.routing import BasicSwap, SabreSwap, StochasticSwap, TketRouting
+from ..passes.synthesis import BasisTranslator
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "build_action_registry",
+    "TERMINATE_ACTION_NAME",
+]
+
+
+TERMINATE_ACTION_NAME = "terminate"
+
+
+class ActionKind:
+    """String constants naming the five kinds of MDP actions (plus terminate)."""
+
+    PLATFORM = "platform_selection"
+    DEVICE = "device_selection"
+    SYNTHESIS = "synthesis"
+    MAPPING = "mapping"
+    OPTIMIZATION = "optimization"
+    TERMINATE = "terminate"
+
+
+@dataclass(frozen=True)
+class Action:
+    """One discrete action of the MDP."""
+
+    index: int
+    name: str
+    kind: str
+    origin: str
+    #: payload interpreted by the environment: platform name, device name, or
+    #: a callable applying the pass(es).
+    payload: object
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Action({self.index}, {self.name!r}, kind={self.kind!r})"
+
+
+def _pass_applier(pass_: BasePass) -> Callable[[QuantumCircuit, PassContext], QuantumCircuit]:
+    def apply(circuit: QuantumCircuit, context: PassContext) -> QuantumCircuit:
+        return pass_.run(circuit, context)
+
+    return apply
+
+
+def _mapping_applier(
+    layout_cls, routing_cls
+) -> Callable[[QuantumCircuit, PassContext], QuantumCircuit]:
+    def apply(circuit: QuantumCircuit, context: PassContext) -> QuantumCircuit:
+        placed = layout_cls().run(circuit, context)
+        return routing_cls(seed=context.seed).run(placed, context)
+
+    return apply
+
+
+_OPTIMIZATION_PASSES: list[BasePass] = [
+    Optimize1qGatesDecomposition(),
+    CXCancellation(),
+    CommutativeCancellation(),
+    CommutativeInverseCancellation(),
+    RemoveDiagonalGatesBeforeMeasure(),
+    InverseCancellation(),
+    OptimizeCliffords(),
+    Collect2qBlocksConsolidate(),
+    PeepholeOptimise2Q(),
+    CliffordSimp(),
+    FullPeepholeOptimise(),
+    RemoveRedundancies(),
+]
+
+_LAYOUTS = [("trivial", TrivialLayout), ("dense", DenseLayout), ("sabre", SabreLayout)]
+_ROUTERS = [
+    ("basic", BasicSwap),
+    ("stochastic", StochasticSwap),
+    ("sabre", SabreSwap),
+    ("tket", TketRouting),
+]
+
+
+def build_action_registry(
+    platforms: list[str] | None = None,
+    *,
+    include_terminate: bool = True,
+) -> list[Action]:
+    """Build the full, ordered list of actions of the MDP.
+
+    ``platforms`` restricts platform/device selection actions (default: all
+    registered platforms).  The optimization, synthesis and mapping actions
+    are always included.
+    """
+    platforms = list(platforms) if platforms is not None else list_platforms()
+    actions: list[Action] = []
+
+    def add(name: str, kind: str, origin: str, payload: object) -> None:
+        actions.append(Action(len(actions), name, kind, origin, payload))
+
+    for platform in platforms:
+        add(f"select_platform_{platform}", ActionKind.PLATFORM, "repro", platform)
+    for platform in platforms:
+        for device in devices_for_platform(platform):
+            add(f"select_device_{device.name}", ActionKind.DEVICE, "repro", device.name)
+
+    add("synthesis_basis_translator", ActionKind.SYNTHESIS, "qiskit", _pass_applier(BasisTranslator()))
+
+    for layout_name, layout_cls in _LAYOUTS:
+        for router_name, router_cls in _ROUTERS:
+            add(
+                f"map_{layout_name}_layout_{router_name}_routing",
+                ActionKind.MAPPING,
+                "qiskit" if router_name != "tket" else "tket",
+                _mapping_applier(layout_cls, router_cls),
+            )
+
+    for pass_ in _OPTIMIZATION_PASSES:
+        add(f"optimize_{pass_.name}", ActionKind.OPTIMIZATION, pass_.origin, _pass_applier(pass_))
+
+    if include_terminate:
+        add(TERMINATE_ACTION_NAME, ActionKind.TERMINATE, "repro", None)
+    return actions

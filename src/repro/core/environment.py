@@ -1,0 +1,197 @@
+"""The compilation MDP as a reinforcement-learning environment.
+
+``CompilationEnv`` wires everything together: the action registry, the state
+machine of Fig. 2, the seven-feature observations, and the sparse reward
+(zero until the episode terminates in the "Done" state, then the value of
+the chosen optimization objective for the final circuit).
+
+The environment supports invalid-action masking: at every step only those
+actions that are meaningful in the current MDP state are exposed to the
+agent (platform selection only at the start, device selection only after a
+platform is chosen, synthesis/mapping only once a device is known, the
+terminate action only once the circuit is executable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..devices.library import get_device
+from ..features.extraction import FEATURE_NAMES, feature_vector
+from ..passes.base import PassContext
+from ..reward.functions import reward_function
+from ..rl.env import Env
+from ..rl.spaces import Box, Discrete
+from .actions import Action, ActionKind, build_action_registry
+from .state import CompilationState, CompilationStatus
+
+__all__ = ["CompilationEnv"]
+
+
+class CompilationEnv(Env):
+    """Gym-style environment for learning quantum compilation flows.
+
+    Args:
+        circuits: the training circuits; one is picked per episode
+            (round-robin under the episode counter, shuffled by the reset seed).
+        reward: ``"fidelity"``, ``"critical_depth"`` or ``"combination"``.
+        device_name: if given, the platform/device are fixed up front and the
+            corresponding selection actions are removed from the MDP, which is
+            how the paper's evaluation against a single target device works.
+        max_steps: episode truncation limit (no reward if exceeded).
+        seed: base RNG seed for stochastic passes.
+    """
+
+    def __init__(
+        self,
+        circuits: list[QuantumCircuit],
+        reward: str = "fidelity",
+        *,
+        device_name: str | None = None,
+        max_steps: int = 30,
+        seed: int = 0,
+    ):
+        if not circuits:
+            raise ValueError("CompilationEnv needs at least one training circuit")
+        self.circuits = list(circuits)
+        self.reward_name = reward
+        self._reward_fn = reward_function(reward)
+        self.fixed_device = get_device(device_name) if device_name else None
+        self.max_steps = max_steps
+        self.base_seed = seed
+
+        platforms = [self.fixed_device.platform] if self.fixed_device else None
+        self.actions: list[Action] = build_action_registry(platforms)
+        self.action_space = Discrete(len(self.actions))
+        self.observation_space = Box(0.0, 1.0, (len(FEATURE_NAMES),))
+
+        self._episode = 0
+        self._rng = np.random.default_rng(seed)
+        self._state: CompilationState | None = None
+        self._steps = 0
+
+    # -- gym API -------------------------------------------------------------------
+
+    def reset(self, *, seed: int | None = None) -> tuple[np.ndarray, dict]:
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+        circuit = self.circuits[self._episode % len(self.circuits)]
+        self._episode += 1
+        self._steps = 0
+        self._state = CompilationState(circuit.copy())
+        if self.fixed_device is not None:
+            self._state.platform = self.fixed_device.platform
+            self._state.device = self.fixed_device
+        info = {"circuit": circuit.name, "status": self._state.status.value}
+        return self._observation(), info
+
+    def step(self, action_index: int) -> tuple[np.ndarray, float, bool, bool, dict]:
+        if self._state is None:
+            raise RuntimeError("call reset() before step()")
+        if not 0 <= action_index < len(self.actions):
+            raise ValueError(f"action index {action_index} out of range")
+        action = self.actions[action_index]
+        state = self._state
+        mask = self.action_masks()
+        info: dict = {"action": action.name, "status": state.status.value}
+        self._steps += 1
+
+        if not mask[action_index]:
+            # Invalid action chosen (only possible without masking support):
+            # no state change, small negative reward to discourage it.
+            info["invalid"] = True
+            truncated = self._steps >= self.max_steps
+            return self._observation(), -0.01, False, truncated, info
+
+        terminated = False
+        reward = 0.0
+        if action.kind == ActionKind.TERMINATE:
+            terminated = True
+            reward = self._final_reward()
+            info["final_reward"] = reward
+        elif action.kind == ActionKind.PLATFORM:
+            state.platform = str(action.payload)
+        elif action.kind == ActionKind.DEVICE:
+            state.device = get_device(str(action.payload))
+        else:
+            context = PassContext(
+                device=state.device,
+                seed=int(self._rng.integers(0, 2**31 - 1)),
+            )
+            try:
+                state.circuit = action.payload(state.circuit, context)
+            except Exception as error:  # noqa: BLE001 - surfaced via info, episode continues
+                info["error"] = f"{type(error).__name__}: {error}"
+        state.applied_actions.append(action.name)
+
+        truncated = not terminated and self._steps >= self.max_steps
+        info["status"] = state.status.value
+        return self._observation(), reward, terminated, truncated, info
+
+    def action_masks(self) -> np.ndarray:
+        state = self._state
+        if state is None:
+            raise RuntimeError("call reset() before action_masks()")
+        status = state.status
+        mask = np.zeros(len(self.actions), dtype=bool)
+        for action in self.actions:
+            mask[action.index] = self._is_valid(action, state, status)
+        if not mask.any():
+            # Safety net: never present an empty action set.
+            mask[:] = True
+        return mask
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _is_valid(self, action: Action, state: CompilationState, status: CompilationStatus) -> bool:
+        if action.kind == ActionKind.PLATFORM:
+            if status != CompilationStatus.START:
+                return False
+            # Only offer platforms that have at least one large-enough device.
+            from ..devices.library import devices_for_platform
+
+            width = len(state.circuit.active_qubits() or {0})
+            return any(d.num_qubits >= width for d in devices_for_platform(str(action.payload)))
+        if action.kind == ActionKind.DEVICE:
+            if status != CompilationStatus.PLATFORM_CHOSEN:
+                return False
+            device = get_device(str(action.payload))
+            if device.platform != state.platform:
+                return False
+            return len(state.circuit.active_qubits() or {0}) <= device.num_qubits
+        if action.kind == ActionKind.SYNTHESIS:
+            return status in (CompilationStatus.DEVICE_CHOSEN, CompilationStatus.NATIVE_GATES)
+        if action.kind == ActionKind.MAPPING:
+            # Mapping needs native (<=2 qubit) gates, exactly as in Fig. 2.
+            return status == CompilationStatus.NATIVE_GATES
+        if action.kind == ActionKind.OPTIMIZATION:
+            return status != CompilationStatus.PLATFORM_CHOSEN
+        if action.kind == ActionKind.TERMINATE:
+            return status == CompilationStatus.DONE
+        return False
+
+    def _observation(self) -> np.ndarray:
+        assert self._state is not None
+        return feature_vector(self._state.circuit)
+
+    def _final_reward(self) -> float:
+        state = self._state
+        assert state is not None
+        if state.device is None or not state.is_done:
+            return 0.0
+        return float(self._reward_fn(state.circuit, state.device))
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def state(self) -> CompilationState:
+        if self._state is None:
+            raise RuntimeError("call reset() first")
+        return self._state
+
+    def action_by_name(self, name: str) -> Action:
+        for action in self.actions:
+            if action.name == name:
+                return action
+        raise KeyError(f"unknown action {name!r}")

@@ -1,0 +1,70 @@
+"""Compilation MDP state: circuit + platform/device choice + derived status.
+
+The MDP of the paper (Fig. 2) has five named states; which one the process
+is in can always be derived from what has been chosen so far and from two
+efficiently checkable constraints on the current circuit:
+
+1. *native gates*: the circuit only contains gates native to the platform;
+2. *mapping*: every two-qubit gate respects the device's coupling map.
+
+``CompilationStatus`` enumerates the states; :class:`CompilationState`
+bundles the circuit with the choices and computes the status.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..circuit.circuit import QuantumCircuit
+from ..devices.device import Device
+
+__all__ = ["CompilationStatus", "CompilationState"]
+
+
+class CompilationStatus(Enum):
+    """The five states of the compilation MDP (Fig. 2 of the paper)."""
+
+    START = "start"
+    PLATFORM_CHOSEN = "platform_chosen"
+    DEVICE_CHOSEN = "device_chosen"
+    NATIVE_GATES = "only_native_gates"
+    DONE = "done"
+
+
+@dataclass
+class CompilationState:
+    """Mutable state carried through one compilation episode."""
+
+    circuit: QuantumCircuit
+    platform: str | None = None
+    device: Device | None = None
+    applied_actions: list[str] = field(default_factory=list)
+
+    @property
+    def status(self) -> CompilationStatus:
+        if self.platform is None:
+            return CompilationStatus.START
+        if self.device is None:
+            return CompilationStatus.PLATFORM_CHOSEN
+        native = self.device.gates_native(self.circuit)
+        mapped = self.device.mapping_satisfied(self.circuit)
+        if native and mapped:
+            return CompilationStatus.DONE
+        if native:
+            return CompilationStatus.NATIVE_GATES
+        return CompilationStatus.DEVICE_CHOSEN
+
+    @property
+    def is_done(self) -> bool:
+        return self.status == CompilationStatus.DONE
+
+    def describe(self) -> str:
+        """Human-readable one-line summary of the state."""
+        parts = [f"status={self.status.value}"]
+        if self.platform:
+            parts.append(f"platform={self.platform}")
+        if self.device:
+            parts.append(f"device={self.device.name}")
+        parts.append(self.circuit.summary())
+        return ", ".join(parts)

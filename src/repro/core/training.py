@@ -1,0 +1,66 @@
+"""Training helpers: reproduce the paper's three-model training setup.
+
+The paper trains one model per reward function (expected fidelity, critical
+depth, combination) on 200 MQT-Bench circuits with 2-20 qubits for 100 000
+PPO timesteps each.  :func:`train_all_models` reproduces that setup with
+configurable budgets so the full pipeline also runs at laptop/test scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..circuit.circuit import QuantumCircuit
+from ..reward.functions import REWARD_FUNCTIONS
+from ..rl.ppo import PPOConfig
+from .predictor import Predictor
+
+__all__ = ["TrainingConfig", "train_all_models", "train_model"]
+
+
+@dataclass
+class TrainingConfig:
+    """Budget and environment settings for model training."""
+
+    total_timesteps: int = 100_000
+    max_steps: int = 30
+    seed: int = 0
+    device_name: str | None = None
+    ppo: PPOConfig = field(default_factory=lambda: PPOConfig(n_steps=128, batch_size=64, n_epochs=6))
+
+
+def train_model(
+    reward: str,
+    circuits: list[QuantumCircuit],
+    config: TrainingConfig | None = None,
+) -> Predictor:
+    """Train a single Predictor for the given reward function."""
+    config = config or TrainingConfig()
+    predictor = Predictor(
+        reward=reward,
+        device_name=config.device_name,
+        max_steps=config.max_steps,
+        ppo_config=config.ppo,
+        seed=config.seed,
+    )
+    predictor.train(circuits, total_timesteps=config.total_timesteps)
+    return predictor
+
+
+def train_all_models(
+    circuits: list[QuantumCircuit],
+    config: TrainingConfig | None = None,
+    save_dir: str | Path | None = None,
+) -> dict[str, Predictor]:
+    """Train one model per reward function (fidelity, critical depth, combination)."""
+    config = config or TrainingConfig()
+    models: dict[str, Predictor] = {}
+    for reward in REWARD_FUNCTIONS:
+        predictor = train_model(reward, circuits, config)
+        models[reward] = predictor
+        if save_dir is not None:
+            directory = Path(save_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            predictor.save(directory / f"model_{reward}.json")
+    return models

@@ -1,0 +1,48 @@
+"""Target device models: native gate sets, coupling maps, calibration data."""
+
+from .device import Calibration, CouplingMap, Device, NativeGateSet
+from .library import (
+    IBM_GATE_SET,
+    IONQ_GATE_SET,
+    OQC_GATE_SET,
+    RIGETTI_GATE_SET,
+    devices_for_platform,
+    get_device,
+    list_devices,
+    list_platforms,
+    platform_gate_set,
+)
+from .topologies import (
+    all_to_all_map,
+    aspen_map,
+    grid_map,
+    heavy_hex_map,
+    ibm_eagle_127_map,
+    ibm_falcon_27_map,
+    line_map,
+    ring_map,
+)
+
+__all__ = [
+    "Calibration",
+    "CouplingMap",
+    "Device",
+    "NativeGateSet",
+    "get_device",
+    "list_devices",
+    "list_platforms",
+    "devices_for_platform",
+    "platform_gate_set",
+    "IBM_GATE_SET",
+    "RIGETTI_GATE_SET",
+    "IONQ_GATE_SET",
+    "OQC_GATE_SET",
+    "line_map",
+    "ring_map",
+    "grid_map",
+    "all_to_all_map",
+    "heavy_hex_map",
+    "ibm_falcon_27_map",
+    "ibm_eagle_127_map",
+    "aspen_map",
+]

@@ -1,0 +1,186 @@
+"""Concrete device definitions and the device registry.
+
+These mirror the devices used in the paper's feasibility study:
+
+* IBM (superconducting): ``ibmq_montreal`` (27 qubits) and
+  ``ibmq_washington`` (127 qubits)
+* Rigetti (superconducting): ``rigetti_aspen_m2`` (80 qubits)
+* IonQ (trapped ions): ``ionq_harmony`` (11 qubits)
+* OQC (superconducting): ``oqc_lucy`` (8 qubits)
+
+Topologies follow the published connectivity style and calibration data is
+synthetic but deterministic, with error magnitudes chosen to match typical
+published values for each platform (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .device import Calibration, Device, NativeGateSet
+from .topologies import (
+    all_to_all_map,
+    aspen_map,
+    ibm_eagle_127_map,
+    ibm_falcon_27_map,
+    ring_map,
+)
+
+__all__ = [
+    "get_device",
+    "list_devices",
+    "list_platforms",
+    "devices_for_platform",
+    "IBM_GATE_SET",
+    "RIGETTI_GATE_SET",
+    "IONQ_GATE_SET",
+    "OQC_GATE_SET",
+]
+
+IBM_GATE_SET = NativeGateSet(("rz", "sx", "x"), ("cx",), basis_1q="rz_sx")
+RIGETTI_GATE_SET = NativeGateSet(("rx", "rz"), ("cz",), basis_1q="rz_rx")
+IONQ_GATE_SET = NativeGateSet(("rx", "ry", "rz"), ("rxx",), basis_1q="rz_ry")
+OQC_GATE_SET = NativeGateSet(("rz", "sx", "x"), ("ecr",), basis_1q="rz_sx")
+
+_PLATFORM_GATE_SETS = {
+    "ibm": IBM_GATE_SET,
+    "rigetti": RIGETTI_GATE_SET,
+    "ionq": IONQ_GATE_SET,
+    "oqc": OQC_GATE_SET,
+}
+
+
+@lru_cache(maxsize=None)
+def _build_devices() -> dict[str, Device]:
+    devices: dict[str, Device] = {}
+
+    montreal_map = ibm_falcon_27_map()
+    devices["ibmq_montreal"] = Device(
+        name="ibmq_montreal",
+        platform="ibm",
+        num_qubits=montreal_map.num_qubits,
+        gate_set=IBM_GATE_SET,
+        coupling_map=montreal_map,
+        calibration=Calibration.synthetic(
+            montreal_map,
+            seed=2701,
+            single_qubit_error=3e-4,
+            two_qubit_error=9e-3,
+            readout_error=2e-2,
+            t1_us=120.0,
+            t2_us=100.0,
+        ),
+        description="27-qubit IBM Falcon heavy-hex device",
+    )
+
+    washington_map = ibm_eagle_127_map()
+    devices["ibmq_washington"] = Device(
+        name="ibmq_washington",
+        platform="ibm",
+        num_qubits=washington_map.num_qubits,
+        gate_set=IBM_GATE_SET,
+        coupling_map=washington_map,
+        calibration=Calibration.synthetic(
+            washington_map,
+            seed=1271,
+            single_qubit_error=4e-4,
+            two_qubit_error=1.2e-2,
+            readout_error=2.5e-2,
+            t1_us=100.0,
+            t2_us=95.0,
+        ),
+        description="127-qubit IBM Eagle heavy-hex device",
+    )
+
+    aspen = aspen_map(5, 2)
+    devices["rigetti_aspen_m2"] = Device(
+        name="rigetti_aspen_m2",
+        platform="rigetti",
+        num_qubits=aspen.num_qubits,
+        gate_set=RIGETTI_GATE_SET,
+        coupling_map=aspen,
+        calibration=Calibration.synthetic(
+            aspen,
+            seed=802,
+            single_qubit_error=1.5e-3,
+            two_qubit_error=2.5e-2,
+            readout_error=4e-2,
+            t1_us=30.0,
+            t2_us=25.0,
+        ),
+        description="80-qubit Rigetti Aspen-M-2 octagonal lattice",
+    )
+
+    harmony = all_to_all_map(11)
+    devices["ionq_harmony"] = Device(
+        name="ionq_harmony",
+        platform="ionq",
+        num_qubits=harmony.num_qubits,
+        gate_set=IONQ_GATE_SET,
+        coupling_map=harmony,
+        calibration=Calibration.synthetic(
+            harmony,
+            seed=111,
+            single_qubit_error=4e-4,
+            two_qubit_error=6e-3,
+            readout_error=5e-3,
+            t1_us=10_000.0,
+            t2_us=1_000.0,
+        ),
+        description="11-qubit IonQ Harmony trapped-ion device (all-to-all)",
+    )
+
+    lucy = ring_map(8)
+    devices["oqc_lucy"] = Device(
+        name="oqc_lucy",
+        platform="oqc",
+        num_qubits=lucy.num_qubits,
+        gate_set=OQC_GATE_SET,
+        coupling_map=lucy,
+        calibration=Calibration.synthetic(
+            lucy,
+            seed=88,
+            single_qubit_error=6e-4,
+            two_qubit_error=1.8e-2,
+            readout_error=3.5e-2,
+            t1_us=40.0,
+            t2_us=35.0,
+        ),
+        description="8-qubit OQC Lucy ring device",
+    )
+    return devices
+
+
+def get_device(name: str) -> Device:
+    """Look up a device by name (raises ``KeyError`` for unknown names)."""
+    devices = _build_devices()
+    if name not in devices:
+        raise KeyError(
+            f"unknown device {name!r}; available: {', '.join(sorted(devices))}"
+        )
+    return devices[name]
+
+
+def list_devices() -> list[str]:
+    """Names of all registered devices."""
+    return sorted(_build_devices())
+
+
+def list_platforms() -> list[str]:
+    """Names of all platforms with at least one registered device."""
+    return sorted({d.platform for d in _build_devices().values()})
+
+
+def devices_for_platform(platform: str) -> list[Device]:
+    """All devices belonging to ``platform``."""
+    matches = [d for d in _build_devices().values() if d.platform == platform]
+    if not matches:
+        raise KeyError(f"unknown platform {platform!r}")
+    return sorted(matches, key=lambda d: d.name)
+
+
+def platform_gate_set(platform: str) -> NativeGateSet:
+    """The native gate set associated with ``platform``."""
+    if platform not in _PLATFORM_GATE_SETS:
+        raise KeyError(f"unknown platform {platform!r}")
+    return _PLATFORM_GATE_SETS[platform]

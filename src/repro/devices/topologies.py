@@ -1,0 +1,156 @@
+"""Coupling-map topology generators.
+
+The concrete device definitions in :mod:`repro.devices.library` are built
+from these generators.  The IBM heavy-hex and Rigetti Aspen lattices are
+generated programmatically to match the published qubit counts and
+connectivity style (see DESIGN.md for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+from .device import CouplingMap
+
+__all__ = [
+    "line_map",
+    "ring_map",
+    "grid_map",
+    "all_to_all_map",
+    "heavy_hex_map",
+    "ibm_falcon_27_map",
+    "ibm_eagle_127_map",
+    "aspen_map",
+]
+
+
+def line_map(num_qubits: int) -> CouplingMap:
+    """Qubits on a line: i -- i+1."""
+    return CouplingMap(num_qubits, [(i, i + 1) for i in range(num_qubits - 1)])
+
+
+def ring_map(num_qubits: int) -> CouplingMap:
+    """Qubits on a ring."""
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    if num_qubits <= 2:
+        edges = [(0, 1)] if num_qubits == 2 else []
+    return CouplingMap(num_qubits, edges)
+
+
+def grid_map(rows: int, cols: int) -> CouplingMap:
+    """Rectangular grid of rows x cols qubits."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                edges.append((q, q + 1))
+            if r + 1 < rows:
+                edges.append((q, q + cols))
+    return CouplingMap(rows * cols, edges)
+
+
+def all_to_all_map(num_qubits: int) -> CouplingMap:
+    """Fully connected topology (trapped-ion style)."""
+    return CouplingMap.all_to_all(num_qubits)
+
+
+def ibm_falcon_27_map() -> CouplingMap:
+    """27-qubit heavy-hex lattice in the style of IBM Falcon (ibmq_montreal)."""
+    edges = [
+        (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7),
+        (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
+        (13, 14), (14, 16), (15, 18), (16, 19), (17, 18), (18, 21), (19, 20),
+        (19, 22), (21, 23), (22, 25), (23, 24), (24, 25), (25, 26),
+    ]
+    return CouplingMap(27, edges)
+
+
+def heavy_hex_map(num_long_rows: int, row_length: int) -> CouplingMap:
+    """Generic heavy-hex lattice: long rows of qubits joined by bridge qubits.
+
+    Long rows are chains of ``row_length`` qubits; between consecutive long
+    rows sits a sparse row of bridge qubits, each connecting one qubit of the
+    upper row to the qubit directly below it in the lower row.  Bridge
+    columns alternate (0, 4, 8, ... / 2, 6, 10, ...) between gaps, which is
+    the pattern of IBM's heavy-hex devices.
+    """
+    edges: list[tuple[int, int]] = []
+    row_start: list[int] = []
+    next_index = 0
+    # allocate long rows
+    for _ in range(num_long_rows):
+        row_start.append(next_index)
+        next_index += row_length
+    bridge_start: list[int] = []
+    bridge_columns: list[list[int]] = []
+    for gap in range(num_long_rows - 1):
+        offset = 0 if gap % 2 == 0 else 2
+        columns = list(range(offset, row_length, 4))
+        bridge_columns.append(columns)
+        bridge_start.append(next_index)
+        next_index += len(columns)
+
+    cmap = CouplingMap(next_index)
+    for r in range(num_long_rows):
+        base = row_start[r]
+        for c in range(row_length - 1):
+            cmap.add_edge(base + c, base + c + 1)
+    for gap in range(num_long_rows - 1):
+        upper = row_start[gap]
+        lower = row_start[gap + 1]
+        for i, col in enumerate(bridge_columns[gap]):
+            bridge = bridge_start[gap] + i
+            cmap.add_edge(upper + col, bridge)
+            cmap.add_edge(bridge, lower + col)
+    _ = edges
+    return cmap
+
+
+def ibm_eagle_127_map() -> CouplingMap:
+    """127-qubit heavy-hex lattice in the style of IBM Eagle (ibm_washington).
+
+    Seven long rows of 15 qubits plus six bridge rows of 4 qubits each gives
+    ``7 * 15 + 6 * 4 = 129``; the corner qubits of the first and last row are
+    trimmed to land on the published 127-qubit count.
+    """
+    base = heavy_hex_map(7, 15)
+    # Trim two corner qubits (first of row 0, last of row 6) by rebuilding the
+    # map without them and compacting indices.
+    removed = {0, 6 * 15 + 14}
+    keep = [q for q in range(base.num_qubits) if q not in removed]
+    relabel = {old: new for new, old in enumerate(keep)}
+    trimmed = CouplingMap(len(keep))
+    for a, b in base.edges:
+        if a in removed or b in removed:
+            continue
+        trimmed.add_edge(relabel[a], relabel[b])
+    return trimmed
+
+
+def aspen_map(num_octagons_per_row: int = 5, num_rows: int = 2) -> CouplingMap:
+    """Rigetti Aspen-style lattice of connected octagonal rings.
+
+    Each octagon is an 8-qubit ring; octagons in the same row share two
+    horizontal edges with their right neighbour, and octagons in adjacent
+    rows share two vertical edges.  With 5 octagons per row and 2 rows this
+    yields the 80-qubit Aspen-M-2 footprint.
+    """
+    num_qubits = 8 * num_octagons_per_row * num_rows
+    cmap = CouplingMap(num_qubits)
+
+    def octagon_base(row: int, col: int) -> int:
+        return (row * num_octagons_per_row + col) * 8
+
+    for row in range(num_rows):
+        for col in range(num_octagons_per_row):
+            base = octagon_base(row, col)
+            for k in range(8):
+                cmap.add_edge(base + k, base + (k + 1) % 8)
+            if col + 1 < num_octagons_per_row:
+                right = octagon_base(row, col + 1)
+                cmap.add_edge(base + 1, right + 6)
+                cmap.add_edge(base + 2, right + 5)
+            if row + 1 < num_rows:
+                below = octagon_base(row + 1, col)
+                cmap.add_edge(base + 3, below + 0)
+                cmap.add_edge(base + 4, below + 7)
+    return cmap

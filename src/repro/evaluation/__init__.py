@@ -1,0 +1,40 @@
+"""Evaluation harness: RL-vs-baseline comparisons, Fig. 3 data, Table I data."""
+
+from .comparison import ComparisonRecord, ComparisonSummary, compare_predictor, summarize
+from .experiment import (
+    ExperimentConfig,
+    ExperimentResults,
+    build_suite,
+    default_config_from_env,
+    run_experiment,
+)
+from .figures import (
+    HistogramData,
+    PerBenchmarkData,
+    format_histogram,
+    format_per_benchmark,
+    per_benchmark_differences,
+    reward_difference_histogram,
+)
+from .tables import CrossModelTable, cross_model_rewards, format_table1
+
+__all__ = [
+    "ComparisonRecord",
+    "ComparisonSummary",
+    "compare_predictor",
+    "summarize",
+    "HistogramData",
+    "PerBenchmarkData",
+    "reward_difference_histogram",
+    "per_benchmark_differences",
+    "format_histogram",
+    "format_per_benchmark",
+    "CrossModelTable",
+    "cross_model_rewards",
+    "format_table1",
+    "ExperimentConfig",
+    "ExperimentResults",
+    "run_experiment",
+    "default_config_from_env",
+    "build_suite",
+]

@@ -1,0 +1,127 @@
+"""Comparison of the RL compiler against the Qiskit/TKET-style baselines.
+
+This implements the core of the paper's evaluation protocol (Section IV-B):
+every benchmark circuit is compiled once with the trained RL model and once
+with each baseline at its highest optimization level (Qiskit O3, TKET O2,
+both targeting ``ibmq_washington``), and all three results are scored with
+the same reward function.  The absolute difference "RL minus baseline" is
+what Figs. 3a-f plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..compilers.presets import compile_qiskit_style, compile_tket_style
+from ..core.predictor import Predictor
+from ..devices.library import get_device
+from ..reward.functions import reward_function
+
+__all__ = ["ComparisonRecord", "ComparisonSummary", "compare_predictor", "summarize"]
+
+
+@dataclass
+class ComparisonRecord:
+    """Reward values for one circuit under the RL model and both baselines."""
+
+    circuit_name: str
+    benchmark: str
+    num_qubits: int
+    metric: str
+    rl_reward: float
+    qiskit_reward: float
+    tket_reward: float
+    rl_device: str | None = None
+
+    @property
+    def diff_vs_qiskit(self) -> float:
+        return self.rl_reward - self.qiskit_reward
+
+    @property
+    def diff_vs_tket(self) -> float:
+        return self.rl_reward - self.tket_reward
+
+
+@dataclass
+class ComparisonSummary:
+    """Aggregate statistics over a list of comparison records."""
+
+    metric: str
+    num_circuits: int
+    fraction_better_or_equal_qiskit: float
+    fraction_better_or_equal_tket: float
+    mean_diff_qiskit: float
+    mean_diff_tket: float
+    records: list[ComparisonRecord] = field(default_factory=list)
+
+    def format_table(self) -> str:
+        lines = [
+            f"Metric: {self.metric} ({self.num_circuits} circuits)",
+            f"  outperforms or matches Qiskit-O3 in {100 * self.fraction_better_or_equal_qiskit:.1f}% of cases",
+            f"  outperforms or matches TKET-O2   in {100 * self.fraction_better_or_equal_tket:.1f}% of cases",
+            f"  mean reward difference vs Qiskit-O3: {self.mean_diff_qiskit:+.4f}",
+            f"  mean reward difference vs TKET-O2:   {self.mean_diff_tket:+.4f}",
+        ]
+        return "\n".join(lines)
+
+
+def compare_predictor(
+    predictor: Predictor,
+    circuits: list[QuantumCircuit],
+    *,
+    baseline_device: str = "ibmq_washington",
+    metric: str | None = None,
+    seed: int = 0,
+) -> list[ComparisonRecord]:
+    """Compile every circuit with the RL model and both baselines; score all three.
+
+    The RL model is free to select its own target device (as in the paper);
+    the baselines always target ``baseline_device``.  All results are scored
+    with ``metric`` (default: the predictor's own reward function) on the
+    device each compiled circuit actually targets.
+    """
+    metric_name = metric or predictor.reward_name
+    metric_fn = reward_function(metric_name)
+    device = get_device(baseline_device)
+    records: list[ComparisonRecord] = []
+    for circuit in circuits:
+        result = predictor.compile(circuit)
+        if result.device is not None and result.reached_done:
+            rl_reward = float(metric_fn(result.circuit, result.device))
+        else:
+            rl_reward = 0.0
+        qiskit = compile_qiskit_style(circuit, device, optimization_level=3, seed=seed)
+        tket = compile_tket_style(circuit, device, optimization_level=2, seed=seed)
+        records.append(
+            ComparisonRecord(
+                circuit_name=circuit.name,
+                benchmark=str(circuit.metadata.get("benchmark", circuit.name.rsplit("_", 1)[0])),
+                num_qubits=len(circuit.active_qubits() or {0}),
+                metric=metric_name,
+                rl_reward=rl_reward,
+                qiskit_reward=float(metric_fn(qiskit.circuit, device)),
+                tket_reward=float(metric_fn(tket.circuit, device)),
+                rl_device=result.device.name if result.device else None,
+            )
+        )
+    return records
+
+
+def summarize(records: list[ComparisonRecord]) -> ComparisonSummary:
+    """Aggregate a record list into the headline percentages of the paper."""
+    if not records:
+        raise ValueError("cannot summarise an empty record list")
+    diffs_qiskit = np.array([r.diff_vs_qiskit for r in records])
+    diffs_tket = np.array([r.diff_vs_tket for r in records])
+    return ComparisonSummary(
+        metric=records[0].metric,
+        num_circuits=len(records),
+        fraction_better_or_equal_qiskit=float(np.mean(diffs_qiskit >= -1e-9)),
+        fraction_better_or_equal_tket=float(np.mean(diffs_tket >= -1e-9)),
+        mean_diff_qiskit=float(diffs_qiskit.mean()),
+        mean_diff_tket=float(diffs_tket.mean()),
+        records=list(records),
+    )

@@ -1,0 +1,115 @@
+"""Data generation for the paper's Fig. 3 (histograms and per-benchmark bars).
+
+Figures 3a-c show histograms of the absolute reward difference between the
+RL compiler and each baseline; Figures 3d-f show the mean difference per
+benchmark family.  The functions here turn comparison records into exactly
+those series and render them as text (the repository is plot-library free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .comparison import ComparisonRecord
+
+__all__ = [
+    "HistogramData",
+    "PerBenchmarkData",
+    "reward_difference_histogram",
+    "per_benchmark_differences",
+    "format_histogram",
+    "format_per_benchmark",
+]
+
+
+@dataclass
+class HistogramData:
+    """Relative-frequency histogram of reward differences (one Fig. 3a-c panel)."""
+
+    metric: str
+    bin_edges: np.ndarray
+    qiskit_frequencies: np.ndarray
+    tket_frequencies: np.ndarray
+
+    @property
+    def bin_centers(self) -> np.ndarray:
+        return 0.5 * (self.bin_edges[:-1] + self.bin_edges[1:])
+
+
+@dataclass
+class PerBenchmarkData:
+    """Mean reward difference per benchmark family (one Fig. 3d-f panel)."""
+
+    metric: str
+    benchmarks: list[str]
+    mean_diff_qiskit: np.ndarray
+    mean_diff_tket: np.ndarray
+
+
+def reward_difference_histogram(
+    records: list[ComparisonRecord], *, bins: int = 21, value_range: float | None = None
+) -> HistogramData:
+    """Histogram of RL-minus-baseline reward differences (Figs. 3a-c)."""
+    diffs_qiskit = np.array([r.diff_vs_qiskit for r in records])
+    diffs_tket = np.array([r.diff_vs_tket for r in records])
+    if value_range is None:
+        value_range = float(
+            max(0.1, np.max(np.abs(np.concatenate([diffs_qiskit, diffs_tket]))) * 1.05)
+        )
+    edges = np.linspace(-value_range, value_range, bins + 1)
+    qiskit_counts, _ = np.histogram(diffs_qiskit, bins=edges)
+    tket_counts, _ = np.histogram(diffs_tket, bins=edges)
+    total = max(1, len(records))
+    return HistogramData(
+        metric=records[0].metric if records else "",
+        bin_edges=edges,
+        qiskit_frequencies=qiskit_counts / total,
+        tket_frequencies=tket_counts / total,
+    )
+
+
+def per_benchmark_differences(records: list[ComparisonRecord]) -> PerBenchmarkData:
+    """Mean reward difference per benchmark family (Figs. 3d-f)."""
+    benchmarks = sorted({r.benchmark for r in records})
+    mean_qiskit = []
+    mean_tket = []
+    for benchmark in benchmarks:
+        subset = [r for r in records if r.benchmark == benchmark]
+        mean_qiskit.append(float(np.mean([r.diff_vs_qiskit for r in subset])))
+        mean_tket.append(float(np.mean([r.diff_vs_tket for r in subset])))
+    return PerBenchmarkData(
+        metric=records[0].metric if records else "",
+        benchmarks=benchmarks,
+        mean_diff_qiskit=np.array(mean_qiskit),
+        mean_diff_tket=np.array(mean_tket),
+    )
+
+
+def format_histogram(data: HistogramData, *, width: int = 40) -> str:
+    """Render a histogram as aligned text rows (paper Fig. 3a-c style)."""
+    lines = [f"Reward-difference histogram ({data.metric}): RL minus baseline"]
+    peak = max(float(data.qiskit_frequencies.max()), float(data.tket_frequencies.max()), 1e-9)
+    for center, q_freq, t_freq in zip(
+        data.bin_centers, data.qiskit_frequencies, data.tket_frequencies
+    ):
+        q_bar = "#" * int(round(width * q_freq / peak))
+        t_bar = "*" * int(round(width * t_freq / peak))
+        lines.append(f"{center:+7.3f} | qiskit {q_freq:5.3f} {q_bar:<{width}} | tket {t_freq:5.3f} {t_bar}")
+    return "\n".join(lines)
+
+
+def format_per_benchmark(data: PerBenchmarkData) -> str:
+    """Render the per-benchmark mean differences as a table (Fig. 3d-f style)."""
+    lines = [
+        f"Mean reward difference per benchmark ({data.metric}): RL minus baseline",
+        f"{'benchmark':<18} {'vs Qiskit-O3':>14} {'vs TKET-O2':>14}",
+    ]
+    for name, dq, dt in zip(data.benchmarks, data.mean_diff_qiskit, data.mean_diff_tket):
+        lines.append(f"{name:<18} {dq:>+14.4f} {dt:>+14.4f}")
+    lines.append(
+        f"{'average':<18} {float(data.mean_diff_qiskit.mean()):>+14.4f} "
+        f"{float(data.mean_diff_tket.mean()):>+14.4f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Data generation for the paper's Table I (cross-model reward matrix).
+
+Table I evaluates each of the three trained models (one per reward function)
+under *all three* reward functions, confirming that the model trained for a
+metric achieves the best average value of that metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..core.predictor import Predictor
+from ..reward.functions import REWARD_FUNCTIONS, reward_function
+
+__all__ = ["CrossModelTable", "cross_model_rewards", "format_table1"]
+
+
+@dataclass
+class CrossModelTable:
+    """Average reward of each trained model under each evaluation metric."""
+
+    #: row order (models, by the metric they were trained for)
+    trained_for: list[str]
+    #: column order (evaluation metrics)
+    evaluated_on: list[str]
+    #: values[i][j] = average reward of model trained_for[i] under evaluated_on[j]
+    values: np.ndarray
+
+    def value(self, trained: str, evaluated: str) -> float:
+        return float(
+            self.values[self.trained_for.index(trained), self.evaluated_on.index(evaluated)]
+        )
+
+    def diagonal_is_best(self) -> bool:
+        """The paper's claim: each metric is maximised by the model trained for it."""
+        for j, _metric in enumerate(self.evaluated_on):
+            column = self.values[:, j]
+            if int(np.argmax(column)) != j:
+                return False
+        return True
+
+
+def cross_model_rewards(
+    models: dict[str, Predictor], circuits: list[QuantumCircuit]
+) -> CrossModelTable:
+    """Compute the Table I matrix for trained ``models`` over ``circuits``."""
+    metric_names = [m for m in REWARD_FUNCTIONS if m in models]
+    values = np.zeros((len(metric_names), len(metric_names)))
+    for i, trained_metric in enumerate(metric_names):
+        predictor = models[trained_metric]
+        results = [predictor.compile(circuit) for circuit in circuits]
+        for j, eval_metric in enumerate(metric_names):
+            metric_fn = reward_function(eval_metric)
+            rewards = []
+            for result in results:
+                if result.device is None or not result.reached_done:
+                    rewards.append(0.0)
+                else:
+                    rewards.append(float(metric_fn(result.circuit, result.device)))
+            values[i, j] = float(np.mean(rewards))
+    return CrossModelTable(metric_names, list(metric_names), values)
+
+
+def format_table1(table: CrossModelTable) -> str:
+    """Render the cross-model matrix in the layout of the paper's Table I."""
+    header = f"{'Model trained for...':<22}" + "".join(
+        f"{name:>16}" for name in table.evaluated_on
+    )
+    lines = ["Average result for...", header]
+    for i, trained in enumerate(table.trained_for):
+        row = f"{trained:<22}" + "".join(f"{table.values[i, j]:>16.3f}" for j in range(len(table.evaluated_on)))
+        lines.append(row)
+    lines.append(
+        "diagonal dominant: " + ("yes" if table.diagonal_is_best() else "no")
+    )
+    return "\n".join(lines)

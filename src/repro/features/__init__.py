@@ -1,0 +1,23 @@
+"""Circuit feature extraction (observations for the RL agent)."""
+
+from .extraction import FEATURE_NAMES, feature_dict, feature_vector
+from .supermarq import (
+    critical_depth,
+    entanglement_ratio,
+    liveness,
+    parallelism,
+    program_communication,
+    supermarq_features,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "feature_dict",
+    "feature_vector",
+    "program_communication",
+    "critical_depth",
+    "entanglement_ratio",
+    "parallelism",
+    "liveness",
+    "supermarq_features",
+]

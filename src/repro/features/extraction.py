@@ -1,0 +1,56 @@
+"""Observation-feature extraction for the RL agent.
+
+The observation vector is the seven features named in the paper: the number
+of qubits, the circuit depth, and the five SupermarQ composite features.
+All entries are normalised to [0, 1] so that they can be fed directly to the
+policy network.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from .supermarq import supermarq_features
+
+__all__ = ["FEATURE_NAMES", "feature_vector", "feature_dict"]
+
+FEATURE_NAMES = (
+    "num_qubits",
+    "depth",
+    "program_communication",
+    "critical_depth",
+    "entanglement_ratio",
+    "parallelism",
+    "liveness",
+)
+
+#: normalisation constants: qubit counts and depths are mapped through a
+#: log-scale squash so that both small benchmark circuits and large mapped
+#: circuits produce informative (non-saturated) values.
+_MAX_QUBITS = 130.0
+_DEPTH_SCALE = 10_000.0
+
+
+def _squash_depth(depth: int) -> float:
+    if depth <= 0:
+        return 0.0
+    return min(1.0, math.log1p(depth) / math.log1p(_DEPTH_SCALE))
+
+
+def feature_dict(circuit: QuantumCircuit) -> dict[str, float]:
+    """Named, normalised observation features of a circuit."""
+    features = {
+        "num_qubits": min(1.0, len(circuit.active_qubits() or {0}) / _MAX_QUBITS),
+        "depth": _squash_depth(circuit.depth()),
+    }
+    features.update(supermarq_features(circuit))
+    return features
+
+
+def feature_vector(circuit: QuantumCircuit) -> np.ndarray:
+    """Observation vector in the order of :data:`FEATURE_NAMES`."""
+    features = feature_dict(circuit)
+    return np.array([features[name] for name in FEATURE_NAMES], dtype=np.float64)

@@ -1,0 +1,115 @@
+"""SupermarQ circuit features (Tomesh et al., 2022).
+
+The five composite features — program communication, critical depth,
+entanglement ratio, parallelism and liveness — summarise the structure of a
+quantum circuit in device-independent, [0, 1]-normalised terms.  Together
+with the qubit count and circuit depth they form the seven observation
+features used by the RL agent (Section IV-A of the paper).
+"""
+
+from __future__ import annotations
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.dag import DAGCircuit
+
+__all__ = [
+    "program_communication",
+    "critical_depth",
+    "entanglement_ratio",
+    "parallelism",
+    "liveness",
+    "supermarq_features",
+]
+
+
+def _unitary_gates(circuit: QuantumCircuit):
+    return [
+        instr
+        for instr in circuit
+        if instr.name != "barrier" and instr.gate.is_unitary
+    ]
+
+
+def program_communication(circuit: QuantumCircuit) -> float:
+    """Normalised average degree of the qubit interaction graph."""
+    n = circuit.num_qubits
+    if n <= 1:
+        return 0.0
+    degree: dict[int, set[int]] = {q: set() for q in range(n)}
+    for a, b in circuit.two_qubit_interactions():
+        degree[a].add(b)
+        degree[b].add(a)
+    total_degree = sum(len(neighbors) for neighbors in degree.values())
+    return total_degree / (n * (n - 1))
+
+
+def critical_depth(circuit: QuantumCircuit) -> float:
+    """Fraction of two-qubit gates lying on the longest dependency path."""
+    total_2q = circuit.num_two_qubit_gates()
+    if total_2q == 0:
+        return 0.0
+    dag = DAGCircuit.from_circuit(circuit)
+    on_path = dag.two_qubit_gates_on_longest_path()
+    return min(1.0, on_path / total_2q)
+
+
+def entanglement_ratio(circuit: QuantumCircuit) -> float:
+    """Fraction of gates that act on two or more qubits."""
+    gates = _unitary_gates(circuit)
+    if not gates:
+        return 0.0
+    multi = sum(1 for instr in gates if len(instr.qubits) >= 2)
+    return multi / len(gates)
+
+
+def parallelism(circuit: QuantumCircuit) -> float:
+    """How much the circuit exploits simultaneous gate execution.
+
+    Defined as ``((#gates / depth) - 1) / (#qubits - 1)``; 0 for fully
+    sequential circuits, 1 when every layer is maximally packed.
+    """
+    n = circuit.num_qubits
+    depth = circuit.depth()
+    gates = _unitary_gates(circuit)
+    if n <= 1 or depth == 0 or not gates:
+        return 0.0
+    value = (len(gates) / depth - 1.0) / (n - 1)
+    return max(0.0, min(1.0, value))
+
+
+def liveness(circuit: QuantumCircuit) -> float:
+    """Average fraction of the circuit's duration during which qubits are "live".
+
+    A qubit is live between its first and last operation; the feature is the
+    sum of live durations divided by ``#qubits * depth``.
+    """
+    n = circuit.num_qubits
+    if n == 0:
+        return 0.0
+    levels = [0] * n
+    first: dict[int, int] = {}
+    last: dict[int, int] = {}
+    for instr in circuit:
+        if instr.name == "barrier":
+            continue
+        new_level = max((levels[q] for q in instr.qubits), default=0) + 1
+        for q in instr.qubits:
+            levels[q] = new_level
+            first.setdefault(q, new_level - 1)
+            last[q] = new_level
+    depth = max(levels, default=0)
+    if depth == 0:
+        return 0.0
+    live = sum(last[q] - first[q] for q in first)
+    return max(0.0, min(1.0, live / (n * depth)))
+
+
+def supermarq_features(circuit: QuantumCircuit) -> dict[str, float]:
+    """All five SupermarQ features as a dictionary."""
+    return {
+        "program_communication": program_communication(circuit),
+        "critical_depth": critical_depth(circuit),
+        "entanglement_ratio": entanglement_ratio(circuit),
+        "parallelism": parallelism(circuit),
+        "liveness": liveness(circuit),
+    }

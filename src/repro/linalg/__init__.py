@@ -1,0 +1,39 @@
+"""Linear-algebra utilities: unitaries, equivalence checks, and decompositions."""
+
+from .decompositions import (
+    OneQubitDecomposition,
+    WeylDecomposition,
+    cnot_count_required,
+    kron_factor,
+    synthesize_1q,
+    synthesize_2q,
+    u3_angles,
+    weyl_decompose,
+    zyz_angles,
+)
+from .unitaries import (
+    allclose_up_to_global_phase,
+    circuit_unitary,
+    embed_unitary,
+    global_phase_between,
+    instruction_unitary,
+    is_unitary_matrix,
+)
+
+__all__ = [
+    "OneQubitDecomposition",
+    "WeylDecomposition",
+    "cnot_count_required",
+    "kron_factor",
+    "synthesize_1q",
+    "synthesize_2q",
+    "u3_angles",
+    "weyl_decompose",
+    "zyz_angles",
+    "allclose_up_to_global_phase",
+    "circuit_unitary",
+    "embed_unitary",
+    "global_phase_between",
+    "instruction_unitary",
+    "is_unitary_matrix",
+]

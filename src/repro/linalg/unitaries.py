@@ -1,0 +1,124 @@
+"""Unitary-matrix utilities.
+
+These helpers turn circuits and instructions into explicit matrices (for
+small qubit counts) and compare operators up to global phase.  They are the
+backbone of the equivalence checks used throughout the test-suite and of the
+block re-synthesis passes (``ConsolidateBlocks``, ``FullPeepholeOptimise``).
+
+Convention: qubit 0 is the *most significant* bit of the basis-state index,
+i.e. the basis is ordered ``|q0 q1 ... q_{n-1}>``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import Instruction, gate_matrix
+
+__all__ = [
+    "embed_unitary",
+    "instruction_unitary",
+    "circuit_unitary",
+    "allclose_up_to_global_phase",
+    "is_unitary_matrix",
+    "global_phase_between",
+]
+
+_MAX_DENSE_QUBITS = 12
+
+
+def is_unitary_matrix(matrix: np.ndarray, tol: float = 1e-9) -> bool:
+    """Check that ``matrix`` is unitary within ``tol``."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    product = matrix.conj().T @ matrix
+    return bool(np.allclose(product, np.eye(matrix.shape[0]), atol=tol))
+
+
+def embed_unitary(matrix: np.ndarray, qubits: tuple[int, ...], num_qubits: int) -> np.ndarray:
+    """Embed a k-qubit unitary acting on ``qubits`` into an ``num_qubits``-qubit space."""
+    k = len(qubits)
+    if matrix.shape != (2**k, 2**k):
+        raise ValueError("matrix dimension does not match number of qubits")
+    if num_qubits > _MAX_DENSE_QUBITS:
+        raise ValueError(
+            f"refusing to build a dense unitary on {num_qubits} qubits "
+            f"(limit {_MAX_DENSE_QUBITS})"
+        )
+    others = [q for q in range(num_qubits) if q not in qubits]
+    order = list(qubits) + others
+    full = np.kron(matrix, np.eye(2 ** (num_qubits - k), dtype=complex))
+
+    dim = 2**num_qubits
+    perm = np.zeros(dim, dtype=int)
+    for x in range(dim):
+        bits = [(x >> (num_qubits - 1 - q)) & 1 for q in range(num_qubits)]
+        y = 0
+        for q in order:
+            y = (y << 1) | bits[q]
+        perm[x] = y
+    # ``full`` acts on vectors expressed in the permuted qubit ordering; conjugate
+    # with the basis-permutation to express it in the natural ordering.
+    natural = np.empty_like(full)
+    natural[np.ix_(np.argsort(perm), np.argsort(perm))] = full
+    return natural
+
+
+def instruction_unitary(instruction: Instruction, num_qubits: int) -> np.ndarray:
+    """Full-space unitary of a single instruction."""
+    if not instruction.gate.is_unitary:
+        raise ValueError(f"instruction {instruction.name!r} is not unitary")
+    return embed_unitary(gate_matrix(instruction.gate), instruction.qubits, num_qubits)
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Compute the unitary of a circuit (barriers ignored, no measurements allowed)."""
+    n = circuit.num_qubits
+    if n > _MAX_DENSE_QUBITS:
+        raise ValueError(
+            f"circuit too large for dense simulation ({n} > {_MAX_DENSE_QUBITS} qubits)"
+        )
+    total = np.eye(2**n, dtype=complex)
+    for instr in circuit:
+        if instr.name == "barrier":
+            continue
+        if not instr.gate.is_unitary:
+            raise ValueError(
+                f"cannot compute unitary of circuit containing {instr.name!r}"
+            )
+        total = instruction_unitary(instr, n) @ total
+    return total
+
+
+def global_phase_between(a: np.ndarray, b: np.ndarray) -> complex | None:
+    """Return the phase ``z`` (|z|=1) with ``a ≈ z * b``, or None if not proportional."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return None
+    idx = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(b[idx]) < 1e-12:
+        return None
+    z = a[idx] / b[idx]
+    if abs(abs(z) - 1.0) > 1e-6:
+        return None
+    if np.allclose(a, z * b, atol=1e-7):
+        return z
+    return None
+
+
+def allclose_up_to_global_phase(a: np.ndarray, b: np.ndarray, tol: float = 1e-7) -> bool:
+    """Check whether two operators are equal up to a global phase."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    idx = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(b[idx]) < 1e-12:
+        return bool(np.allclose(a, b, atol=tol))
+    z = a[idx] / b[idx]
+    if abs(abs(z) - 1.0) > 1e-5:
+        return False
+    return bool(np.allclose(a, z * b, atol=tol))

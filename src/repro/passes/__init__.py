@@ -1,0 +1,54 @@
+"""Compilation passes: synthesis, layout, routing, and optimization.
+
+Every pass implements the unified :class:`repro.passes.base.BasePass`
+interface so that passes modelled after different SDKs (Qiskit, TKET) can be
+mixed freely inside one compilation flow — the key structural requirement of
+the paper's framework.
+"""
+
+from .base import BasePass, PassContext, PassSequence
+from .layout import DenseLayout, SabreLayout, TrivialLayout, apply_layout
+from .optimization import (
+    CliffordSimp,
+    Collect2qBlocksConsolidate,
+    CommutativeCancellation,
+    CommutativeInverseCancellation,
+    CXCancellation,
+    FullPeepholeOptimise,
+    InverseCancellation,
+    Optimize1qGatesDecomposition,
+    OptimizeCliffords,
+    PeepholeOptimise2Q,
+    RemoveDiagonalGatesBeforeMeasure,
+    RemoveRedundancies,
+)
+from .routing import BasicSwap, SabreSwap, StochasticSwap, TketRouting
+from .synthesis import BasisTranslator, decompose_to_cx_basis
+
+__all__ = [
+    "BasePass",
+    "PassContext",
+    "PassSequence",
+    "BasisTranslator",
+    "decompose_to_cx_basis",
+    "TrivialLayout",
+    "DenseLayout",
+    "SabreLayout",
+    "apply_layout",
+    "BasicSwap",
+    "StochasticSwap",
+    "SabreSwap",
+    "TketRouting",
+    "Optimize1qGatesDecomposition",
+    "RemoveRedundancies",
+    "CXCancellation",
+    "InverseCancellation",
+    "CommutativeCancellation",
+    "CommutativeInverseCancellation",
+    "RemoveDiagonalGatesBeforeMeasure",
+    "OptimizeCliffords",
+    "CliffordSimp",
+    "Collect2qBlocksConsolidate",
+    "PeepholeOptimise2Q",
+    "FullPeepholeOptimise",
+]

@@ -1,0 +1,74 @@
+"""Pass framework: the unified interface shared by every compilation action.
+
+The paper's framework requires every compilation action — regardless of
+which SDK inspired it — to consume and produce the same circuit
+representation.  Here that contract is the :class:`BasePass` interface:
+``run(circuit, context)`` returns a new :class:`QuantumCircuit` and never
+mutates its input.  A :class:`PassContext` carries the target device (once
+one has been selected in the MDP) and bookkeeping such as the current
+layout and the RNG seed for stochastic passes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field, replace
+
+from ..circuit.circuit import QuantumCircuit
+from ..devices.device import Device
+
+__all__ = ["PassContext", "BasePass", "PassSequence"]
+
+
+@dataclass
+class PassContext:
+    """Shared state threaded through a sequence of passes."""
+
+    device: Device | None = None
+    initial_layout: dict[int, int] | None = None
+    final_layout: dict[int, int] | None = None
+    seed: int = 0
+    properties: dict = field(default_factory=dict)
+
+    def with_device(self, device: Device) -> "PassContext":
+        return replace(self, device=device)
+
+    def require_device(self) -> Device:
+        if self.device is None:
+            raise ValueError("this pass requires a target device to be selected")
+        return self.device
+
+
+class BasePass(ABC):
+    """A single compilation pass with the unified circuit-in / circuit-out interface."""
+
+    #: short machine-readable identifier (used by the RL action registry)
+    name: str = "base"
+    #: which SDK the pass emulates ("qiskit", "tket", or "repro")
+    origin: str = "repro"
+    #: True if the pass needs a device (synthesis / mapping passes)
+    requires_device: bool = False
+
+    @abstractmethod
+    def run(self, circuit: QuantumCircuit, context: PassContext) -> QuantumCircuit:
+        """Transform ``circuit`` and return a new circuit (never mutate the input)."""
+
+    def __call__(self, circuit: QuantumCircuit, context: PassContext | None = None) -> QuantumCircuit:
+        return self.run(circuit, context or PassContext())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class PassSequence(BasePass):
+    """Run a fixed list of passes in order (used by the preset baseline compilers)."""
+
+    def __init__(self, passes: list[BasePass], name: str = "sequence"):
+        self.passes = list(passes)
+        self.name = name
+        self.requires_device = any(p.requires_device for p in self.passes)
+
+    def run(self, circuit: QuantumCircuit, context: PassContext) -> QuantumCircuit:
+        for pass_ in self.passes:
+            circuit = pass_.run(circuit, context)
+        return circuit

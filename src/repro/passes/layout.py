@@ -1,0 +1,206 @@
+"""Layout passes: choosing an initial assignment of logical to physical qubits.
+
+Three layout strategies mirror the ones used in the paper's instantiation:
+
+* :class:`TrivialLayout` — identity assignment (Qiskit's ``TrivialLayout``).
+* :class:`DenseLayout` — map the circuit onto the densest connected subgraph
+  of the device (Qiskit's ``DenseLayout``).
+* :class:`SabreLayout` — iterative refinement of the layout by routing the
+  circuit forwards and backwards with the SABRE heuristic (Qiskit's
+  ``SabreLayout``).
+
+A layout pass does not change gate structure: it produces a circuit widened
+to the device's qubit count with logical qubit *i* relabelled to its chosen
+physical qubit, and records the assignment in ``context.initial_layout``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..devices.device import CouplingMap, Device
+from .base import BasePass, PassContext
+
+__all__ = ["apply_layout", "TrivialLayout", "DenseLayout", "SabreLayout"]
+
+
+def apply_layout(
+    circuit: QuantumCircuit, layout: dict[int, int], device: Device
+) -> QuantumCircuit:
+    """Rewrite a circuit onto the device's physical qubits according to ``layout``."""
+    missing = [q for q in circuit.active_qubits() if q not in layout]
+    if missing:
+        raise ValueError(f"layout does not assign logical qubits {missing}")
+    used = list(layout.values())
+    if len(set(used)) != len(used):
+        raise ValueError("layout maps two logical qubits to the same physical qubit")
+    full_mapping = dict(layout)
+    # Logical qubits that never appear in a gate still need a slot so that the
+    # remap is total; park them on unused physical qubits.
+    free = [p for p in range(device.num_qubits) if p not in set(used)]
+    for logical in range(circuit.num_qubits):
+        if logical not in full_mapping:
+            if not free:
+                raise ValueError("device does not have enough qubits for this circuit")
+            full_mapping[logical] = free.pop(0)
+    out = circuit.remap_qubits(full_mapping, num_qubits=device.num_qubits)
+    out.metadata["initial_layout"] = dict(layout)
+    return out
+
+
+def _circuit_interaction_counts(circuit: QuantumCircuit) -> dict[tuple[int, int], int]:
+    counts: dict[tuple[int, int], int] = {}
+    for instr in circuit:
+        if instr.name == "barrier" or len(instr.qubits) != 2:
+            continue
+        key = (min(instr.qubits), max(instr.qubits))
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+class TrivialLayout(BasePass):
+    """Assign logical qubit *i* to physical qubit *i*."""
+
+    name = "trivial_layout"
+    origin = "qiskit"
+    requires_device = True
+
+    def run(self, circuit: QuantumCircuit, context: PassContext) -> QuantumCircuit:
+        device = context.require_device()
+        active = sorted(circuit.active_qubits()) or [0]
+        if max(active) >= device.num_qubits:
+            compact, _ = circuit.without_ancillas()
+            if compact.num_qubits > device.num_qubits:
+                raise ValueError(
+                    f"circuit needs {compact.num_qubits} qubits but device "
+                    f"{device.name} only has {device.num_qubits}"
+                )
+            circuit = compact
+            active = sorted(circuit.active_qubits()) or [0]
+        layout = {q: q for q in range(circuit.num_qubits) if q < device.num_qubits}
+        context.initial_layout = {q: layout[q] for q in active}
+        return apply_layout(circuit, context.initial_layout, device)
+
+
+class DenseLayout(BasePass):
+    """Map the circuit onto a dense (well-connected) region of the device.
+
+    The densest region is found greedily: starting from the physical qubit of
+    highest degree, repeatedly add the neighbouring qubit with the most
+    connections into the already-selected region.  Logical qubits are then
+    assigned to that region in decreasing order of their interaction count.
+    """
+
+    name = "dense_layout"
+    origin = "qiskit"
+    requires_device = True
+
+    def run(self, circuit: QuantumCircuit, context: PassContext) -> QuantumCircuit:
+        device = context.require_device()
+        circuit = self._fit_to_device(circuit, device)
+        active = sorted(circuit.active_qubits()) or [0]
+        region = self._dense_region(device.coupling_map, len(active))
+
+        # Order logical qubits by how often they interact; busiest first.
+        weights = {q: 0 for q in active}
+        for (a, b), count in _circuit_interaction_counts(circuit).items():
+            weights[a] = weights.get(a, 0) + count
+            weights[b] = weights.get(b, 0) + count
+        logical_order = sorted(active, key=lambda q: -weights.get(q, 0))
+        # Order physical qubits by connectivity inside the chosen region.
+        region_set = set(region)
+        physical_order = sorted(
+            region,
+            key=lambda p: -len(device.coupling_map.neighbors(p) & region_set),
+        )
+        layout = {lq: physical_order[i] for i, lq in enumerate(logical_order)}
+        context.initial_layout = layout
+        return apply_layout(circuit, layout, device)
+
+    @staticmethod
+    def _fit_to_device(circuit: QuantumCircuit, device: Device) -> QuantumCircuit:
+        if circuit.num_qubits <= device.num_qubits:
+            return circuit
+        compact, _ = circuit.without_ancillas()
+        if compact.num_qubits > device.num_qubits:
+            raise ValueError(
+                f"circuit needs {compact.num_qubits} qubits but device "
+                f"{device.name} only has {device.num_qubits}"
+            )
+        return compact
+
+    @staticmethod
+    def _dense_region(coupling: CouplingMap, size: int) -> list[int]:
+        if size >= coupling.num_qubits:
+            return list(range(coupling.num_qubits))
+        start = max(range(coupling.num_qubits), key=coupling.degree)
+        region = [start]
+        region_set = {start}
+        while len(region) < size:
+            boundary: set[int] = set()
+            for q in region:
+                boundary |= coupling.neighbors(q) - region_set
+            if not boundary:
+                remaining = [q for q in range(coupling.num_qubits) if q not in region_set]
+                boundary = set(remaining[:1])
+            best = max(boundary, key=lambda q: len(coupling.neighbors(q) & region_set))
+            region.append(best)
+            region_set.add(best)
+        return region
+
+
+class SabreLayout(BasePass):
+    """SABRE-style layout: refine a random initial layout by round-trip routing.
+
+    The circuit is routed forwards and backwards with the SABRE swap
+    heuristic; the final qubit positions of each pass become the initial
+    layout of the next, which converges towards a layout adapted to the
+    circuit's interaction pattern (Li, Ding & Xie, ASPLOS 2019).
+    """
+
+    name = "sabre_layout"
+    origin = "qiskit"
+    requires_device = True
+
+    def __init__(self, iterations: int = 2, seed: int | None = None):
+        self.iterations = iterations
+        self.seed = seed
+
+    def run(self, circuit: QuantumCircuit, context: PassContext) -> QuantumCircuit:
+        from .routing import SabreSwap  # local import to avoid a cycle
+
+        device = context.require_device()
+        circuit = DenseLayout._fit_to_device(circuit, device)
+        active = sorted(circuit.active_qubits()) or [0]
+        rng = np.random.default_rng(self.seed if self.seed is not None else context.seed)
+
+        # Start from a dense-region random assignment.
+        region = DenseLayout._dense_region(device.coupling_map, len(active))
+        physical = list(region)
+        rng.shuffle(physical)
+        layout = {lq: physical[i] for i, lq in enumerate(active)}
+
+        forward = circuit
+        reverse = self._reverse_circuit(circuit)
+        router = SabreSwap(seed=int(rng.integers(0, 2**31 - 1)))
+        for iteration in range(2 * self.iterations):
+            working = forward if iteration % 2 == 0 else reverse
+            placed = apply_layout(working, layout, device)
+            sub_context = PassContext(device=device, initial_layout=dict(layout), seed=context.seed)
+            router.run(placed, sub_context)
+            final = sub_context.final_layout or {}
+            # The final physical position of each logical qubit seeds the next pass.
+            layout = {lq: final.get(phys, phys) for lq, phys in layout.items()}
+
+        context.initial_layout = dict(layout)
+        return apply_layout(circuit, layout, device)
+
+    @staticmethod
+    def _reverse_circuit(circuit: QuantumCircuit) -> QuantumCircuit:
+        out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+        for instr in reversed(circuit.instructions):
+            if instr.name in ("measure", "reset", "barrier"):
+                continue
+            out._instructions.append(instr)
+        return out

@@ -1,0 +1,36 @@
+"""Device-independent and device-dependent optimization passes."""
+
+from .blocks import (
+    CliffordSimp,
+    Collect2qBlocksConsolidate,
+    FullPeepholeOptimise,
+    OptimizeCliffords,
+    PeepholeOptimise2Q,
+    collect_2q_blocks,
+)
+from .cancellation import (
+    CommutativeCancellation,
+    CommutativeInverseCancellation,
+    CXCancellation,
+    InverseCancellation,
+    RemoveDiagonalGatesBeforeMeasure,
+    commutes,
+)
+from .one_qubit import Optimize1qGatesDecomposition, RemoveRedundancies
+
+__all__ = [
+    "Optimize1qGatesDecomposition",
+    "RemoveRedundancies",
+    "CXCancellation",
+    "InverseCancellation",
+    "CommutativeCancellation",
+    "CommutativeInverseCancellation",
+    "RemoveDiagonalGatesBeforeMeasure",
+    "commutes",
+    "Collect2qBlocksConsolidate",
+    "PeepholeOptimise2Q",
+    "OptimizeCliffords",
+    "CliffordSimp",
+    "FullPeepholeOptimise",
+    "collect_2q_blocks",
+]

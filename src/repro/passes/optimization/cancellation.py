@@ -1,0 +1,298 @@
+"""Gate-cancellation passes (Qiskit-style).
+
+This module implements the cancellation actions of the MDP:
+
+* :class:`CXCancellation` — cancel adjacent identical CX pairs.
+* :class:`InverseCancellation` — cancel adjacent gate/inverse pairs.
+* :class:`CommutativeCancellation` — cancel inverse pairs and merge rotations
+  across gates they commute with.
+* :class:`CommutativeInverseCancellation` — the same machinery applied to
+  every invertible gate (Qiskit distinguishes the two passes by the gate
+  families they consider).
+* :class:`RemoveDiagonalGatesBeforeMeasure` — diagonal gates right before a
+  Z-basis measurement do not affect outcome probabilities and are removed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...circuit.circuit import QuantumCircuit
+from ...circuit.gates import GATE_SPECS, Gate, Instruction
+from ..base import BasePass, PassContext
+
+__all__ = [
+    "commutes",
+    "CXCancellation",
+    "InverseCancellation",
+    "CommutativeCancellation",
+    "CommutativeInverseCancellation",
+    "RemoveDiagonalGatesBeforeMeasure",
+]
+
+_DIAGONAL_1Q = {"z", "s", "sdg", "t", "tdg", "rz", "p", "u1", "id"}
+_DIAGONAL_2Q = {"cz", "cp", "rzz", "ccz"}
+_X_AXIS_1Q = {"x", "sx", "sxdg", "rx"}
+
+
+def commutes(first: Instruction, second: Instruction) -> bool:
+    """Decide whether two instructions commute, using structural rules only.
+
+    The rules are conservative: returning ``False`` is always safe, returning
+    ``True`` is backed by one of the well-known commutation relations
+    (disjoint supports, mutually diagonal gates, diagonal gates on a CX/CZ
+    control, X-axis gates on a CX target, CX gates sharing a control or
+    sharing a target).
+    """
+    shared = set(first.qubits) & set(second.qubits)
+    if not shared:
+        return True
+    if not (first.gate.is_unitary and second.gate.is_unitary):
+        return False
+    spec_a, spec_b = first.gate.spec, second.gate.spec
+    if spec_a.diagonal and spec_b.diagonal:
+        return True
+
+    for a, b in ((first, second), (second, first)):
+        # Diagonal single-qubit gate acting on the control of a CX/CY commutes.
+        if a.name in _DIAGONAL_1Q and b.name in ("cx", "cy", "cz", "cp", "crz", "ccx"):
+            if all(q == b.qubits[0] or q not in b.qubits for q in a.qubits):
+                if a.qubits[0] == b.qubits[0]:
+                    return True
+        # X-axis single-qubit gate acting on the target of a CX commutes.
+        if a.name in _X_AXIS_1Q and b.name == "cx" and a.qubits[0] == b.qubits[1]:
+            return True
+        # RZZ-like symmetric diagonal gates commute with diagonal 1q gates.
+        if a.name in _DIAGONAL_1Q and b.name in _DIAGONAL_2Q:
+            return True
+    # Two CX gates sharing only the control, or only the target, commute.
+    if first.name == "cx" and second.name == "cx":
+        same_control = first.qubits[0] == second.qubits[0]
+        same_target = first.qubits[1] == second.qubits[1]
+        if same_control and first.qubits[1] != second.qubits[1] and not same_target:
+            return True
+        if same_target and first.qubits[0] != second.qubits[0] and not same_control:
+            return True
+        if first.qubits == second.qubits:
+            return True
+    # Identical symmetric gates on the same pair commute trivially.
+    if first.name == second.name and set(first.qubits) == set(second.qubits):
+        if first.gate.spec.symmetric or first.qubits == second.qubits:
+            return True
+    return False
+
+
+def _is_inverse_pair(first: Instruction, second: Instruction) -> bool:
+    """Check whether ``second`` undoes ``first`` when applied right after it."""
+    if not (first.gate.is_unitary and second.gate.is_unitary):
+        return False
+    spec = first.gate.spec
+    same_qubits = first.qubits == second.qubits or (
+        spec.symmetric and set(first.qubits) == set(second.qubits)
+    )
+    if not same_qubits:
+        return False
+    try:
+        inverse = first.gate.inverse()
+    except ValueError:
+        return False
+    return inverse.name == second.gate.name and np.allclose(
+        inverse.params, second.gate.params, atol=1e-12
+    )
+
+
+class _WireStackCancellation(BasePass):
+    """Cancel pairs of adjacent gates using a per-wire stack (no commutation)."""
+
+    def _cancellable(self, first: Instruction, second: Instruction) -> bool:
+        raise NotImplementedError
+
+    def run(self, circuit: QuantumCircuit, context: PassContext) -> QuantumCircuit:
+        out: list[Instruction | None] = []
+        last_on_wire: dict[int, int] = {}
+        for instr in circuit:
+            wires = list(instr.qubits) + [-1 - c for c in instr.clbits]
+            if instr.gate.is_unitary and instr.name != "barrier":
+                indices = {last_on_wire.get(q) for q in instr.qubits}
+                if len(indices) == 1 and None not in indices:
+                    idx = indices.pop()
+                    prev = out[idx]
+                    if (
+                        prev is not None
+                        and set(prev.qubits) == set(instr.qubits)
+                        and self._cancellable(prev, instr)
+                    ):
+                        out[idx] = None
+                        for wire in [w for w, i in last_on_wire.items() if i == idx]:
+                            del last_on_wire[wire]
+                        continue
+            out.append(instr)
+            for wire in wires:
+                last_on_wire[wire] = len(out) - 1
+        result = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+        result.metadata = dict(circuit.metadata)
+        result._instructions = [i for i in out if i is not None]
+        return result
+
+
+class CXCancellation(_WireStackCancellation):
+    """Cancel back-to-back CX gates on the same control/target pair."""
+
+    name = "cx_cancellation"
+    origin = "qiskit"
+
+    def _cancellable(self, first: Instruction, second: Instruction) -> bool:
+        return first.name == "cx" and second.name == "cx" and first.qubits == second.qubits
+
+
+class InverseCancellation(_WireStackCancellation):
+    """Cancel adjacent gate/inverse pairs (self-inverse gates, s/sdg, t/tdg, ...)."""
+
+    name = "inverse_cancellation"
+    origin = "qiskit"
+
+    def _cancellable(self, first: Instruction, second: Instruction) -> bool:
+        return _is_inverse_pair(first, second)
+
+
+class _CommutationCancellation(BasePass):
+    """Cancel inverse pairs and merge rotations across commuting gates."""
+
+    #: gate names considered by the pass (None = all unitary gates)
+    considered: frozenset[str] | None = None
+    #: rotations that may be merged when they meet across a commuting region
+    _mergeable = frozenset({"rz", "p", "rx", "ry", "rzz", "cp", "crz"})
+
+    #: upper bound on full sweeps, to keep worst-case runtime predictable
+    max_sweeps = 4
+
+    def run(self, circuit: QuantumCircuit, context: PassContext) -> QuantumCircuit:
+        instructions: list[Instruction | None] = list(circuit)
+        for _ in range(self.max_sweeps):
+            if not self._sweep(instructions):
+                break
+        result = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+        result.metadata = dict(circuit.metadata)
+        result._instructions = [i for i in instructions if i is not None]
+        return result
+
+    def _considered(self, instr: Instruction) -> bool:
+        if not instr.gate.is_unitary or instr.name == "barrier":
+            return False
+        if self.considered is None:
+            return True
+        return instr.name in self.considered
+
+    def _sweep(self, instructions: list[Instruction | None]) -> bool:
+        changed = False
+        for i, instr in enumerate(instructions):
+            if instr is None or not self._considered(instr):
+                continue
+            partner = self._find_partner(instructions, i)
+            if partner is None:
+                continue
+            j, kind = partner
+            other = instructions[j]
+            assert other is not None
+            if kind == "cancel":
+                instructions[i] = None
+                instructions[j] = None
+                changed = True
+            elif kind == "merge":
+                angle = instr.params[0] + other.params[0]
+                angle = (angle + np.pi) % (2 * np.pi) - np.pi
+                instructions[i] = None
+                if abs(angle) < 1e-12:
+                    instructions[j] = None
+                else:
+                    instructions[j] = Instruction(Gate(other.name, (angle,)), other.qubits)
+                changed = True
+        return changed
+
+    def _find_partner(
+        self, instructions: list[Instruction | None], start: int
+    ) -> tuple[int, str] | None:
+        instr = instructions[start]
+        assert instr is not None
+        for j in range(start + 1, len(instructions)):
+            other = instructions[j]
+            if other is None:
+                continue
+            if not set(other.qubits) & set(instr.qubits):
+                continue
+            if _is_inverse_pair(instr, other):
+                return j, "cancel"
+            if (
+                instr.name == other.name
+                and instr.name in self._mergeable
+                and instr.qubits == other.qubits
+            ):
+                return j, "merge"
+            if not commutes(instr, other):
+                return None
+        return None
+
+
+class CommutativeCancellation(_CommutationCancellation):
+    """Qiskit's ``CommutativeCancellation``: self-inverse and rotation gates only."""
+
+    name = "commutative_cancellation"
+    origin = "qiskit"
+    considered = frozenset(
+        {"cx", "cz", "cy", "x", "y", "z", "h", "t", "tdg", "s", "sdg", "rz", "rx", "ry", "p", "rzz", "cp", "crz", "swap"}
+    )
+
+
+class CommutativeInverseCancellation(_CommutationCancellation):
+    """Qiskit's ``CommutativeInverseCancellation``: every invertible gate considered."""
+
+    name = "commutative_inverse_cancellation"
+    origin = "qiskit"
+    considered = None
+
+
+class RemoveDiagonalGatesBeforeMeasure(BasePass):
+    """Remove diagonal gates that sit immediately before Z-basis measurements."""
+
+    name = "remove_diagonal_before_measure"
+    origin = "qiskit"
+
+    def run(self, circuit: QuantumCircuit, context: PassContext) -> QuantumCircuit:
+        instructions: list[Instruction | None] = list(circuit)
+        changed = True
+        while changed:
+            changed = False
+            next_on_wire = self._next_op_map(instructions)
+            for i, instr in enumerate(instructions):
+                if instr is None:
+                    continue
+                diagonal = instr.name in _DIAGONAL_1Q | _DIAGONAL_2Q
+                if not diagonal or instr.name == "id":
+                    continue
+                followers = [next_on_wire.get((i, q)) for q in instr.qubits]
+                if all(
+                    f is not None
+                    and instructions[f] is not None
+                    and instructions[f].name == "measure"
+                    for f in followers
+                ):
+                    instructions[i] = None
+                    changed = True
+        result = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+        result.metadata = dict(circuit.metadata)
+        result._instructions = [i for i in instructions if i is not None]
+        return result
+
+    @staticmethod
+    def _next_op_map(instructions: list[Instruction | None]) -> dict[tuple[int, int], int]:
+        """Map (instruction index, qubit) -> index of the next instruction on that qubit."""
+        next_map: dict[tuple[int, int], int] = {}
+        last_seen: dict[int, int] = {}
+        for i, instr in enumerate(instructions):
+            if instr is None or instr.name == "barrier":
+                continue
+            for q in instr.qubits:
+                if q in last_seen:
+                    next_map[(last_seen[q], q)] = i
+                last_seen[q] = i
+        return next_map

@@ -1,0 +1,17 @@
+"""Optimization objectives (reward functions) for the compilation MDP."""
+
+from .functions import (
+    REWARD_FUNCTIONS,
+    combined_reward,
+    critical_depth_reward,
+    expected_fidelity,
+    reward_function,
+)
+
+__all__ = [
+    "REWARD_FUNCTIONS",
+    "expected_fidelity",
+    "critical_depth_reward",
+    "combined_reward",
+    "reward_function",
+]

@@ -1,0 +1,22 @@
+"""Reinforcement-learning substrate: env API, networks, and PPO."""
+
+from .buffers import RolloutBatch, RolloutBuffer
+from .distributions import MaskedCategorical
+from .env import Env
+from .networks import MLP, Adam
+from .ppo import PPO, PPOConfig, TrainingSummary
+from .spaces import Box, Discrete
+
+__all__ = [
+    "Env",
+    "Box",
+    "Discrete",
+    "MLP",
+    "Adam",
+    "MaskedCategorical",
+    "RolloutBuffer",
+    "RolloutBatch",
+    "PPO",
+    "PPOConfig",
+    "TrainingSummary",
+]

@@ -1,0 +1,111 @@
+"""Rollout storage and generalised advantage estimation for PPO."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RolloutBuffer", "RolloutBatch"]
+
+
+@dataclass
+class RolloutBatch:
+    """A minibatch of flattened rollout data."""
+
+    observations: np.ndarray
+    actions: np.ndarray
+    old_log_probs: np.ndarray
+    advantages: np.ndarray
+    returns: np.ndarray
+    action_masks: np.ndarray
+
+
+class RolloutBuffer:
+    """Fixed-size on-policy buffer with GAE-lambda advantage computation."""
+
+    def __init__(
+        self,
+        buffer_size: int,
+        observation_dim: int,
+        num_actions: int,
+        gamma: float = 0.99,
+        gae_lambda: float = 0.95,
+    ):
+        self.buffer_size = buffer_size
+        self.gamma = gamma
+        self.gae_lambda = gae_lambda
+        self.observations = np.zeros((buffer_size, observation_dim))
+        self.actions = np.zeros(buffer_size, dtype=int)
+        self.rewards = np.zeros(buffer_size)
+        self.episode_starts = np.zeros(buffer_size, dtype=bool)
+        self.values = np.zeros(buffer_size)
+        self.log_probs = np.zeros(buffer_size)
+        self.action_masks = np.ones((buffer_size, num_actions), dtype=bool)
+        self.advantages = np.zeros(buffer_size)
+        self.returns = np.zeros(buffer_size)
+        self.position = 0
+
+    @property
+    def full(self) -> bool:
+        return self.position >= self.buffer_size
+
+    def reset(self) -> None:
+        self.position = 0
+
+    def add(
+        self,
+        observation: np.ndarray,
+        action: int,
+        reward: float,
+        episode_start: bool,
+        value: float,
+        log_prob: float,
+        action_mask: np.ndarray,
+    ) -> None:
+        if self.full:
+            raise RuntimeError("rollout buffer is full")
+        index = self.position
+        self.observations[index] = observation
+        self.actions[index] = action
+        self.rewards[index] = reward
+        self.episode_starts[index] = episode_start
+        self.values[index] = value
+        self.log_probs[index] = log_prob
+        self.action_masks[index] = action_mask
+        self.position += 1
+
+    def compute_returns_and_advantages(self, last_value: float, done: bool) -> None:
+        """GAE-lambda advantages and discounted returns (SB3 convention)."""
+        last_gae = 0.0
+        for step in reversed(range(self.position)):
+            if step == self.position - 1:
+                next_non_terminal = 0.0 if done else 1.0
+                next_value = last_value
+            else:
+                next_non_terminal = 0.0 if self.episode_starts[step + 1] else 1.0
+                next_value = self.values[step + 1]
+            delta = (
+                self.rewards[step]
+                + self.gamma * next_value * next_non_terminal
+                - self.values[step]
+            )
+            last_gae = delta + self.gamma * self.gae_lambda * next_non_terminal * last_gae
+            self.advantages[step] = last_gae
+        self.returns[: self.position] = (
+            self.advantages[: self.position] + self.values[: self.position]
+        )
+
+    def minibatches(self, batch_size: int, rng: np.random.Generator):
+        """Yield shuffled minibatches over the collected steps."""
+        indices = rng.permutation(self.position)
+        for start in range(0, self.position, batch_size):
+            batch = indices[start : start + batch_size]
+            yield RolloutBatch(
+                observations=self.observations[batch],
+                actions=self.actions[batch],
+                old_log_probs=self.log_probs[batch],
+                advantages=self.advantages[batch],
+                returns=self.returns[batch],
+                action_masks=self.action_masks[batch],
+            )

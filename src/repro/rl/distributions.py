@@ -1,0 +1,64 @@
+"""Masked categorical action distribution used by the PPO policy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MaskedCategorical"]
+
+_NEG_INF = -1e9
+
+
+class MaskedCategorical:
+    """Categorical distribution over logits with invalid actions masked out."""
+
+    def __init__(self, logits: np.ndarray, mask: np.ndarray | None = None):
+        logits = np.atleast_2d(np.asarray(logits, dtype=np.float64))
+        if mask is not None:
+            mask = np.atleast_2d(np.asarray(mask, dtype=bool))
+            if mask.shape != logits.shape:
+                raise ValueError("mask shape must match logits shape")
+            if not np.all(mask.any(axis=1)):
+                raise ValueError("every sample needs at least one valid action")
+            logits = np.where(mask, logits, _NEG_INF)
+        self.mask = mask
+        self.logits = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(self.logits)
+        self.probs = exp / exp.sum(axis=1, keepdims=True)
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        cumulative = np.cumsum(self.probs, axis=1)
+        draws = rng.random((self.probs.shape[0], 1))
+        return (draws < cumulative).argmax(axis=1)
+
+    def mode(self) -> np.ndarray:
+        return self.probs.argmax(axis=1)
+
+    def log_prob(self, actions: np.ndarray) -> np.ndarray:
+        actions = np.asarray(actions, dtype=int)
+        rows = np.arange(self.probs.shape[0])
+        return np.log(self.probs[rows, actions] + 1e-12)
+
+    def entropy(self) -> np.ndarray:
+        safe = np.where(self.probs > 1e-12, self.probs, 1.0)
+        return -(self.probs * np.log(safe)).sum(axis=1)
+
+    def log_prob_grad_logits(self, actions: np.ndarray) -> np.ndarray:
+        """d log p(a) / d logits for each sample: one_hot(a) - probs (0 on masked)."""
+        actions = np.asarray(actions, dtype=int)
+        grad = -self.probs.copy()
+        rows = np.arange(self.probs.shape[0])
+        grad[rows, actions] += 1.0
+        if self.mask is not None:
+            grad = np.where(self.mask, grad, 0.0)
+        return grad
+
+    def entropy_grad_logits(self) -> np.ndarray:
+        """d H / d logits = -p * (log p + H)."""
+        safe = np.where(self.probs > 1e-12, self.probs, 1.0)
+        log_probs = np.log(safe)
+        entropy = self.entropy()[:, None]
+        grad = -self.probs * (log_probs + entropy)
+        if self.mask is not None:
+            grad = np.where(self.mask, grad, 0.0)
+        return grad

@@ -1,0 +1,39 @@
+"""Minimal reinforcement-learning environment interface (OpenAI-Gym style).
+
+The paper builds its compilation MDP on the OpenAI Gym API; this module
+provides the same ``reset`` / ``step`` contract (plus an ``action_masks``
+hook for invalid-action masking, which the compilation environment relies on
+to restrict actions to those valid in the current MDP state).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .spaces import Box, Discrete
+
+__all__ = ["Env"]
+
+
+class Env(ABC):
+    """Abstract episodic environment with a Box observation and Discrete actions."""
+
+    observation_space: Box
+    action_space: Discrete
+
+    @abstractmethod
+    def reset(self, *, seed: int | None = None) -> tuple[np.ndarray, dict]:
+        """Start a new episode; return the initial observation and an info dict."""
+
+    @abstractmethod
+    def step(self, action: int) -> tuple[np.ndarray, float, bool, bool, dict]:
+        """Apply ``action``; return (observation, reward, terminated, truncated, info)."""
+
+    def action_masks(self) -> np.ndarray:
+        """Boolean mask of currently valid actions (default: all valid)."""
+        return np.ones(self.action_space.n, dtype=bool)
+
+    def close(self) -> None:  # pragma: no cover - nothing to clean up by default
+        """Release any resources held by the environment."""

@@ -1,0 +1,152 @@
+"""Small fully-connected networks with manual backpropagation.
+
+Stable-Baselines3's PPO uses two-hidden-layer tanh MLPs for the policy and
+value function; this module provides the same architecture in plain NumPy,
+together with an Adam optimiser, so that training runs without any deep
+learning framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MLP", "Adam"]
+
+
+@dataclass
+class _ForwardCache:
+    """Intermediate activations needed for the backward pass."""
+
+    inputs: np.ndarray
+    pre_activations: list[np.ndarray] = field(default_factory=list)
+    activations: list[np.ndarray] = field(default_factory=list)
+
+
+class MLP:
+    """A tanh multi-layer perceptron with a linear output layer."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        output_dim: int,
+        hidden_sizes: tuple[int, ...] = (64, 64),
+        *,
+        seed: int = 0,
+        output_scale: float = 0.01,
+    ):
+        rng = np.random.default_rng(seed)
+        sizes = [input_dim, *hidden_sizes, output_dim]
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for i in range(len(sizes) - 1):
+            fan_in, fan_out = sizes[i], sizes[i + 1]
+            scale = np.sqrt(2.0 / (fan_in + fan_out))
+            if i == len(sizes) - 2:
+                scale *= output_scale
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    # -- inference ----------------------------------------------------------------
+
+    def forward(self, inputs: np.ndarray) -> tuple[np.ndarray, _ForwardCache]:
+        """Compute outputs for a batch; return (outputs, cache for backward)."""
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        cache = _ForwardCache(inputs=inputs)
+        activation = inputs
+        last = len(self.weights) - 1
+        for i, (weight, bias) in enumerate(zip(self.weights, self.biases)):
+            pre = activation @ weight + bias
+            cache.pre_activations.append(pre)
+            activation = pre if i == last else np.tanh(pre)
+            cache.activations.append(activation)
+        return activation, cache
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        outputs, _ = self.forward(inputs)
+        return outputs
+
+    # -- training ------------------------------------------------------------------
+
+    def backward(
+        self, cache: _ForwardCache, grad_output: np.ndarray
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Backpropagate ``grad_output`` (dLoss/dOutput); return per-layer (dW, db)."""
+        grads: list[tuple[np.ndarray, np.ndarray]] = [None] * len(self.weights)  # type: ignore[list-item]
+        grad = np.atleast_2d(grad_output)
+        last = len(self.weights) - 1
+        for i in range(last, -1, -1):
+            if i != last:
+                grad = grad * (1.0 - cache.activations[i] ** 2)
+            previous = cache.inputs if i == 0 else cache.activations[i - 1]
+            grad_w = previous.T @ grad
+            grad_b = grad.sum(axis=0)
+            grads[i] = (grad_w, grad_b)
+            grad = grad @ self.weights[i].T
+        return grads
+
+    # -- parameter access -----------------------------------------------------------
+
+    def parameters(self) -> list[np.ndarray]:
+        params: list[np.ndarray] = []
+        for weight, bias in zip(self.weights, self.biases):
+            params.extend((weight, bias))
+        return params
+
+    def set_parameters(self, params: list[np.ndarray]) -> None:
+        if len(params) != 2 * len(self.weights):
+            raise ValueError("parameter list length mismatch")
+        for i in range(len(self.weights)):
+            self.weights[i] = np.array(params[2 * i], dtype=np.float64)
+            self.biases[i] = np.array(params[2 * i + 1], dtype=np.float64)
+
+    def flatten_grads(self, grads: list[tuple[np.ndarray, np.ndarray]]) -> list[np.ndarray]:
+        flat: list[np.ndarray] = []
+        for grad_w, grad_b in grads:
+            flat.extend((grad_w, grad_b))
+        return flat
+
+    def state_dict(self) -> dict:
+        return {
+            "weights": [w.tolist() for w in self.weights],
+            "biases": [b.tolist() for b in self.biases],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.weights = [np.array(w, dtype=np.float64) for w in state["weights"]]
+        self.biases = [np.array(b, dtype=np.float64) for b in state["biases"]]
+
+
+class Adam:
+    """Adam optimiser over a list of parameter arrays (updated in place)."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        learning_rate: float = 3e-4,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        self.parameters = parameters
+        self.learning_rate = learning_rate
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.step_count = 0
+        self._m = [np.zeros_like(p) for p in parameters]
+        self._v = [np.zeros_like(p) for p in parameters]
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        if len(grads) != len(self.parameters):
+            raise ValueError("gradient list length mismatch")
+        self.step_count += 1
+        bias1 = 1.0 - self.beta1**self.step_count
+        bias2 = 1.0 - self.beta2**self.step_count
+        for param, grad, m, v in zip(self.parameters, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)

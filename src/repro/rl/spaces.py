@@ -1,0 +1,48 @@
+"""Minimal observation/action space descriptions (OpenAI-Gym style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Box", "Discrete"]
+
+
+class Box:
+    """A bounded continuous space of fixed shape."""
+
+    def __init__(self, low: float, high: float, shape: tuple[int, ...]):
+        self.low = float(low)
+        self.high = float(high)
+        self.shape = tuple(shape)
+
+    def contains(self, value: np.ndarray) -> bool:
+        value = np.asarray(value)
+        return (
+            value.shape == self.shape
+            and bool(np.all(value >= self.low - 1e-9))
+            and bool(np.all(value <= self.high + 1e-9))
+        )
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=self.shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Box({self.low}, {self.high}, shape={self.shape})"
+
+
+class Discrete:
+    """A finite set of actions {0, ..., n-1}."""
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError("Discrete space needs at least one action")
+        self.n = int(n)
+
+    def contains(self, value: int) -> bool:
+        return 0 <= int(value) < self.n
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.n))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Discrete({self.n})"

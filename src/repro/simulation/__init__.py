@@ -1,0 +1,5 @@
+"""Statevector simulation of quantum circuits (verification substrate)."""
+
+from .statevector import SimulationResult, StatevectorSimulator, sample_counts, simulate
+
+__all__ = ["SimulationResult", "StatevectorSimulator", "simulate", "sample_counts"]

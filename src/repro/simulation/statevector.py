@@ -1,0 +1,188 @@
+"""Statevector simulation of quantum circuits.
+
+A small dense simulator used to verify that compilation flows preserve
+circuit semantics beyond unitary equivalence: it executes circuits containing
+measurements and resets, returns exact output distributions, and samples
+measurement outcomes.  It is intentionally limited to circuits of at most
+~20 qubits (dense statevector), which covers the whole benchmark suite.
+
+Qubit-ordering convention matches :mod:`repro.linalg`: qubit 0 is the most
+significant bit of the basis-state index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import Instruction, gate_matrix
+
+__all__ = ["SimulationResult", "StatevectorSimulator", "simulate", "sample_counts"]
+
+_MAX_QUBITS = 20
+
+
+@dataclass
+class SimulationResult:
+    """Final state and classical outcomes of one simulation run."""
+
+    statevector: np.ndarray
+    num_qubits: int
+    classical_bits: dict[int, int] = field(default_factory=dict)
+
+    def probabilities(self) -> np.ndarray:
+        """Probability of each computational basis state."""
+        return np.abs(self.statevector) ** 2
+
+    def probability_of(self, bitstring: str) -> float:
+        """Probability of a basis state given as a bitstring ``q0 q1 ... q_{n-1}``."""
+        if len(bitstring) != self.num_qubits:
+            raise ValueError("bitstring length must equal the number of qubits")
+        index = int(bitstring, 2)
+        return float(self.probabilities()[index])
+
+    def classical_bitstring(self) -> str:
+        """The measured classical register as a bitstring (clbit 0 first)."""
+        if not self.classical_bits:
+            return ""
+        width = max(self.classical_bits) + 1
+        return "".join(str(self.classical_bits.get(i, 0)) for i in range(width))
+
+
+class StatevectorSimulator:
+    """Dense statevector simulator with mid-circuit measurement support."""
+
+    def __init__(self, seed: int | None = None):
+        self._rng = np.random.default_rng(seed)
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, circuit: QuantumCircuit, *, initial_state: np.ndarray | None = None) -> SimulationResult:
+        """Execute ``circuit`` once, collapsing measurements probabilistically."""
+        n = circuit.num_qubits
+        if n > _MAX_QUBITS:
+            raise ValueError(f"circuit too large for dense simulation ({n} > {_MAX_QUBITS})")
+        state = self._initial_state(n, initial_state)
+        classical: dict[int, int] = {}
+        for instr in circuit:
+            state = self._apply(instr, state, n, classical)
+        return SimulationResult(state, n, classical)
+
+    def sample(self, circuit: QuantumCircuit, shots: int = 1024) -> dict[str, int]:
+        """Sample measurement outcomes.
+
+        For circuits whose measurements are terminal (the common case) the
+        final distribution is computed once and sampled; circuits with
+        mid-circuit measurements are re-executed per shot.
+        """
+        if self._has_mid_circuit_measurement(circuit):
+            counts: dict[str, int] = {}
+            for _ in range(shots):
+                result = self.run(circuit)
+                key = result.classical_bitstring() or "0" * circuit.num_qubits
+                counts[key] = counts.get(key, 0) + 1
+            return counts
+        unitary_part = circuit.without_final_measurements()
+        measured_qubits = [
+            instr.qubits[0] for instr in circuit if instr.name == "measure"
+        ] or list(range(circuit.num_qubits))
+        result = self.run(unitary_part)
+        probabilities = result.probabilities()
+        outcomes = self._rng.choice(len(probabilities), size=shots, p=probabilities)
+        counts = {}
+        n = circuit.num_qubits
+        for outcome in outcomes:
+            bits = format(int(outcome), f"0{n}b")
+            key = "".join(bits[q] for q in measured_qubits)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # -- internals -----------------------------------------------------------------
+
+    @staticmethod
+    def _initial_state(num_qubits: int, initial_state: np.ndarray | None) -> np.ndarray:
+        dim = 2**num_qubits
+        if initial_state is None:
+            state = np.zeros(dim, dtype=complex)
+            state[0] = 1.0
+            return state
+        state = np.asarray(initial_state, dtype=complex)
+        if state.shape != (dim,):
+            raise ValueError("initial state has the wrong dimension")
+        norm = np.linalg.norm(state)
+        if abs(norm - 1.0) > 1e-8:
+            raise ValueError("initial state must be normalised")
+        return state.copy()
+
+    def _apply(
+        self, instr: Instruction, state: np.ndarray, num_qubits: int, classical: dict[int, int]
+    ) -> np.ndarray:
+        if instr.name == "barrier":
+            return state
+        if instr.name == "measure":
+            outcome, state = self._measure(state, instr.qubits[0], num_qubits)
+            clbit = instr.clbits[0] if instr.clbits else instr.qubits[0]
+            classical[clbit] = outcome
+            return state
+        if instr.name == "reset":
+            outcome, state = self._measure(state, instr.qubits[0], num_qubits)
+            if outcome == 1:
+                state = self._apply_matrix(gate_matrix_of("x"), state, (instr.qubits[0],), num_qubits)
+            return state
+        return self._apply_matrix(gate_matrix(instr.gate), state, instr.qubits, num_qubits)
+
+    @staticmethod
+    def _apply_matrix(
+        matrix: np.ndarray, state: np.ndarray, qubits: tuple[int, ...], num_qubits: int
+    ) -> np.ndarray:
+        k = len(qubits)
+        tensor = state.reshape([2] * num_qubits)
+        axes = list(qubits)
+        # Move the targeted axes to the front, apply the operator, move back.
+        tensor = np.moveaxis(tensor, axes, range(k))
+        folded = tensor.reshape(2**k, -1)
+        folded = matrix @ folded
+        tensor = folded.reshape([2] * num_qubits)
+        tensor = np.moveaxis(tensor, range(k), axes)
+        return tensor.reshape(-1)
+
+    def _measure(self, state: np.ndarray, qubit: int, num_qubits: int) -> tuple[int, np.ndarray]:
+        tensor = state.reshape([2] * num_qubits)
+        moved = np.moveaxis(tensor, qubit, 0)
+        probability_one = float(np.sum(np.abs(moved[1]) ** 2))
+        outcome = 1 if self._rng.random() < probability_one else 0
+        projected = np.zeros_like(moved)
+        projected[outcome] = moved[outcome]
+        norm = np.sqrt(probability_one if outcome == 1 else 1.0 - probability_one)
+        if norm < 1e-12:
+            raise RuntimeError("attempted to project onto a zero-probability outcome")
+        projected = projected / norm
+        return outcome, np.moveaxis(projected, 0, qubit).reshape(-1)
+
+    @staticmethod
+    def _has_mid_circuit_measurement(circuit: QuantumCircuit) -> bool:
+        seen_measure: set[int] = set()
+        for instr in circuit:
+            if instr.name == "measure":
+                seen_measure.add(instr.qubits[0])
+            elif instr.name != "barrier" and any(q in seen_measure for q in instr.qubits):
+                return True
+        return False
+
+
+def gate_matrix_of(name: str) -> np.ndarray:
+    from ..circuit.gates import Gate
+
+    return gate_matrix(Gate(name))
+
+
+def simulate(circuit: QuantumCircuit, *, seed: int | None = None) -> SimulationResult:
+    """Convenience wrapper: run a circuit once on a fresh simulator."""
+    return StatevectorSimulator(seed=seed).run(circuit)
+
+
+def sample_counts(circuit: QuantumCircuit, shots: int = 1024, *, seed: int | None = None) -> dict[str, int]:
+    """Convenience wrapper: sample measurement counts from a circuit."""
+    return StatevectorSimulator(seed=seed).sample(circuit, shots)

@@ -1,0 +1,107 @@
+"""Shared pytest fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Make the package importable without installation (mirrors `pip install -e .`).
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench import benchmark_suite  # noqa: E402
+from repro.circuit import QuantumCircuit, random_circuit  # noqa: E402
+from repro.core import Predictor  # noqa: E402
+from repro.devices import Calibration, Device, get_device  # noqa: E402
+from repro.devices.topologies import line_map  # noqa: E402
+from repro.rl import PPOConfig  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def washington() -> Device:
+    return get_device("ibmq_washington")
+
+
+@pytest.fixture(scope="session")
+def montreal() -> Device:
+    return get_device("ibmq_montreal")
+
+
+@pytest.fixture(scope="session")
+def all_devices() -> list[Device]:
+    from repro.devices import list_devices
+
+    return [get_device(name) for name in list_devices()]
+
+
+@pytest.fixture(scope="session")
+def line5_device() -> Device:
+    """A tiny 5-qubit line device (IBM gate set) for fast routing tests."""
+    coupling = line_map(5)
+    return Device(
+        name="line5",
+        platform="ibm",
+        num_qubits=5,
+        gate_set=get_device("ibmq_montreal").gate_set,
+        coupling_map=coupling,
+        calibration=Calibration.synthetic(
+            coupling,
+            seed=5,
+            single_qubit_error=5e-4,
+            two_qubit_error=8e-3,
+            readout_error=1.5e-2,
+        ),
+        description="test-only 5-qubit line",
+    )
+
+
+@pytest.fixture
+def bell_circuit() -> QuantumCircuit:
+    circuit = QuantumCircuit(2, name="bell")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    return circuit
+
+
+@pytest.fixture
+def ghz5() -> QuantumCircuit:
+    circuit = QuantumCircuit(5, name="ghz5")
+    circuit.h(0)
+    for q in range(4):
+        circuit.cx(q, q + 1)
+    return circuit
+
+
+@pytest.fixture
+def random_4q() -> QuantumCircuit:
+    return random_circuit(4, 8, seed=42)
+
+
+@pytest.fixture(scope="session")
+def tiny_suite() -> list[QuantumCircuit]:
+    """A small benchmark suite used by environment / evaluation tests."""
+    return benchmark_suite(2, 4, step=1, names=["ghz", "dj", "qft", "wstate", "vqe"])
+
+
+@pytest.fixture(scope="session")
+def trained_predictor(tiny_suite) -> Predictor:
+    """A Predictor trained with a very small budget (shared across tests)."""
+    predictor = Predictor(
+        reward="fidelity",
+        max_steps=20,
+        ppo_config=PPOConfig(n_steps=64, batch_size=32, n_epochs=3),
+        seed=7,
+    )
+    predictor.train(tiny_suite, total_timesteps=1200)
+    return predictor
+
+
+def assert_allclose_phase(a: np.ndarray, b: np.ndarray) -> None:
+    """Assert two operators are equal up to a global phase."""
+    from repro.linalg import allclose_up_to_global_phase
+
+    assert allclose_up_to_global_phase(a, b), "operators differ by more than a global phase"

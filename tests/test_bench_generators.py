@@ -1,0 +1,141 @@
+"""Unit tests for the MQT-Bench-style benchmark circuit generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BENCHMARK_GENERATORS,
+    available_benchmarks,
+    benchmark_circuit,
+    benchmark_suite,
+    ghz,
+    paper_benchmark_names,
+    qft,
+    wstate,
+)
+from repro.linalg import circuit_unitary
+
+_FAMILIES = available_benchmarks()
+
+
+class TestRegistry:
+    def test_all_22_families_present(self):
+        expected = {
+            "ae", "dj", "ghz", "graphstate", "groundstate", "portfolioqaoa",
+            "portfoliovqe", "pricingcall", "pricingput", "qaoa", "qft",
+            "qftentangled", "qgan", "qpeexact", "qpeinexact", "realamprandom",
+            "routing", "su2random", "tsp", "twolocalrandom", "vqe", "wstate",
+        }
+        assert set(_FAMILIES) == expected
+        assert len(paper_benchmark_names()) == 22
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_circuit("grover", 5)
+
+    def test_too_few_qubits_raises(self):
+        with pytest.raises(ValueError):
+            benchmark_circuit("tsp", 2)
+
+
+class TestGeneratedCircuits:
+    @pytest.mark.parametrize("family", _FAMILIES)
+    @pytest.mark.parametrize("num_qubits", [5, 8])
+    def test_generates_requested_width(self, family, num_qubits):
+        circuit = benchmark_circuit(family, num_qubits)
+        assert circuit.num_qubits == num_qubits
+        assert circuit.size() > 0
+        assert circuit.metadata["benchmark"] == family
+
+    @pytest.mark.parametrize("family", _FAMILIES)
+    def test_minimum_size_generates(self, family):
+        _generator, min_qubits = BENCHMARK_GENERATORS[family]
+        circuit = benchmark_circuit(family, min_qubits)
+        assert circuit.num_qubits == min_qubits
+
+    @pytest.mark.parametrize("family", _FAMILIES)
+    def test_has_measurements(self, family):
+        circuit = benchmark_circuit(family, 5)
+        assert circuit.count_ops().get("measure", 0) > 0
+
+    @pytest.mark.parametrize("family", _FAMILIES)
+    def test_uses_every_qubit(self, family):
+        circuit = benchmark_circuit(family, 6)
+        assert circuit.active_qubits() == set(range(6))
+
+    @pytest.mark.parametrize("family", _FAMILIES)
+    def test_deterministic(self, family):
+        a = benchmark_circuit(family, 5)
+        b = benchmark_circuit(family, 5)
+        assert a == b
+
+    @pytest.mark.parametrize("family", _FAMILIES)
+    def test_contains_entanglement(self, family):
+        circuit = benchmark_circuit(family, 6)
+        assert circuit.num_two_qubit_gates() > 0
+
+
+class TestSpecificCircuits:
+    def test_ghz_produces_ghz_state(self):
+        circuit = ghz(3).without_final_measurements()
+        state = circuit_unitary(circuit)[:, 0]
+        expected = np.zeros(8, dtype=complex)
+        expected[0] = expected[7] = 1 / np.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_wstate_produces_w_state(self):
+        circuit = wstate(3).without_final_measurements()
+        state = circuit_unitary(circuit)[:, 0]
+        amplitudes = np.abs(state) ** 2
+        # |001>, |010>, |100> each with probability 1/3
+        assert amplitudes[1] == pytest.approx(1 / 3, abs=1e-6)
+        assert amplitudes[2] == pytest.approx(1 / 3, abs=1e-6)
+        assert amplitudes[4] == pytest.approx(1 / 3, abs=1e-6)
+
+    def test_qft_matrix_is_fourier(self):
+        circuit = qft(3, with_measurements=False)
+        unitary = circuit_unitary(circuit)
+        dim = 8
+        omega = np.exp(2j * np.pi / dim)
+        fourier = np.array([[omega ** (j * k) for k in range(dim)] for j in range(dim)]) / np.sqrt(dim)
+        assert np.allclose(unitary, fourier, atol=1e-7)
+
+    def test_dj_balanced_oracle_structure(self):
+        circuit = benchmark_circuit("dj", 5)
+        assert circuit.count_ops()["cx"] == 4
+
+    def test_qpe_exact_vs_inexact_differ(self):
+        exact = benchmark_circuit("qpeexact", 5)
+        inexact = benchmark_circuit("qpeinexact", 5)
+        assert exact != inexact
+
+    def test_qaoa_layer_structure(self):
+        circuit = benchmark_circuit("qaoa", 6)
+        counts = circuit.count_ops()
+        assert counts["h"] == 6
+        assert counts["rzz"] > 0
+        assert counts["rx"] == 12  # 2 layers x 6 qubits
+
+
+class TestSuite:
+    def test_paper_scale_suite_size(self):
+        suite = benchmark_suite(2, 20, step=2)
+        assert 180 <= len(suite) <= 230  # paper uses ~200 circuits
+
+    def test_respects_qubit_range(self):
+        suite = benchmark_suite(3, 5, step=1)
+        for circuit in suite:
+            assert 3 <= circuit.num_qubits <= 5
+
+    def test_name_filter(self):
+        suite = benchmark_suite(2, 6, names=["ghz", "qft"], step=2)
+        families = {c.metadata["benchmark"] for c in suite}
+        assert families == {"ghz", "qft"}
+
+    def test_family_minimums_respected(self):
+        suite = benchmark_suite(2, 6, step=1)
+        for circuit in suite:
+            _gen, min_qubits = BENCHMARK_GENERATORS[circuit.metadata["benchmark"]]
+            assert circuit.num_qubits >= min_qubits

@@ -1,0 +1,215 @@
+"""Unit tests for the QuantumCircuit IR."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import Gate, Instruction, QuantumCircuit
+from repro.linalg import allclose_up_to_global_phase, circuit_unitary
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        circuit = QuantumCircuit(3)
+        assert circuit.num_qubits == 3
+        assert len(circuit) == 0
+        assert circuit.depth() == 0
+        assert circuit.size() == 0
+
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(-1)
+
+    def test_append_by_name_and_gate(self):
+        circuit = QuantumCircuit(2)
+        circuit.append("h", [0])
+        circuit.append(Gate("rz", (0.5,)), [1])
+        assert [i.name for i in circuit] == ["h", "rz"]
+
+    def test_append_out_of_range_qubit(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError, match="out of range"):
+            circuit.append("h", [2])
+
+    def test_convenience_methods_chain(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).rz(0.1, 2).ccx(0, 1, 2)
+        assert circuit.size() == 4
+
+    def test_measure_records_clbit(self):
+        circuit = QuantumCircuit(2)
+        circuit.measure(1, 0)
+        assert circuit[0].clbits == (0,)
+        assert circuit[0].qubits == (1,)
+
+    def test_measure_all(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.measure_all()
+        assert circuit.count_ops()["measure"] == 3
+
+    def test_barrier_defaults_to_all_qubits(self):
+        circuit = QuantumCircuit(4)
+        circuit.barrier()
+        assert circuit[0].qubits == (0, 1, 2, 3)
+
+    def test_equality(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(2)
+        b.h(0)
+        assert a == b
+        b.x(1)
+        assert a != b
+
+
+class TestMetrics:
+    def test_depth_simple_chain(self, ghz5):
+        # H + 4 CX in a chain: depth is 5
+        assert ghz5.depth() == 5
+
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(4)
+        for q in range(4):
+            circuit.h(q)
+        assert circuit.depth() == 1
+
+    def test_depth_only_2q(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.h(1)
+        circuit.cx(1, 2)
+        assert circuit.depth(only_2q=True) == 2
+
+    def test_barriers_do_not_add_depth(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.barrier()
+        circuit.h(1)
+        assert circuit.depth() == 1
+
+    def test_count_ops(self, bell_circuit):
+        counts = bell_circuit.count_ops()
+        assert counts == {"h": 1, "cx": 1}
+
+    def test_size_excludes_barriers(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.barrier()
+        assert circuit.size() == 1
+        assert len(circuit) == 2
+
+    def test_num_two_qubit_gates(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.swap(1, 2)
+        circuit.measure_all()
+        assert circuit.num_two_qubit_gates() == 2
+
+    def test_active_qubits(self):
+        circuit = QuantumCircuit(5)
+        circuit.h(1)
+        circuit.cx(1, 3)
+        assert circuit.active_qubits() == {1, 3}
+
+    def test_gate_names_excludes_measure(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.measure_all()
+        assert circuit.gate_names() == {"h"}
+
+    def test_two_qubit_interactions(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(1, 0)
+        circuit.cz(2, 3)
+        assert circuit.two_qubit_interactions() == {(0, 1), (2, 3)}
+
+    def test_depth_with_measure_on_clbit_chain(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 0)
+        # Both measurements write the same clbit, so they cannot overlap.
+        assert circuit.depth() == 2
+
+    def test_summary_mentions_counts(self, bell_circuit):
+        text = bell_circuit.summary()
+        assert "2 qubits" in text
+        assert "cx:1" in text
+
+
+class TestTransformations:
+    def test_copy_is_independent(self, bell_circuit):
+        copy = bell_circuit.copy()
+        copy.x(0)
+        assert len(copy) == len(bell_circuit) + 1
+
+    def test_compose_identity_mapping(self, bell_circuit):
+        other = QuantumCircuit(2)
+        other.x(0)
+        combined = bell_circuit.compose(other)
+        assert [i.name for i in combined] == ["h", "cx", "x"]
+
+    def test_compose_with_qubit_mapping(self):
+        big = QuantumCircuit(4)
+        small = QuantumCircuit(2)
+        small.cx(0, 1)
+        combined = big.compose(small, qubits=[2, 3])
+        assert combined[0].qubits == (2, 3)
+
+    def test_compose_wrong_mapping_length(self, bell_circuit):
+        with pytest.raises(ValueError):
+            bell_circuit.compose(QuantumCircuit(2), qubits=[0])
+
+    def test_inverse_reverses_and_inverts(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.rz(0.3, 1)
+        inverse = circuit.inverse()
+        assert [i.name for i in inverse] == ["rz", "cx", "h"]
+        assert inverse[0].params == (-0.3,)
+        product = circuit_unitary(inverse) @ circuit_unitary(circuit)
+        assert allclose_up_to_global_phase(product, np.eye(4))
+
+    def test_inverse_rejects_measurements(self):
+        circuit = QuantumCircuit(1)
+        circuit.measure(0)
+        with pytest.raises(ValueError):
+            circuit.inverse()
+
+    def test_remap_qubits(self, bell_circuit):
+        remapped = bell_circuit.remap_qubits({0: 1, 1: 0})
+        assert remapped[1].qubits == (1, 0)
+
+    def test_without_final_measurements(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.measure_all()
+        trimmed = circuit.without_final_measurements()
+        assert trimmed.count_ops().get("measure", 0) == 0
+        assert trimmed.size() == 1
+
+    def test_without_ancillas_compacts(self):
+        circuit = QuantumCircuit(6)
+        circuit.h(2)
+        circuit.cx(2, 5)
+        compact, mapping = circuit.without_ancillas()
+        assert compact.num_qubits == 2
+        assert mapping == {2: 0, 5: 1}
+        assert compact[1].qubits == (0, 1)
+
+    def test_extend_with_instructions(self):
+        circuit = QuantumCircuit(2)
+        circuit.extend([Instruction(Gate("h"), (0,)), Instruction(Gate("cx"), (0, 1))])
+        assert circuit.size() == 2
+
+    def test_unitary_of_bell(self, bell_circuit):
+        unitary = circuit_unitary(bell_circuit)
+        state = unitary[:, 0]
+        expected = np.zeros(4, dtype=complex)
+        expected[0] = expected[3] = 1 / np.sqrt(2)
+        assert np.allclose(state, expected)

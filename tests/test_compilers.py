@@ -1,0 +1,90 @@
+"""Unit tests for the Qiskit-style and TKET-style preset compilers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import benchmark_circuit
+from repro.compilers import compile_qiskit_style, compile_tket_style
+from repro.devices import get_device, list_devices
+from repro.reward import expected_fidelity
+
+
+class TestQiskitStylePresets:
+    @pytest.mark.parametrize("level", [0, 1, 2, 3])
+    def test_all_levels_produce_executable_circuits(self, level, washington):
+        circuit = benchmark_circuit("qft", 5)
+        result = compile_qiskit_style(circuit, washington, optimization_level=level)
+        assert washington.is_executable(result.circuit)
+        assert result.device is washington
+        assert result.passes
+
+    def test_invalid_level_rejected(self, washington):
+        with pytest.raises(ValueError):
+            compile_qiskit_style(benchmark_circuit("ghz", 3), washington, optimization_level=4)
+
+    def test_higher_level_not_worse_on_qft(self, washington):
+        circuit = benchmark_circuit("qft", 6)
+        low = compile_qiskit_style(circuit, washington, optimization_level=0)
+        high = compile_qiskit_style(circuit, washington, optimization_level=3)
+        assert high.circuit.num_two_qubit_gates() <= low.circuit.num_two_qubit_gates()
+
+    def test_measurements_survive(self, washington):
+        circuit = benchmark_circuit("ghz", 4)
+        result = compile_qiskit_style(circuit, washington, optimization_level=3)
+        assert result.circuit.count_ops()["measure"] == 4
+
+    @pytest.mark.parametrize("device_name", list_devices())
+    def test_works_for_every_device(self, device_name):
+        device = get_device(device_name)
+        circuit = benchmark_circuit("vqe", 4)
+        result = compile_qiskit_style(circuit, device, optimization_level=3)
+        assert device.is_executable(result.circuit)
+
+    def test_seed_reproducibility(self, washington):
+        circuit = benchmark_circuit("qaoa", 5)
+        first = compile_qiskit_style(circuit, washington, optimization_level=3, seed=11)
+        second = compile_qiskit_style(circuit, washington, optimization_level=3, seed=11)
+        assert first.circuit.count_ops() == second.circuit.count_ops()
+
+
+class TestTketStylePresets:
+    @pytest.mark.parametrize("level", [0, 1, 2])
+    def test_all_levels_produce_executable_circuits(self, level, washington):
+        circuit = benchmark_circuit("qft", 5)
+        result = compile_tket_style(circuit, washington, optimization_level=level)
+        assert washington.is_executable(result.circuit)
+
+    def test_invalid_level_rejected(self, washington):
+        with pytest.raises(ValueError):
+            compile_tket_style(benchmark_circuit("ghz", 3), washington, optimization_level=3)
+
+    @pytest.mark.parametrize("device_name", list_devices())
+    def test_works_for_every_device(self, device_name):
+        device = get_device(device_name)
+        circuit = benchmark_circuit("wstate", 4)
+        result = compile_tket_style(circuit, device, optimization_level=2)
+        assert device.is_executable(result.circuit)
+
+    def test_uses_tket_passes(self, washington):
+        result = compile_tket_style(benchmark_circuit("ghz", 4), washington, optimization_level=2)
+        assert "full_peephole_optimise" in result.passes
+        assert "tket_routing" in result.passes
+
+
+class TestBaselineQuality:
+    def test_optimized_levels_reasonable_fidelity_small_circuit(self, washington):
+        circuit = benchmark_circuit("ghz", 4)
+        qiskit = compile_qiskit_style(circuit, washington, optimization_level=3)
+        tket = compile_tket_style(circuit, washington, optimization_level=2)
+        assert expected_fidelity(qiskit.circuit, washington) > 0.5
+        assert expected_fidelity(tket.circuit, washington) > 0.5
+
+    def test_both_baselines_compile_whole_small_suite(self, washington):
+        from repro.bench import benchmark_suite
+
+        for circuit in benchmark_suite(3, 4, step=1, names=["dj", "qaoa", "ae", "qftentangled"]):
+            q = compile_qiskit_style(circuit, washington, optimization_level=3)
+            t = compile_tket_style(circuit, washington, optimization_level=2)
+            assert washington.is_executable(q.circuit)
+            assert washington.is_executable(t.circuit)

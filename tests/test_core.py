@@ -1,0 +1,271 @@
+"""Unit tests for the core package: actions, state machine, environment, predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import benchmark_circuit
+from repro.circuit import QuantumCircuit
+from repro.core import (
+    ActionKind,
+    CompilationEnv,
+    CompilationState,
+    CompilationStatus,
+    Predictor,
+    build_action_registry,
+)
+from repro.core.actions import TERMINATE_ACTION_NAME
+from repro.devices import get_device
+from repro.rl import PPOConfig
+
+
+class TestActionRegistry:
+    def test_registry_contains_all_kinds(self):
+        actions = build_action_registry()
+        kinds = {a.kind for a in actions}
+        assert kinds == {
+            ActionKind.PLATFORM,
+            ActionKind.DEVICE,
+            ActionKind.SYNTHESIS,
+            ActionKind.MAPPING,
+            ActionKind.OPTIMIZATION,
+            ActionKind.TERMINATE,
+        }
+
+    def test_counts_match_paper_instantiation(self):
+        actions = build_action_registry()
+        by_kind = {}
+        for action in actions:
+            by_kind.setdefault(action.kind, []).append(action)
+        assert len(by_kind[ActionKind.PLATFORM]) == 4
+        assert len(by_kind[ActionKind.DEVICE]) == 5
+        assert len(by_kind[ActionKind.SYNTHESIS]) == 1
+        assert len(by_kind[ActionKind.MAPPING]) == 12  # 3 layouts x 4 routers
+        assert len(by_kind[ActionKind.OPTIMIZATION]) == 12
+        assert len(by_kind[ActionKind.TERMINATE]) == 1
+
+    def test_indices_are_contiguous(self):
+        actions = build_action_registry()
+        assert [a.index for a in actions] == list(range(len(actions)))
+
+    def test_origins_mix_sdk_styles(self):
+        actions = build_action_registry()
+        origins = {a.origin for a in actions if a.kind == ActionKind.OPTIMIZATION}
+        assert "qiskit" in origins and "tket" in origins
+
+    def test_platform_restriction(self):
+        actions = build_action_registry(["ibm"])
+        platform_actions = [a for a in actions if a.kind == ActionKind.PLATFORM]
+        device_actions = [a for a in actions if a.kind == ActionKind.DEVICE]
+        assert len(platform_actions) == 1
+        assert {a.payload for a in device_actions} == {"ibmq_montreal", "ibmq_washington"}
+
+
+class TestCompilationState:
+    def test_start_status(self, bell_circuit):
+        state = CompilationState(bell_circuit)
+        assert state.status == CompilationStatus.START
+
+    def test_platform_chosen_status(self, bell_circuit):
+        state = CompilationState(bell_circuit, platform="ibm")
+        assert state.status == CompilationStatus.PLATFORM_CHOSEN
+
+    def test_device_chosen_status(self, bell_circuit, montreal):
+        state = CompilationState(bell_circuit, platform="ibm", device=montreal)
+        assert state.status == CompilationStatus.DEVICE_CHOSEN  # H is not native
+
+    def test_native_gates_status(self, montreal):
+        circuit = QuantumCircuit(3)
+        circuit.sx(0)
+        circuit.cx(0, 2)  # qubits 0 and 2 are NOT connected on montreal
+        state = CompilationState(circuit, platform="ibm", device=montreal)
+        assert state.status == CompilationStatus.NATIVE_GATES
+
+    def test_done_status(self, montreal):
+        a, b = montreal.coupling_map.edges[0]
+        circuit = QuantumCircuit(montreal.num_qubits)
+        circuit.sx(a)
+        circuit.cx(a, b)
+        state = CompilationState(circuit, platform="ibm", device=montreal)
+        assert state.status == CompilationStatus.DONE
+        assert state.is_done
+
+    def test_describe_mentions_status_and_device(self, bell_circuit, montreal):
+        state = CompilationState(bell_circuit, platform="ibm", device=montreal)
+        text = state.describe()
+        assert "ibmq_montreal" in text and "status=" in text
+
+
+class TestCompilationEnv:
+    @pytest.fixture
+    def env(self, tiny_suite):
+        return CompilationEnv(tiny_suite, reward="fidelity", max_steps=25, seed=0)
+
+    def test_requires_circuits(self):
+        with pytest.raises(ValueError):
+            CompilationEnv([], reward="fidelity")
+
+    def test_observation_shape_and_range(self, env):
+        obs, info = env.reset(seed=1)
+        assert obs.shape == env.observation_space.shape
+        assert np.all(obs >= 0) and np.all(obs <= 1)
+        assert "circuit" in info
+
+    def test_initial_masks_allow_platform_and_optimization_only(self, env):
+        env.reset(seed=1)
+        mask = env.action_masks()
+        for action in env.actions:
+            if action.kind in (ActionKind.PLATFORM, ActionKind.OPTIMIZATION):
+                continue
+            assert not mask[action.index], action.name
+
+    def test_step_requires_reset(self, tiny_suite):
+        env = CompilationEnv(tiny_suite)
+        with pytest.raises(RuntimeError):
+            env.step(0)
+
+    def test_platform_then_device_selection(self, env):
+        env.reset(seed=1)
+        env.step(env.action_by_name("select_platform_ibm").index)
+        assert env.state.status == CompilationStatus.PLATFORM_CHOSEN
+        mask = env.action_masks()
+        valid_kinds = {env.actions[i].kind for i in np.flatnonzero(mask)}
+        assert valid_kinds == {ActionKind.DEVICE}
+        env.step(env.action_by_name("select_device_ibmq_montreal").index)
+        assert env.state.device is not None
+
+    def test_mapping_only_available_after_native(self):
+        # A 4-qubit QFT has all-to-all interactions, so after synthesis it is
+        # native but not yet mapped on a heavy-hex device.
+        env = CompilationEnv([benchmark_circuit("qft", 4)], max_steps=25, seed=0)
+        env.reset(seed=1)
+        env.step(env.action_by_name("select_platform_ibm").index)
+        env.step(env.action_by_name("select_device_ibmq_washington").index)
+        mask = env.action_masks()
+        mapping_valid = [
+            bool(mask[a.index]) for a in env.actions if a.kind == ActionKind.MAPPING
+        ]
+        if env.state.status == CompilationStatus.DEVICE_CHOSEN:
+            assert not any(mapping_valid)
+        env.step(env.action_by_name("synthesis_basis_translator").index)
+        assert env.state.status == CompilationStatus.NATIVE_GATES
+        mask = env.action_masks()
+        mapping_valid = [
+            bool(mask[a.index]) for a in env.actions if a.kind == ActionKind.MAPPING
+        ]
+        assert any(mapping_valid)
+
+    def test_full_episode_reaches_done_and_rewards(self, env):
+        env.reset(seed=1)
+        env.step(env.action_by_name("select_platform_ibm").index)
+        env.step(env.action_by_name("select_device_ibmq_montreal").index)
+        env.step(env.action_by_name("synthesis_basis_translator").index)
+        env.step(env.action_by_name("map_sabre_layout_sabre_routing").index)
+        assert env.state.status == CompilationStatus.DONE
+        mask = env.action_masks()
+        terminate = env.action_by_name(TERMINATE_ACTION_NAME)
+        assert mask[terminate.index]
+        _obs, reward, terminated, _truncated, info = env.step(terminate.index)
+        assert terminated
+        assert 0.0 < reward <= 1.0
+        assert info["final_reward"] == reward
+
+    def test_sparse_reward_before_termination(self, env):
+        env.reset(seed=1)
+        _obs, reward, *_ = env.step(env.action_by_name("select_platform_ibm").index)
+        assert reward == 0.0
+
+    def test_invalid_action_penalised_not_fatal(self, env):
+        env.reset(seed=1)
+        terminate = env.action_by_name(TERMINATE_ACTION_NAME)
+        _obs, reward, terminated, _trunc, info = env.step(terminate.index)
+        assert not terminated
+        assert reward < 0
+        assert info.get("invalid")
+
+    def test_truncation_at_max_steps(self, tiny_suite):
+        env = CompilationEnv(tiny_suite, max_steps=3, seed=0)
+        env.reset(seed=1)
+        optimization = next(a for a in env.actions if a.kind == ActionKind.OPTIMIZATION)
+        truncated = False
+        for _ in range(3):
+            _obs, _r, _term, truncated, _info = env.step(optimization.index)
+        assert truncated
+
+    def test_fixed_device_mode_skips_selection(self, tiny_suite):
+        env = CompilationEnv(tiny_suite, device_name="ibmq_washington", max_steps=15, seed=0)
+        env.reset(seed=1)
+        assert env.state.device.name == "ibmq_washington"
+        mask = env.action_masks()
+        valid_kinds = {env.actions[i].kind for i in np.flatnonzero(mask)}
+        assert ActionKind.PLATFORM not in valid_kinds
+        assert ActionKind.DEVICE not in valid_kinds
+
+    def test_episode_cycles_through_circuits(self, tiny_suite):
+        env = CompilationEnv(tiny_suite, seed=0)
+        names = set()
+        for _ in range(min(4, len(tiny_suite))):
+            _obs, info = env.reset()
+            names.add(info["circuit"])
+        assert len(names) > 1
+
+    def test_oversized_circuit_masks_small_platforms(self):
+        big = QuantumCircuit(40, name="big")
+        for q in range(39):
+            big.cx(q, q + 1)
+        env = CompilationEnv([big], seed=0)
+        env.reset(seed=1)
+        mask = env.action_masks()
+        oqc = env.action_by_name("select_platform_oqc")
+        ibm = env.action_by_name("select_platform_ibm")
+        assert not mask[oqc.index]
+        assert mask[ibm.index]
+
+
+class TestPredictor:
+    def test_compile_before_training_raises(self, bell_circuit):
+        with pytest.raises(RuntimeError):
+            Predictor().compile(bell_circuit)
+
+    def test_trained_predictor_produces_executable_circuit(self, trained_predictor):
+        circuit = benchmark_circuit("ghz", 3)
+        result = trained_predictor.compile(circuit)
+        assert result.reached_done
+        assert result.device is not None
+        assert result.device.is_executable(result.circuit)
+        assert 0.0 <= result.reward <= 1.0
+        assert result.actions[-1] == TERMINATE_ACTION_NAME or result.reached_done
+
+    def test_result_summary_format(self, trained_predictor):
+        result = trained_predictor.compile(benchmark_circuit("dj", 3))
+        text = result.summary()
+        assert "reward[fidelity]" in text
+
+    def test_evaluate_alternative_metric(self, trained_predictor):
+        value = trained_predictor.evaluate(benchmark_circuit("ghz", 3), reward="critical_depth")
+        assert 0.0 <= value <= 1.0
+
+    def test_save_and_load_round_trip(self, trained_predictor, tmp_path):
+        path = tmp_path / "predictor.json"
+        trained_predictor.save(path)
+        restored = Predictor.load(path)
+        assert restored.reward_name == trained_predictor.reward_name
+        circuit = benchmark_circuit("qft", 3)
+        original = trained_predictor.compile(circuit)
+        loaded = restored.compile(circuit)
+        assert loaded.reward == pytest.approx(original.reward)
+
+    def test_save_untrained_raises(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            Predictor().save(tmp_path / "x.json")
+
+    def test_feature_importance_keys(self, trained_predictor):
+        importance = trained_predictor.policy_feature_importance(benchmark_circuit("ghz", 3))
+        from repro.features import FEATURE_NAMES
+
+        assert set(importance) == set(FEATURE_NAMES)
+
+    def test_training_summary_recorded(self, trained_predictor):
+        assert trained_predictor.training_summary is not None
+        assert trained_predictor.training_summary.episodes > 0

@@ -1,0 +1,90 @@
+"""Unit tests for the DAG circuit view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import DAGCircuit, QuantumCircuit
+
+
+@pytest.fixture
+def layered_circuit() -> QuantumCircuit:
+    circuit = QuantumCircuit(3)
+    circuit.h(0)
+    circuit.h(1)
+    circuit.cx(0, 1)
+    circuit.x(2)
+    circuit.cx(1, 2)
+    return circuit
+
+
+class TestConstruction:
+    def test_node_count(self, layered_circuit):
+        dag = DAGCircuit.from_circuit(layered_circuit)
+        assert len(dag) == 5
+
+    def test_front_layer(self, layered_circuit):
+        dag = DAGCircuit.from_circuit(layered_circuit)
+        names = sorted(node.name for node in dag.front_layer())
+        assert names == ["h", "h", "x"]
+
+    def test_dependencies_follow_wires(self, layered_circuit):
+        dag = DAGCircuit.from_circuit(layered_circuit)
+        cx01 = next(n for n in dag.nodes.values() if n.name == "cx" and n.qubits == (0, 1))
+        assert len(cx01.predecessors) == 2
+
+    def test_measure_clbit_dependency(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 0)
+        dag = DAGCircuit.from_circuit(circuit)
+        second = dag.node(1)
+        assert 0 in second.predecessors
+
+
+class TestTopologicalOrder:
+    def test_order_respects_dependencies(self, layered_circuit):
+        dag = DAGCircuit.from_circuit(layered_circuit)
+        seen = set()
+        for node in dag.topological_nodes():
+            assert node.predecessors <= seen
+            seen.add(node.node_id)
+
+    def test_to_circuit_round_trip(self, layered_circuit):
+        dag = DAGCircuit.from_circuit(layered_circuit)
+        rebuilt = dag.to_circuit()
+        assert rebuilt.count_ops() == layered_circuit.count_ops()
+        assert rebuilt.depth() == layered_circuit.depth()
+
+
+class TestAnalysis:
+    def test_longest_path_length(self, layered_circuit):
+        dag = DAGCircuit.from_circuit(layered_circuit)
+        # h(0/1) -> cx(0,1) -> cx(1,2) is the longest chain: 3 gates
+        assert dag.longest_path_length() == 3
+
+    def test_longest_path_only_2q(self, layered_circuit):
+        dag = DAGCircuit.from_circuit(layered_circuit)
+        assert dag.longest_path_length(only_2q=True) == 2
+
+    def test_two_qubit_gates_on_longest_path_ghz(self, ghz5):
+        dag = DAGCircuit.from_circuit(ghz5)
+        # GHZ chain: all 4 CX gates are sequential on the critical path.
+        assert dag.two_qubit_gates_on_longest_path() == 4
+
+    def test_two_qubit_gates_on_longest_path_parallel(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        dag = DAGCircuit.from_circuit(circuit)
+        assert dag.two_qubit_gates_on_longest_path() == 1
+
+
+class TestRemoval:
+    def test_remove_front_node_updates_front_layer(self, layered_circuit):
+        dag = DAGCircuit.from_circuit(layered_circuit)
+        front_ids = {n.node_id for n in dag.front_layer()}
+        target = min(front_ids)
+        dag.remove_node(target)
+        assert target not in dag.nodes
+        assert len(dag) == 4

@@ -1,0 +1,66 @@
+"""Unit tests for the ASCII circuit drawer."""
+
+from __future__ import annotations
+
+from repro.bench import benchmark_circuit
+from repro.circuit import QuantumCircuit
+from repro.circuit.drawing import draw
+
+
+class TestDraw:
+    def test_empty_circuit(self):
+        assert draw(QuantumCircuit(0)) == "(empty circuit)"
+
+    def test_one_row_per_qubit(self, bell_circuit):
+        text = draw(bell_circuit)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("q0:")
+        assert lines[1].startswith("q1:")
+
+    def test_single_qubit_gate_label(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        assert "[h]" in draw(circuit)
+
+    def test_parametrised_gate_shows_angle(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.5, 0)
+        assert "rz(0.5)" in draw(circuit)
+
+    def test_cx_symbols(self, bell_circuit):
+        text = draw(bell_circuit)
+        assert "●" in text and "X" in text
+
+    def test_measure_symbol(self):
+        circuit = QuantumCircuit(1)
+        circuit.measure(0)
+        assert "M" in draw(circuit)
+
+    def test_parallel_gates_share_column(self):
+        sequential = QuantumCircuit(2)
+        sequential.h(0)
+        sequential.h(0)
+        parallel = QuantumCircuit(2)
+        parallel.h(0)
+        parallel.h(1)
+        assert len(draw(parallel).splitlines()[0]) < len(draw(sequential).splitlines()[0])
+
+    def test_width_truncation(self):
+        circuit = QuantumCircuit(1)
+        for _ in range(200):
+            circuit.h(0)
+        text = draw(circuit, max_width=60)
+        assert all(len(line) <= 60 for line in text.splitlines())
+        assert "…" in text
+
+    def test_benchmark_circuit_renders(self):
+        text = draw(benchmark_circuit("ghz", 4))
+        assert len(text.splitlines()) == 4
+
+    def test_swap_and_barrier_symbols(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        circuit.barrier()
+        text = draw(circuit)
+        assert "x" in text and "░" in text

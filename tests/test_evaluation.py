@@ -1,0 +1,141 @@
+"""Unit tests for the evaluation harness (comparison, figures, tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import benchmark_suite
+from repro.evaluation import (
+    ComparisonRecord,
+    compare_predictor,
+    cross_model_rewards,
+    format_histogram,
+    format_per_benchmark,
+    format_table1,
+    per_benchmark_differences,
+    reward_difference_histogram,
+    summarize,
+)
+from repro.evaluation.experiment import ExperimentConfig, build_suite, default_config_from_env
+
+
+def _synthetic_records() -> list[ComparisonRecord]:
+    rng = np.random.default_rng(0)
+    records = []
+    for i, family in enumerate(["ghz", "qft", "dj"]):
+        for width in (3, 5):
+            rl = float(rng.uniform(0.5, 1.0))
+            records.append(
+                ComparisonRecord(
+                    circuit_name=f"{family}_{width}",
+                    benchmark=family,
+                    num_qubits=width,
+                    metric="fidelity",
+                    rl_reward=rl,
+                    qiskit_reward=rl - 0.1,
+                    tket_reward=rl - 0.05 * (i + 1),
+                )
+            )
+    return records
+
+
+class TestComparisonRecords:
+    def test_diffs(self):
+        record = ComparisonRecord("ghz_3", "ghz", 3, "fidelity", 0.9, 0.7, 0.8)
+        assert record.diff_vs_qiskit == pytest.approx(0.2)
+        assert record.diff_vs_tket == pytest.approx(0.1)
+
+    def test_summarize_fractions(self):
+        records = _synthetic_records()
+        summary = summarize(records)
+        assert summary.num_circuits == len(records)
+        assert summary.fraction_better_or_equal_qiskit == 1.0
+        assert summary.fraction_better_or_equal_tket == 1.0
+        assert summary.mean_diff_qiskit == pytest.approx(0.1)
+        assert "Qiskit-O3" in summary.format_table()
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_compare_predictor_produces_record_per_circuit(self, trained_predictor):
+        circuits = benchmark_suite(3, 3, step=1, names=["ghz", "dj"])
+        records = compare_predictor(trained_predictor, circuits, baseline_device="ibmq_washington")
+        assert len(records) == len(circuits)
+        for record in records:
+            assert 0.0 <= record.rl_reward <= 1.0
+            assert 0.0 <= record.qiskit_reward <= 1.0
+            assert 0.0 <= record.tket_reward <= 1.0
+            assert record.metric == "fidelity"
+
+
+class TestFigureData:
+    def test_histogram_frequencies_sum_to_one(self):
+        data = reward_difference_histogram(_synthetic_records(), bins=11)
+        assert data.qiskit_frequencies.sum() == pytest.approx(1.0)
+        assert data.tket_frequencies.sum() == pytest.approx(1.0)
+        assert len(data.bin_centers) == 11
+
+    def test_histogram_is_centered_on_positive_diffs(self):
+        data = reward_difference_histogram(_synthetic_records(), bins=11)
+        mean_center = float(np.sum(data.bin_centers * data.qiskit_frequencies))
+        assert mean_center > 0
+
+    def test_per_benchmark_means(self):
+        data = per_benchmark_differences(_synthetic_records())
+        assert data.benchmarks == ["dj", "ghz", "qft"]
+        assert np.allclose(data.mean_diff_qiskit, 0.1)
+
+    def test_format_histogram_text(self):
+        text = format_histogram(reward_difference_histogram(_synthetic_records()))
+        assert "qiskit" in text and "tket" in text
+
+    def test_format_per_benchmark_text(self):
+        text = format_per_benchmark(per_benchmark_differences(_synthetic_records()))
+        assert "ghz" in text and "average" in text
+
+
+class TestTable1:
+    def test_cross_model_matrix_shape(self, trained_predictor):
+        circuits = benchmark_suite(3, 3, step=1, names=["ghz"])
+        table = cross_model_rewards({"fidelity": trained_predictor}, circuits)
+        assert table.values.shape == (1, 1)
+        assert 0.0 <= table.value("fidelity", "fidelity") <= 1.0
+        assert "Model trained for" in format_table1(table)
+
+    def test_diagonal_is_best_detection(self):
+        from repro.evaluation.tables import CrossModelTable
+
+        good = CrossModelTable(
+            ["fidelity", "critical_depth"],
+            ["fidelity", "critical_depth"],
+            np.array([[0.9, 0.2], [0.5, 0.8]]),
+        )
+        bad = CrossModelTable(
+            ["fidelity", "critical_depth"],
+            ["fidelity", "critical_depth"],
+            np.array([[0.4, 0.2], [0.5, 0.8]]),
+        )
+        assert good.diagonal_is_best()
+        assert not bad.diagonal_is_best()
+
+
+class TestExperimentConfig:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAIN_STEPS", "1234")
+        monkeypatch.setenv("REPRO_MAX_QUBITS", "9")
+        config = default_config_from_env()
+        assert config.train_timesteps == 1234
+        assert config.max_qubits == 9
+
+    def test_explicit_overrides_win(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAIN_STEPS", "1234")
+        config = default_config_from_env(train_timesteps=55)
+        assert config.train_timesteps == 55
+
+    def test_build_suite_respects_config(self):
+        config = ExperimentConfig(min_qubits=3, max_qubits=4, qubit_step=1, benchmark_names=["ghz", "qft"])
+        suite = build_suite(config)
+        assert {c.metadata["benchmark"] for c in suite} == {"ghz", "qft"}
+        assert all(3 <= c.num_qubits <= 4 for c in suite)

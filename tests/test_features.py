@@ -1,0 +1,177 @@
+"""Unit tests for the SupermarQ features and observation extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.features import (
+    FEATURE_NAMES,
+    critical_depth,
+    entanglement_ratio,
+    feature_dict,
+    feature_vector,
+    liveness,
+    parallelism,
+    program_communication,
+    supermarq_features,
+)
+
+
+@pytest.fixture
+def ghz4() -> QuantumCircuit:
+    circuit = QuantumCircuit(4)
+    circuit.h(0)
+    for q in range(3):
+        circuit.cx(q, q + 1)
+    return circuit
+
+
+class TestProgramCommunication:
+    def test_no_interaction_is_zero(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        assert program_communication(circuit) == 0.0
+
+    def test_ghz_chain(self, ghz4):
+        # Chain interaction graph on 4 qubits: degrees 1,2,2,1 -> 6 / 12
+        assert program_communication(ghz4) == pytest.approx(0.5)
+
+    def test_all_to_all_is_one(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.cx(0, 2)
+        assert program_communication(circuit) == pytest.approx(1.0)
+
+    def test_single_qubit_circuit(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        assert program_communication(circuit) == 0.0
+
+
+class TestCriticalDepth:
+    def test_no_two_qubit_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        assert critical_depth(circuit) == 0.0
+
+    def test_fully_sequential_chain_is_one(self, ghz4):
+        assert critical_depth(ghz4) == pytest.approx(1.0)
+
+    def test_parallel_gates_lower_value(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        assert critical_depth(circuit) == pytest.approx(0.5)
+
+    def test_bounded_by_one(self):
+        circuit = random_circuit(5, 10, seed=1)
+        assert 0.0 <= critical_depth(circuit) <= 1.0
+
+
+class TestEntanglementRatio:
+    def test_only_single_qubit_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.h(1)
+        assert entanglement_ratio(circuit) == 0.0
+
+    def test_half_and_half(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        assert entanglement_ratio(circuit) == pytest.approx(0.5)
+
+    def test_measurements_ignored(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.measure_all()
+        assert entanglement_ratio(circuit) == pytest.approx(1.0)
+
+
+class TestParallelism:
+    def test_sequential_circuit_is_zero(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.h(0)
+        circuit.h(0)
+        assert parallelism(circuit) == pytest.approx(0.0)
+
+    def test_fully_parallel_layer_is_one(self):
+        circuit = QuantumCircuit(4)
+        for q in range(4):
+            circuit.h(q)
+        assert parallelism(circuit) == pytest.approx(1.0)
+
+    def test_in_unit_interval(self):
+        circuit = random_circuit(6, 8, seed=3)
+        assert 0.0 <= parallelism(circuit) <= 1.0
+
+
+class TestLiveness:
+    def test_always_active_qubits(self):
+        circuit = QuantumCircuit(2)
+        for _ in range(3):
+            circuit.h(0)
+            circuit.h(1)
+        assert liveness(circuit) == pytest.approx(1.0)
+
+    def test_idle_qubit_reduces_liveness(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.h(0)
+        circuit.h(0)
+        circuit.h(1)
+        assert liveness(circuit) < 1.0
+
+    def test_in_unit_interval(self):
+        circuit = random_circuit(5, 9, seed=4)
+        assert 0.0 <= liveness(circuit) <= 1.0
+
+
+class TestFeatureExtraction:
+    def test_feature_vector_order_and_shape(self, ghz4):
+        vector = feature_vector(ghz4)
+        assert vector.shape == (len(FEATURE_NAMES),)
+        named = feature_dict(ghz4)
+        for i, name in enumerate(FEATURE_NAMES):
+            assert vector[i] == pytest.approx(named[name])
+
+    def test_all_features_normalised(self):
+        for seed in range(5):
+            circuit = random_circuit(6, 12, seed=seed)
+            vector = feature_vector(circuit)
+            assert np.all(vector >= 0.0) and np.all(vector <= 1.0)
+
+    def test_supermarq_features_keys(self, ghz4):
+        features = supermarq_features(ghz4)
+        assert set(features) == {
+            "program_communication",
+            "critical_depth",
+            "entanglement_ratio",
+            "parallelism",
+            "liveness",
+        }
+
+    def test_qubit_feature_reflects_active_qubits(self):
+        small = QuantumCircuit(20)
+        small.h(0)
+        big = QuantumCircuit(20)
+        for q in range(20):
+            big.h(q)
+        assert feature_dict(small)["num_qubits"] < feature_dict(big)["num_qubits"]
+
+    def test_depth_feature_monotonic(self):
+        shallow = QuantumCircuit(2)
+        shallow.h(0)
+        deep = QuantumCircuit(2)
+        for _ in range(50):
+            deep.h(0)
+        assert feature_dict(shallow)["depth"] < feature_dict(deep)["depth"]
+
+    def test_empty_circuit_features_are_finite(self):
+        circuit = QuantumCircuit(3)
+        vector = feature_vector(circuit)
+        assert np.all(np.isfinite(vector))

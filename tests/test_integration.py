@@ -1,0 +1,85 @@
+"""End-to-end integration tests exercising the full pipeline at small scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Predictor,
+    benchmark_circuit,
+    benchmark_suite,
+    compile_qiskit_style,
+    compile_tket_style,
+    expected_fidelity,
+    get_device,
+)
+from repro.evaluation import (
+    compare_predictor,
+    cross_model_rewards,
+    per_benchmark_differences,
+    reward_difference_histogram,
+    summarize,
+)
+from repro.rl import PPOConfig
+
+
+class TestFullPipeline:
+    def test_train_compile_compare(self, trained_predictor, washington):
+        """Train (tiny budget), compile, and compare against both baselines."""
+        circuits = benchmark_suite(3, 4, step=1, names=["ghz", "dj", "wstate"])
+        records = compare_predictor(trained_predictor, circuits)
+        summary = summarize(records)
+        assert summary.num_circuits == len(circuits)
+        # The trained model reaches an executable circuit for every benchmark.
+        assert all(record.rl_reward > 0 for record in records)
+        histogram = reward_difference_histogram(records)
+        assert histogram.qiskit_frequencies.sum() == pytest.approx(1.0)
+        per_benchmark = per_benchmark_differences(records)
+        assert set(per_benchmark.benchmarks) == {"ghz", "dj", "wstate"}
+
+    def test_rl_model_is_competitive_on_small_circuits(self, trained_predictor, washington):
+        """On tiny circuits the RL flow should be in the same fidelity range as the baselines."""
+        circuit = benchmark_circuit("ghz", 3)
+        rl_result = trained_predictor.compile(circuit)
+        qiskit = compile_qiskit_style(circuit, washington, 3)
+        rl_fidelity = rl_result.reward
+        qiskit_fidelity = expected_fidelity(qiskit.circuit, washington)
+        assert rl_fidelity >= qiskit_fidelity - 0.2
+
+    def test_table1_structure_single_model(self, trained_predictor):
+        circuits = benchmark_suite(3, 3, step=1, names=["ghz", "qft"])
+        table = cross_model_rewards({"fidelity": trained_predictor}, circuits)
+        assert table.trained_for == ["fidelity"]
+        assert table.values.shape == (1, 1)
+
+    def test_critical_depth_predictor_trains(self, tiny_suite):
+        predictor = Predictor(
+            reward="critical_depth",
+            max_steps=15,
+            ppo_config=PPOConfig(n_steps=32, batch_size=16, n_epochs=2),
+            seed=5,
+        )
+        predictor.train(tiny_suite[:4], total_timesteps=300)
+        result = predictor.compile(benchmark_circuit("ghz", 3))
+        assert 0.0 <= result.reward <= 1.0
+
+    def test_every_device_reachable_by_env_episode(self, tiny_suite):
+        """Manually driving the env can target every registered device."""
+        from repro.core import CompilationEnv
+        from repro.core.actions import ActionKind, TERMINATE_ACTION_NAME
+        from repro.devices import list_devices
+
+        for device_name in list_devices():
+            device = get_device(device_name)
+            env = CompilationEnv([benchmark_circuit("ghz", 3)], max_steps=20, seed=0)
+            env.reset(seed=0)
+            env.step(env.action_by_name(f"select_platform_{device.platform}").index)
+            env.step(env.action_by_name(f"select_device_{device_name}").index)
+            env.step(env.action_by_name("synthesis_basis_translator").index)
+            if env.state.status.value != "done":
+                env.step(env.action_by_name("map_sabre_layout_sabre_routing").index)
+            assert env.state.status.value == "done", device_name
+            _obs, reward, terminated, _trunc, _info = env.step(
+                env.action_by_name(TERMINATE_ACTION_NAME).index
+            )
+            assert terminated and reward > 0

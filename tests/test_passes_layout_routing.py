@@ -1,0 +1,172 @@
+"""Unit tests for layout and routing passes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.devices import get_device
+from repro.linalg import allclose_up_to_global_phase, circuit_unitary
+from repro.passes import (
+    BasicSwap,
+    BasisTranslator,
+    DenseLayout,
+    PassContext,
+    SabreLayout,
+    SabreSwap,
+    StochasticSwap,
+    TketRouting,
+    TrivialLayout,
+    apply_layout,
+)
+
+_LAYOUTS = [TrivialLayout, DenseLayout, SabreLayout]
+_ROUTERS = [BasicSwap, StochasticSwap, SabreSwap, TketRouting]
+
+
+def _permutation_adjusted_equivalent(original, routed, final_layout, initial_layout, device):
+    """Check unitary equivalence of a routed circuit up to the output permutation.
+
+    Routing may permute qubits (tracked by ``final_layout``); appending SWAPs
+    that undo the permutation must recover the laid-out circuit's unitary.
+    """
+    placed = apply_layout(original, initial_layout, device)
+    fixed = routed.copy()
+    # Undo the permutation: move each virtual wire back to its original position.
+    current = dict(final_layout)
+    for virtual in sorted(current):
+        target = virtual
+        actual = current[virtual]
+        if actual == target:
+            continue
+        # find which virtual currently sits at `target`
+        other = next(v for v, p in current.items() if p == target)
+        fixed.swap(actual, target)
+        current[virtual], current[other] = target, actual
+    return allclose_up_to_global_phase(circuit_unitary(fixed), circuit_unitary(placed))
+
+
+class TestLayouts:
+    @pytest.mark.parametrize("layout_cls", _LAYOUTS)
+    def test_layout_records_assignment(self, layout_cls, line5_device):
+        circuit = random_circuit(3, 4, seed=1)
+        context = PassContext(device=line5_device, seed=0)
+        native = BasisTranslator().run(circuit, context)
+        placed = layout_cls().run(native, context)
+        assert placed.num_qubits == line5_device.num_qubits
+        assert context.initial_layout is not None
+        assert len(set(context.initial_layout.values())) == len(context.initial_layout)
+
+    @pytest.mark.parametrize("layout_cls", _LAYOUTS)
+    def test_layout_preserves_gate_counts(self, layout_cls, line5_device):
+        circuit = random_circuit(3, 4, seed=2)
+        context = PassContext(device=line5_device, seed=0)
+        native = BasisTranslator().run(circuit, context)
+        placed = layout_cls().run(native, context)
+        assert placed.count_ops() == native.count_ops()
+
+    def test_trivial_layout_is_identity(self, line5_device):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        context = PassContext(device=line5_device)
+        TrivialLayout().run(circuit, context)
+        assert context.initial_layout == {0: 0, 2: 2}
+
+    def test_dense_layout_picks_connected_region(self, washington):
+        circuit = QuantumCircuit(4)
+        for q in range(3):
+            circuit.cx(q, q + 1)
+        context = PassContext(device=washington)
+        DenseLayout().run(circuit, context)
+        region = set(context.initial_layout.values())
+        assert washington.coupling_map.subgraph_connected(region)
+
+    def test_layout_rejects_too_large_circuits(self, line5_device):
+        circuit = QuantumCircuit(9)
+        for q in range(8):
+            circuit.cx(q, q + 1)
+        with pytest.raises(ValueError):
+            TrivialLayout().run(circuit, PassContext(device=line5_device))
+
+    def test_apply_layout_rejects_duplicate_targets(self, line5_device):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        with pytest.raises(ValueError, match="same physical qubit"):
+            apply_layout(circuit, {0: 1, 1: 1}, line5_device)
+
+
+class TestRouting:
+    @pytest.mark.parametrize("router_cls", _ROUTERS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_routed_circuit_satisfies_coupling(self, router_cls, seed, line5_device):
+        circuit = random_circuit(4, 6, seed=seed)
+        context = PassContext(device=line5_device, seed=seed)
+        native = BasisTranslator().run(circuit, context)
+        placed = TrivialLayout().run(native, context)
+        routed = router_cls().run(placed, context)
+        assert line5_device.mapping_satisfied(routed)
+        assert line5_device.gates_native(routed)
+
+    @pytest.mark.parametrize("router_cls", _ROUTERS)
+    def test_routed_circuit_is_equivalent_up_to_permutation(self, router_cls, line5_device):
+        circuit = random_circuit(4, 5, seed=11)
+        context = PassContext(device=line5_device, seed=3)
+        native = BasisTranslator().run(circuit, context)
+        placed = TrivialLayout().run(native, context)
+        routed = router_cls().run(placed, context)
+        assert context.final_layout is not None
+        assert _permutation_adjusted_equivalent(
+            native, routed, context.final_layout, context.initial_layout, line5_device
+        )
+
+    @pytest.mark.parametrize("router_cls", _ROUTERS)
+    def test_already_routed_circuit_untouched(self, router_cls, line5_device):
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        context = PassContext(device=line5_device, seed=0)
+        routed = router_cls().run(circuit, context)
+        assert routed.count_ops() == circuit.count_ops()
+
+    @pytest.mark.parametrize("router_cls", _ROUTERS)
+    def test_rejects_three_qubit_gates(self, router_cls, line5_device):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        with pytest.raises(ValueError, match="at most two qubits"):
+            router_cls().run(circuit, PassContext(device=line5_device))
+
+    def test_sabre_beats_or_matches_basic_on_chain(self, washington):
+        """SABRE's lookahead should not need more SWAPs than naive routing."""
+        circuit = QuantumCircuit(8)
+        rng = np.random.default_rng(5)
+        for _ in range(15):
+            a, b = rng.choice(8, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+        context_basic = PassContext(device=washington, seed=1)
+        context_sabre = PassContext(device=washington, seed=1)
+        native = BasisTranslator().run(circuit, PassContext(device=washington))
+        placed_basic = TrivialLayout().run(native, context_basic)
+        placed_sabre = TrivialLayout().run(native, context_sabre)
+        basic = BasicSwap().run(placed_basic, context_basic)
+        sabre = SabreSwap().run(placed_sabre, context_sabre)
+        assert sabre.num_two_qubit_gates() <= basic.num_two_qubit_gates() * 1.5
+
+    def test_routing_on_non_cx_device_stays_native(self):
+        device = get_device("oqc_lucy")
+        circuit = random_circuit(4, 5, seed=9)
+        context = PassContext(device=device, seed=2)
+        native = BasisTranslator().run(circuit, context)
+        placed = TrivialLayout().run(native, context)
+        routed = SabreSwap().run(placed, context)
+        assert device.gates_native(routed)
+        assert device.mapping_satisfied(routed)
+
+    def test_measurements_are_remapped(self, line5_device):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        circuit.measure_all()
+        context = PassContext(device=line5_device, seed=0)
+        placed = TrivialLayout().run(circuit, context)
+        routed = BasicSwap().run(placed, context)
+        assert routed.count_ops()["measure"] == 3

@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit, from_qasm, random_circuit, to_qasm
+from repro.circuit.gates import Gate, gate_inverse, gate_matrix
+from repro.features import feature_vector
+from repro.linalg import allclose_up_to_global_phase, circuit_unitary, synthesize_1q
+from repro.passes import (
+    CommutativeCancellation,
+    FullPeepholeOptimise,
+    InverseCancellation,
+    Optimize1qGatesDecomposition,
+    PassContext,
+    RemoveRedundancies,
+)
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+_angles = st.floats(
+    min_value=-2 * np.pi, max_value=2 * np.pi, allow_nan=False, allow_infinity=False
+)
+_seeds = st.integers(min_value=0, max_value=2**20)
+
+
+@st.composite
+def small_circuits(draw) -> QuantumCircuit:
+    num_qubits = draw(st.integers(min_value=2, max_value=4))
+    depth = draw(st.integers(min_value=1, max_value=8))
+    seed = draw(_seeds)
+    return random_circuit(num_qubits, depth, seed=seed)
+
+
+class TestGateProperties:
+    @_SETTINGS
+    @given(name=st.sampled_from(["rz", "rx", "ry", "p"]), angle=_angles)
+    def test_rotation_inverse_cancels(self, name, angle):
+        gate = Gate(name, (angle,))
+        product = gate_matrix(gate_inverse(gate)) @ gate_matrix(gate)
+        assert allclose_up_to_global_phase(product, np.eye(2))
+
+    @_SETTINGS
+    @given(angle_a=_angles, angle_b=_angles)
+    def test_rz_angles_add(self, angle_a, angle_b):
+        combined = gate_matrix(Gate("rz", (angle_a + angle_b,)))
+        product = gate_matrix(Gate("rz", (angle_b,))) @ gate_matrix(Gate("rz", (angle_a,)))
+        assert allclose_up_to_global_phase(product, combined)
+
+    @_SETTINGS
+    @given(theta=_angles, phi=_angles, lam=_angles)
+    def test_u_gate_synthesis_round_trip(self, theta, phi, lam):
+        matrix = gate_matrix(Gate("u", (theta, phi, lam)))
+        decomp = synthesize_1q(matrix, "rz_sx")
+        assert np.allclose(decomp.matrix(), matrix, atol=1e-6)
+
+
+class TestCircuitProperties:
+    @_SETTINGS
+    @given(circuit=small_circuits())
+    def test_depth_never_exceeds_size(self, circuit):
+        assert circuit.depth() <= circuit.size()
+
+    @_SETTINGS
+    @given(circuit=small_circuits())
+    def test_inverse_composes_to_identity(self, circuit):
+        product = circuit_unitary(circuit.inverse()) @ circuit_unitary(circuit)
+        assert allclose_up_to_global_phase(product, np.eye(2**circuit.num_qubits))
+
+    @_SETTINGS
+    @given(circuit=small_circuits())
+    def test_qasm_round_trip_preserves_unitary(self, circuit):
+        rebuilt = from_qasm(to_qasm(circuit))
+        assert allclose_up_to_global_phase(
+            circuit_unitary(rebuilt), circuit_unitary(circuit)
+        )
+
+    @_SETTINGS
+    @given(circuit=small_circuits())
+    def test_features_are_normalised(self, circuit):
+        vector = feature_vector(circuit)
+        assert np.all(vector >= 0.0) and np.all(vector <= 1.0)
+        assert np.all(np.isfinite(vector))
+
+    @_SETTINGS
+    @given(circuit=small_circuits())
+    def test_copy_equals_original(self, circuit):
+        assert circuit.copy() == circuit
+
+
+_PASSES = [
+    Optimize1qGatesDecomposition,
+    RemoveRedundancies,
+    InverseCancellation,
+    CommutativeCancellation,
+    FullPeepholeOptimise,
+]
+
+
+class TestPassProperties:
+    @_SETTINGS
+    @given(circuit=small_circuits(), pass_index=st.integers(min_value=0, max_value=len(_PASSES) - 1))
+    def test_optimization_preserves_unitary(self, circuit, pass_index):
+        pass_ = _PASSES[pass_index]()
+        optimized = pass_.run(circuit, PassContext())
+        assert allclose_up_to_global_phase(
+            circuit_unitary(optimized), circuit_unitary(circuit)
+        )
+
+    @_SETTINGS
+    @given(circuit=small_circuits(), pass_index=st.integers(min_value=0, max_value=len(_PASSES) - 1))
+    def test_optimization_never_increases_2q_count(self, circuit, pass_index):
+        pass_ = _PASSES[pass_index]()
+        optimized = pass_.run(circuit, PassContext())
+        assert optimized.num_two_qubit_gates() <= circuit.num_two_qubit_gates()
+
+    @_SETTINGS
+    @given(circuit=small_circuits())
+    def test_optimization_is_idempotent_for_inverse_cancellation(self, circuit):
+        once = InverseCancellation().run(circuit, PassContext())
+        twice = InverseCancellation().run(once, PassContext())
+        assert once.count_ops() == twice.count_ops()

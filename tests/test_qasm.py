@@ -1,0 +1,83 @@
+"""Unit tests for OpenQASM 2 import/export."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuit import QuantumCircuit, from_qasm, random_circuit, to_qasm
+from repro.linalg import allclose_up_to_global_phase, circuit_unitary
+
+
+class TestExport:
+    def test_header_and_registers(self, bell_circuit):
+        text = to_qasm(bell_circuit)
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[2];" in text
+        assert "creg c[2];" in text
+
+    def test_gate_lines(self, bell_circuit):
+        text = to_qasm(bell_circuit)
+        assert "h q[0];" in text
+        assert "cx q[0],q[1];" in text
+
+    def test_parameter_formatting_pi(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(math.pi / 2, 0)
+        assert "pi*1/2" in to_qasm(circuit)
+
+    def test_measure_line(self):
+        circuit = QuantumCircuit(2)
+        circuit.measure(0, 1)
+        assert "measure q[0] -> c[1];" in to_qasm(circuit)
+
+    def test_barrier_line(self):
+        circuit = QuantumCircuit(2)
+        circuit.barrier(0, 1)
+        assert "barrier q[0],q[1];" in to_qasm(circuit)
+
+
+class TestImport:
+    def test_simple_parse(self):
+        text = """
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[2];
+        creg c[2];
+        h q[0];
+        cx q[0],q[1];
+        measure q[0] -> c[0];
+        """
+        circuit = from_qasm(text)
+        assert circuit.num_qubits == 2
+        assert [i.name for i in circuit] == ["h", "cx", "measure"]
+
+    def test_parameter_expression(self):
+        circuit = from_qasm('OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nrz(pi/4) q[0];\n')
+        assert circuit[0].params[0] == pytest.approx(math.pi / 4)
+
+    def test_u1_maps_to_p(self):
+        circuit = from_qasm('OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nu1(0.5) q[0];\n')
+        assert circuit[0].name == "p"
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(ValueError, match="unsupported gate"):
+            from_qasm('OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nmystery q[0];\n')
+
+    def test_bad_parameter_expression_rejected(self):
+        with pytest.raises(ValueError):
+            from_qasm('OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nrz(__import__) q[0];\n')
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_circuit_round_trip_unitary(self, seed):
+        circuit = random_circuit(3, 5, seed=seed)
+        rebuilt = from_qasm(to_qasm(circuit))
+        assert allclose_up_to_global_phase(circuit_unitary(rebuilt), circuit_unitary(circuit))
+
+    def test_round_trip_preserves_counts(self, ghz5):
+        ghz5.measure_all()
+        rebuilt = from_qasm(to_qasm(ghz5))
+        assert rebuilt.count_ops() == ghz5.count_ops()

@@ -1,0 +1,272 @@
+"""Unit tests for the RL substrate: networks, distributions, buffers, PPO."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rl import (
+    PPO,
+    Adam,
+    Box,
+    Discrete,
+    Env,
+    MaskedCategorical,
+    MLP,
+    PPOConfig,
+    RolloutBuffer,
+)
+
+
+class TestSpaces:
+    def test_box_contains(self):
+        box = Box(0.0, 1.0, (3,))
+        assert box.contains(np.array([0.1, 0.5, 1.0]))
+        assert not box.contains(np.array([0.1, 1.5, 0.2]))
+        assert not box.contains(np.array([0.1, 0.2]))
+
+    def test_box_sample_within_bounds(self):
+        box = Box(-1.0, 1.0, (4,))
+        sample = box.sample(np.random.default_rng(0))
+        assert box.contains(sample)
+
+    def test_discrete(self):
+        space = Discrete(5)
+        assert space.contains(0) and space.contains(4)
+        assert not space.contains(5)
+        with pytest.raises(ValueError):
+            Discrete(0)
+
+
+class TestMLP:
+    def test_output_shape(self):
+        net = MLP(4, 3, (8, 8), seed=0)
+        out = net(np.zeros((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_single_sample_promoted_to_batch(self):
+        net = MLP(4, 2, (8,), seed=0)
+        out = net(np.zeros(4))
+        assert out.shape == (1, 2)
+
+    def test_deterministic_given_seed(self):
+        a = MLP(3, 2, seed=11)
+        b = MLP(3, 2, seed=11)
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        assert np.allclose(a(x), b(x))
+
+    def test_gradient_check(self):
+        """Backward pass matches numerical finite-difference gradients."""
+        rng = np.random.default_rng(3)
+        net = MLP(3, 2, (5,), seed=2, output_scale=1.0)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss_value() -> float:
+            out, _ = net.forward(x)
+            return float(0.5 * np.sum((out - target) ** 2))
+
+        out, cache = net.forward(x)
+        grads = net.backward(cache, out - target)
+        flat = net.flatten_grads(grads)
+        params = net.parameters()
+        eps = 1e-6
+        for param, grad in zip(params, flat):
+            index = tuple(0 for _ in param.shape)
+            original = param[index]
+            param[index] = original + eps
+            plus = loss_value()
+            param[index] = original - eps
+            minus = loss_value()
+            param[index] = original
+            numerical = (plus - minus) / (2 * eps)
+            assert np.isclose(grad[index], numerical, rtol=1e-4, atol=1e-6)
+
+    def test_state_dict_round_trip(self):
+        net = MLP(3, 2, seed=5)
+        other = MLP(3, 2, seed=99)
+        other.load_state_dict(net.state_dict())
+        x = np.ones((2, 3))
+        assert np.allclose(net(x), other(x))
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        param = np.array([5.0, -3.0])
+        optimizer = Adam([param], learning_rate=0.1)
+        for _ in range(500):
+            optimizer.step([2 * param])  # gradient of ||x||^2
+        assert np.allclose(param, 0.0, atol=1e-2)
+
+    def test_gradient_length_mismatch(self):
+        optimizer = Adam([np.zeros(2)])
+        with pytest.raises(ValueError):
+            optimizer.step([np.zeros(2), np.zeros(2)])
+
+
+class TestMaskedCategorical:
+    def test_probabilities_sum_to_one(self):
+        dist = MaskedCategorical(np.array([[1.0, 2.0, 3.0]]))
+        assert np.isclose(dist.probs.sum(), 1.0)
+
+    def test_masked_actions_have_zero_probability(self):
+        mask = np.array([[True, False, True]])
+        dist = MaskedCategorical(np.array([[1.0, 5.0, 1.0]]), mask)
+        assert dist.probs[0, 1] < 1e-6
+
+    def test_all_invalid_mask_rejected(self):
+        with pytest.raises(ValueError):
+            MaskedCategorical(np.zeros((1, 3)), np.zeros((1, 3), dtype=bool))
+
+    def test_sample_respects_mask(self):
+        mask = np.array([[False, True, False]])
+        dist = MaskedCategorical(np.zeros((1, 3)), mask)
+        rng = np.random.default_rng(0)
+        samples = [int(dist.sample(rng)[0]) for _ in range(20)]
+        assert set(samples) == {1}
+
+    def test_mode_is_argmax(self):
+        dist = MaskedCategorical(np.array([[0.0, 3.0, 1.0]]))
+        assert dist.mode()[0] == 1
+
+    def test_log_prob_matches_probs(self):
+        dist = MaskedCategorical(np.array([[0.5, 1.5, -1.0]]))
+        log_prob = dist.log_prob(np.array([1]))[0]
+        assert np.isclose(np.exp(log_prob), dist.probs[0, 1])
+
+    def test_entropy_maximal_for_uniform(self):
+        uniform = MaskedCategorical(np.zeros((1, 4)))
+        peaked = MaskedCategorical(np.array([[10.0, 0.0, 0.0, 0.0]]))
+        assert uniform.entropy()[0] > peaked.entropy()[0]
+        assert np.isclose(uniform.entropy()[0], np.log(4))
+
+    def test_log_prob_gradient_numerics(self):
+        logits = np.array([[0.3, -0.7, 1.2]])
+        actions = np.array([2])
+        eps = 1e-6
+        dist = MaskedCategorical(logits)
+        analytic = dist.log_prob_grad_logits(actions)[0]
+        for k in range(3):
+            plus, minus = logits.copy(), logits.copy()
+            plus[0, k] += eps
+            minus[0, k] -= eps
+            numerical = (
+                MaskedCategorical(plus).log_prob(actions)[0]
+                - MaskedCategorical(minus).log_prob(actions)[0]
+            ) / (2 * eps)
+            assert np.isclose(analytic[k], numerical, atol=1e-5)
+
+    def test_entropy_gradient_numerics(self):
+        logits = np.array([[0.1, 0.9, -0.4]])
+        eps = 1e-6
+        analytic = MaskedCategorical(logits).entropy_grad_logits()[0]
+        for k in range(3):
+            plus, minus = logits.copy(), logits.copy()
+            plus[0, k] += eps
+            minus[0, k] -= eps
+            numerical = (
+                MaskedCategorical(plus).entropy()[0] - MaskedCategorical(minus).entropy()[0]
+            ) / (2 * eps)
+            assert np.isclose(analytic[k], numerical, atol=1e-5)
+
+
+class TestRolloutBuffer:
+    def test_add_and_full(self):
+        buffer = RolloutBuffer(2, 3, 4)
+        buffer.add(np.zeros(3), 0, 1.0, True, 0.5, -0.1, np.ones(4, dtype=bool))
+        assert not buffer.full
+        buffer.add(np.zeros(3), 1, 0.0, False, 0.2, -0.3, np.ones(4, dtype=bool))
+        assert buffer.full
+        with pytest.raises(RuntimeError):
+            buffer.add(np.zeros(3), 0, 0.0, False, 0.0, 0.0, np.ones(4, dtype=bool))
+
+    def test_gae_single_step_episode(self):
+        buffer = RolloutBuffer(1, 1, 2, gamma=0.9, gae_lambda=1.0)
+        buffer.add(np.zeros(1), 0, reward=1.0, episode_start=True, value=0.4, log_prob=0.0, action_mask=np.ones(2, dtype=bool))
+        buffer.compute_returns_and_advantages(last_value=0.0, done=True)
+        # advantage = r - V(s) for a terminal step
+        assert buffer.advantages[0] == pytest.approx(1.0 - 0.4)
+        assert buffer.returns[0] == pytest.approx(1.0)
+
+    def test_gae_two_step_episode_matches_hand_computation(self):
+        gamma, lam = 0.9, 0.8
+        buffer = RolloutBuffer(2, 1, 2, gamma=gamma, gae_lambda=lam)
+        buffer.add(np.zeros(1), 0, reward=0.0, episode_start=True, value=0.5, log_prob=0.0, action_mask=np.ones(2, dtype=bool))
+        buffer.add(np.zeros(1), 1, reward=1.0, episode_start=False, value=0.6, log_prob=0.0, action_mask=np.ones(2, dtype=bool))
+        buffer.compute_returns_and_advantages(last_value=0.0, done=True)
+        delta1 = 1.0 - 0.6
+        delta0 = 0.0 + gamma * 0.6 - 0.5
+        assert buffer.advantages[1] == pytest.approx(delta1)
+        assert buffer.advantages[0] == pytest.approx(delta0 + gamma * lam * delta1)
+
+    def test_minibatches_cover_all_steps(self):
+        buffer = RolloutBuffer(8, 2, 3)
+        for i in range(8):
+            buffer.add(np.full(2, i), i % 3, 0.0, i == 0, 0.0, 0.0, np.ones(3, dtype=bool))
+        buffer.compute_returns_and_advantages(0.0, done=True)
+        seen = []
+        for batch in buffer.minibatches(3, np.random.default_rng(0)):
+            seen.extend(batch.observations[:, 0].tolist())
+        assert sorted(seen) == list(range(8))
+
+
+class _CorridorEnv(Env):
+    """Minimal test environment: walk right to the goal within a step limit."""
+
+    def __init__(self, length: int = 5):
+        self.length = length
+        self.observation_space = Box(0.0, 1.0, (2,))
+        self.action_space = Discrete(2)
+        self.position = 0
+        self.steps = 0
+
+    def _obs(self):
+        return np.array([self.position / self.length, self.steps / 20])
+
+    def reset(self, *, seed=None):
+        self.position = 0
+        self.steps = 0
+        return self._obs(), {}
+
+    def step(self, action):
+        self.steps += 1
+        if action == 1:
+            self.position += 1
+        terminated = self.position >= self.length
+        reward = 1.0 if terminated else 0.0
+        truncated = self.steps >= 20 and not terminated
+        return self._obs(), reward, terminated, truncated, {}
+
+
+class TestPPO:
+    def test_learns_corridor_task(self):
+        env = _CorridorEnv()
+        agent = PPO(env, PPOConfig(n_steps=64, batch_size=32, n_epochs=4, ent_coef=0.0), seed=0)
+        summary = agent.learn(4000)
+        assert summary.mean_episode_reward > 0.9
+        assert summary.mean_episode_length < 7
+
+    def test_predict_deterministic_vs_stochastic(self):
+        env = _CorridorEnv()
+        agent = PPO(env, PPOConfig(n_steps=32, batch_size=16, n_epochs=2), seed=1)
+        obs, _ = env.reset()
+        greedy = agent.predict(obs, deterministic=True)
+        assert greedy in (0, 1)
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        env = _CorridorEnv()
+        agent = PPO(env, PPOConfig(n_steps=32, batch_size=16, n_epochs=2), seed=2)
+        agent.learn(200)
+        path = tmp_path / "agent.json"
+        agent.save(path)
+        restored = PPO(_CorridorEnv(), seed=9)
+        restored.load(path)
+        obs, _ = env.reset()
+        assert restored.predict(obs) == agent.predict(obs)
+
+    def test_training_summary_counts(self):
+        env = _CorridorEnv()
+        agent = PPO(env, PPOConfig(n_steps=32, batch_size=16, n_epochs=2), seed=3)
+        summary = agent.learn(300)
+        assert summary.total_timesteps >= 300
+        assert summary.episodes > 0

@@ -1,0 +1,143 @@
+"""Unit tests for the statevector simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import benchmark_circuit
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.compilers import compile_qiskit_style
+from repro.devices import get_device
+from repro.simulation import StatevectorSimulator, sample_counts, simulate
+
+
+class TestStatevector:
+    def test_initial_state_is_all_zero(self):
+        result = simulate(QuantumCircuit(2))
+        assert np.allclose(result.statevector, [1, 0, 0, 0])
+
+    def test_x_flips_qubit(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        result = simulate(circuit)
+        # qubit 0 is the most significant bit -> |10>
+        assert result.probability_of("10") == pytest.approx(1.0)
+
+    def test_bell_state_probabilities(self, bell_circuit):
+        result = simulate(bell_circuit)
+        probs = result.probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[3] == pytest.approx(0.5)
+        assert probs[1] == pytest.approx(0.0)
+
+    def test_custom_initial_state(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        plus = np.array([1, 1]) / np.sqrt(2)
+        result = StatevectorSimulator().run(circuit, initial_state=plus)
+        assert np.allclose(np.abs(result.statevector) ** 2, [0.5, 0.5])
+
+    def test_unnormalised_initial_state_rejected(self):
+        with pytest.raises(ValueError):
+            StatevectorSimulator().run(QuantumCircuit(1), initial_state=np.array([1.0, 1.0]))
+
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            simulate(QuantumCircuit(25))
+
+    def test_measurement_collapses_state(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        result = StatevectorSimulator(seed=3).run(circuit)
+        probs = result.probabilities()
+        assert max(probs) == pytest.approx(1.0)
+        assert result.classical_bits[0] in (0, 1)
+
+    def test_ghz_measurement_is_correlated(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.measure_all()
+        for seed in range(5):
+            result = StatevectorSimulator(seed=seed).run(circuit)
+            bits = set(result.classical_bits.values())
+            assert len(bits) == 1  # all zeros or all ones
+
+    def test_reset_returns_qubit_to_zero(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        circuit.reset(0)
+        result = simulate(circuit, seed=0)
+        assert result.probability_of("0") == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_deterministic_circuit_counts(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        circuit.measure_all()
+        counts = sample_counts(circuit, shots=100, seed=1)
+        assert counts == {"10": 100}
+
+    def test_bell_counts_roughly_half(self, bell_circuit):
+        circuit = bell_circuit.copy()
+        circuit.measure_all()
+        counts = sample_counts(circuit, shots=2000, seed=2)
+        assert set(counts) <= {"00", "11"}
+        assert abs(counts.get("00", 0) - 1000) < 150
+
+    def test_shots_add_up(self):
+        circuit = benchmark_circuit("ghz", 4)
+        counts = sample_counts(circuit, shots=512, seed=3)
+        assert sum(counts.values()) == 512
+
+    def test_partial_measurement_keys_have_right_width(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        counts = sample_counts(circuit, shots=64, seed=4)
+        assert all(len(key) == 2 for key in counts)
+
+    def test_mid_circuit_measurement_path(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.x(0)
+        circuit.measure(0, 1)
+        counts = sample_counts(circuit, shots=50, seed=5)
+        assert sum(counts.values()) == 50
+        # The second measurement is always the complement of the first.
+        assert set(counts) <= {"01", "10"}
+
+
+class TestCompilationPreservesSemantics:
+    """Compiled circuits must produce the same output distribution as the originals."""
+
+    @pytest.mark.parametrize("family", ["ghz", "dj", "wstate"])
+    def test_baseline_compilation_preserves_distribution(self, family):
+        # Use the all-to-all IonQ device so no qubit permutation is introduced
+        # by routing; the compiled probability spectrum must then match the
+        # original exactly (up to the padding qubits left in |0>).
+        device = get_device("ionq_harmony")
+        circuit = benchmark_circuit(family, 4)
+        compiled = compile_qiskit_style(circuit, device, optimization_level=3).circuit
+
+        original = np.sort(simulate(circuit.without_measurements()).probabilities())[::-1]
+        compiled_probs = np.sort(
+            simulate(compiled.without_measurements()).probabilities()
+        )[::-1]
+        assert np.allclose(compiled_probs[: len(original)], original, atol=1e-6)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_circuit_compilation_preserves_spectrum(self, seed):
+        device = get_device("ionq_harmony")
+        circuit = random_circuit(3, 5, seed=seed)
+        compiled = compile_qiskit_style(circuit, device, optimization_level=3).circuit
+        original = np.sort(simulate(circuit).probabilities())[::-1]
+        compiled_probs = np.sort(simulate(compiled.without_measurements()).probabilities())[::-1]
+        assert np.allclose(compiled_probs[: len(original)], original, atol=1e-6)
