@@ -4,10 +4,10 @@ Run with::
 
     python examples/device_comparison.py [--benchmark qaoa] [--qubits 6]
 
-Shows how the same circuit fares on each of the five devices (IBM Montreal /
-Washington, Rigetti Aspen-M-2, IonQ Harmony, OQC Lucy) when compiled with the
-Qiskit-style O3 baseline, and what an RL compiler that is free to pick its
-own device chooses.
+Uses the batch compilation service to sweep the circuit over all five devices
+(IBM Montreal / Washington, Rigetti Aspen-M-2, IonQ Harmony, OQC Lucy) with
+the ``qiskit-o3`` backend, then trains an RL compiler that is free to pick its
+own device and compiles through the same unified facade.
 """
 
 from __future__ import annotations
@@ -18,16 +18,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import (
-    Predictor,
-    benchmark_circuit,
-    benchmark_suite,
-    compile_qiskit_style,
-    expected_fidelity,
-    get_device,
-    list_devices,
-)
-from repro.reward import critical_depth_reward
+import repro
+from repro import Predictor, benchmark_circuit, benchmark_suite, get_device, list_devices
 from repro.rl import PPOConfig
 
 
@@ -47,12 +39,13 @@ def main() -> None:
         if device.num_qubits < args.qubits:
             print(f"{device_name:<22}{device.num_qubits:>8}{'too small':>30}")
             continue
-        compiled = compile_qiskit_style(circuit, device, optimization_level=3).circuit
+        result = repro.compile(circuit, backend="qiskit-o3", device=device)
+        compiled = result.circuit
         print(
             f"{device_name:<22}{device.num_qubits:>8}"
             f"{compiled.num_two_qubit_gates():>10}{compiled.depth():>8}"
-            f"{expected_fidelity(compiled, device):>10.4f}"
-            f"{critical_depth_reward(compiled, device):>11.4f}"
+            f"{result.scores['fidelity']:>10.4f}"
+            f"{result.scores['critical_depth']:>11.4f}"
         )
 
     print("\nTraining an RL compiler that may pick its own device...")
@@ -63,7 +56,7 @@ def main() -> None:
         seed=1,
     )
     predictor.train(benchmark_suite(2, args.qubits, step=2), total_timesteps=args.steps)
-    result = predictor.compile(circuit)
+    result = repro.compile(circuit, backend=predictor)
     print(
         f"RL choice: {result.device.name} "
         f"(fidelity reward {result.reward:.4f}) via {len(result.actions)} actions"

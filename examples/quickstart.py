@@ -1,13 +1,13 @@
-"""Quickstart: train a small RL compiler and compile a benchmark circuit.
+"""Quickstart: train a small RL compiler and compile through the unified facade.
 
 Run with::
 
     python examples/quickstart.py
 
 Trains a fidelity-optimized compiler with a small budget (about a minute),
-then compiles a 5-qubit QFT and reports the chosen device, the applied pass
-sequence, and the achieved expected fidelity compared against the
-Qiskit-style and TKET-style baseline flows.
+registers it as the ``rl`` backend, then compiles a 5-qubit QFT with the RL
+model, both highest-level preset backends, and the ``best-of`` meta-backend —
+all through the same ``repro.compile()`` entry point.
 """
 
 from __future__ import annotations
@@ -17,15 +17,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import (
-    Predictor,
-    benchmark_circuit,
-    benchmark_suite,
-    compile_qiskit_style,
-    compile_tket_style,
-    expected_fidelity,
-    get_device,
-)
+import repro
+from repro import Predictor, benchmark_circuit, benchmark_suite
 from repro.rl import PPOConfig
 
 
@@ -46,20 +39,22 @@ def main() -> None:
         f"  trained on {summary.episodes} episodes, "
         f"mean episode reward {summary.mean_episode_reward:.3f}"
     )
+    repro.register_backend("rl", predictor.as_backend(), overwrite=True)
+    print(f"  registered backends: {', '.join(repro.list_backends())}")
 
     circuit = benchmark_circuit("qft", 5)
     print(f"\nCompiling {circuit.name}: {circuit.summary()}")
-    result = predictor.compile(circuit)
-    print(f"  RL flow      : device={result.device.name}, reward={result.reward:.4f}")
-    print(f"  pass sequence: {' -> '.join(result.actions)}")
-    print(f"  compiled     : {result.circuit.summary()}")
+    for backend in ("rl", "qiskit-o3", "tket-o2", "best-of"):
+        result = repro.compile(circuit, backend=backend, device="ibmq_washington")
+        print(
+            f"  {backend:<10}: device={result.device.name:<18} "
+            f"fidelity={result.scores['fidelity']:.4f} "
+            f"passes={len(result.actions)} wall={result.wall_time * 1000:.0f}ms"
+        )
 
-    washington = get_device("ibmq_washington")
-    qiskit = compile_qiskit_style(circuit, washington, optimization_level=3)
-    tket = compile_tket_style(circuit, washington, optimization_level=2)
-    print("\nBaselines (targeting ibmq_washington):")
-    print(f"  Qiskit-style O3: fidelity={expected_fidelity(qiskit.circuit, washington):.4f}")
-    print(f"  TKET-style  O2: fidelity={expected_fidelity(tket.circuit, washington):.4f}")
+    result = repro.compile(circuit, backend="rl")
+    print(f"\nRL pass sequence: {' -> '.join(result.actions)}")
+    print(f"compiled circuit: {result.circuit.summary()}")
 
 
 if __name__ == "__main__":

@@ -10,25 +10,50 @@ trains a PPO agent to pick the best sequence of passes for a given circuit
 and optimization objective (expected fidelity, critical depth, or their
 combination).
 
-Quickstart::
+All compilation strategies — the trained RL model, every Qiskit-style and
+TKET-style preset level, and the ``best-of`` meta-backend — sit behind one
+facade and a pluggable backend registry:
 
-    from repro import Predictor, benchmark_circuit
+    import repro
 
-    circuit = benchmark_circuit("qft", 5)
-    predictor = Predictor(reward="fidelity")
+    circuit = repro.benchmark_circuit("qft", 5)
+    result = repro.compile(circuit, backend="qiskit-o3", device="ibmq_washington")
+    print(result.reward, result.backend, result.wall_time)
+
+    predictor = repro.Predictor(reward="fidelity")
     predictor.train(total_timesteps=2_000)
-    result = predictor.compile(circuit)
-    print(result.reward, result.circuit.summary())
+    repro.register_backend("rl", predictor.as_backend())
+    result = repro.compile(circuit, backend="rl")
+
+    batch = repro.compile_batch(
+        repro.benchmark_suite(2, 6), backends=["rl", "qiskit-o3", "tket-o2"]
+    )
 """
 
 from __future__ import annotations
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from .api import (
+    BatchResult,
+    BestOfBackend,
+    CompilationCache,
+    CompilationResult,
+    CompilerBackend,
+    PredictorBackend,
+    PresetBackend,
+    UnknownBackendError,
+    compile,
+    compile_batch,
+    get_backend,
+    list_backends,
+    register_backend,
+    unregister_backend,
+)
 from .bench import available_benchmarks, benchmark_circuit, benchmark_suite
 from .circuit import Gate, Instruction, QuantumCircuit
 from .compilers import compile_qiskit_style, compile_tket_style
-from .core import CompilationEnv, CompilationResult, Predictor
+from .core import CompilationEnv, Predictor
 from .devices import Device, get_device, list_devices
 from .reward import combined_reward, critical_depth_reward, expected_fidelity
 
@@ -43,6 +68,21 @@ __all__ = [
     "Predictor",
     "CompilationEnv",
     "CompilationResult",
+    # unified compilation API
+    "compile",
+    "compile_batch",
+    "BatchResult",
+    "CompilationCache",
+    "CompilerBackend",
+    "PresetBackend",
+    "PredictorBackend",
+    "BestOfBackend",
+    "UnknownBackendError",
+    "register_backend",
+    "unregister_backend",
+    "list_backends",
+    "get_backend",
+    # deprecated shims (use repro.compile with a backend name instead)
     "compile_qiskit_style",
     "compile_tket_style",
     "expected_fidelity",

@@ -1,0 +1,235 @@
+"""Built-in compiler backends: preset pipelines, the RL model, and ``best-of``.
+
+Importing this module registers the preset backends under ``qiskit-o0`` ...
+``qiskit-o3`` and ``tket-o0`` ... ``tket-o2``, plus the ``best-of``
+meta-backend.  The RL backend is per-model and therefore constructed
+explicitly, either via ``predictor.as_backend()`` or directly::
+
+    backend = PredictorBackend(predictor)          # name defaults to "rl"
+    register_backend("rl", backend)
+    repro.compile(circuit, backend="rl")
+"""
+
+from __future__ import annotations
+
+import itertools
+from time import perf_counter
+from typing import TYPE_CHECKING
+
+from ..compilers.presets import qiskit_pipeline, tket_pipeline
+from ..devices.library import get_device
+from ..reward.functions import reward_function
+from .registry import CompilerBackend, get_backend, list_backends, register_backend
+from .result import CompilationResult, score_circuit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..circuit.circuit import QuantumCircuit
+    from ..core.predictor import Predictor
+    from ..devices.device import Device
+
+__all__ = [
+    "DEFAULT_DEVICE",
+    "BestOfBackend",
+    "PredictorBackend",
+    "PresetBackend",
+]
+
+#: device the preset backends target when the caller does not specify one
+#: (the paper's baseline device)
+DEFAULT_DEVICE = "ibmq_washington"
+
+_PIPELINES = {"qiskit": qiskit_pipeline, "tket": tket_pipeline}
+
+
+def _resolve_device(device: "Device | str | None") -> "Device":
+    if device is None:
+        return get_device(DEFAULT_DEVICE)
+    if isinstance(device, str):
+        return get_device(device)
+    return device
+
+
+class PresetBackend:
+    """Backend wrapping one preset pipeline at a fixed optimization level."""
+
+    def __init__(self, style: str, optimization_level: int):
+        if style not in _PIPELINES:
+            raise ValueError(f"unknown preset style {style!r}; expected one of {sorted(_PIPELINES)}")
+        self.style = style
+        self.optimization_level = optimization_level
+        self.name = f"{style}-o{optimization_level}"
+
+    def cache_token(self) -> str:
+        return self.name
+
+    def compile(
+        self,
+        circuit: "QuantumCircuit",
+        *,
+        device: "Device | str | None" = None,
+        objective: str = "fidelity",
+        seed: int = 0,
+    ) -> CompilationResult:
+        reward_function(objective)  # fail fast on unknown objectives
+        target = _resolve_device(device)
+        start = perf_counter()
+        compiled, applied = _PIPELINES[self.style](circuit, target, self.optimization_level, seed)
+        wall_time = perf_counter() - start
+        scores = score_circuit(compiled, target)
+        return CompilationResult(
+            circuit=compiled,
+            device=target,
+            reward=scores[objective],
+            reward_name=objective,
+            actions=applied,
+            backend=self.name,
+            scores=scores,
+            wall_time=wall_time,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PresetBackend({self.name!r})"
+
+
+#: monotonically increasing token so two wrappers around different predictors
+#: never share a batch-cache entry
+_PREDICTOR_TOKENS = itertools.count()
+
+
+class PredictorBackend:
+    """Backend wrapping a trained RL :class:`~repro.core.predictor.Predictor`.
+
+    The RL agent selects its own target device as part of its action sequence
+    (as in the paper), so the ``device`` argument is ignored; pin the device at
+    training time via ``Predictor(device_name=...)`` instead.
+    """
+
+    def __init__(self, predictor: "Predictor", name: str = "rl"):
+        if not callable(getattr(predictor, "compile", None)):
+            raise TypeError("PredictorBackend expects a (trained) Predictor instance")
+        self.predictor = predictor
+        self.name = name
+        self._token = f"{name}#{next(_PREDICTOR_TOKENS)}"
+
+    def cache_token(self) -> str:
+        return self._token
+
+    def compile(
+        self,
+        circuit: "QuantumCircuit",
+        *,
+        device: "Device | str | None" = None,
+        objective: str | None = None,
+        seed: int = 0,
+    ) -> CompilationResult:
+        if objective:
+            reward_function(objective)  # fail fast on unknown objectives
+        result = self.predictor.compile(circuit)
+        result.backend = self.name
+        if objective and objective != result.reward_name:
+            result = result.with_objective(objective)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PredictorBackend({self.name!r}, reward={self.predictor.reward_name!r})"
+
+
+class BestOfBackend:
+    """Meta-backend: run several candidate backends and keep the best result.
+
+    ``candidates`` may mix registered backend names and backend instances.
+    When omitted, the candidate set is the highest preset level of each style
+    (``qiskit-o3``, ``tket-o2``) plus ``rl`` if a backend is registered under
+    that name at compile time.  Candidate failures are captured rather than
+    propagated; the per-candidate rewards land in ``result.metadata``.
+    """
+
+    def __init__(self, candidates: "list[str | CompilerBackend] | None" = None, name: str = "best-of"):
+        self.candidates = list(candidates) if candidates is not None else None
+        self.name = name
+
+    def _resolve_candidates(self) -> list[CompilerBackend]:
+        specs: list[str | CompilerBackend]
+        if self.candidates is not None:
+            specs = self.candidates
+        else:
+            specs = ["qiskit-o3", "tket-o2"]
+            if "rl" in list_backends():
+                specs.insert(0, "rl")
+        return [get_backend(spec) if isinstance(spec, str) else spec for spec in specs]
+
+    def cache_token(self) -> str:
+        tokens = [
+            getattr(b, "cache_token", lambda b=b: b.name)() for b in self._resolve_candidates()
+        ]
+        return f"{self.name}[{','.join(tokens)}]"
+
+    def compile(
+        self,
+        circuit: "QuantumCircuit",
+        *,
+        device: "Device | str | None" = None,
+        objective: str = "fidelity",
+        seed: int = 0,
+    ) -> CompilationResult:
+        reward_function(objective)
+        start = perf_counter()
+        outcomes: dict[str, CompilationResult] = {}
+        errors: dict[str, str] = {}
+        for backend in self._resolve_candidates():
+            try:
+                outcome = backend.compile(circuit, device=device, objective=objective, seed=seed)
+            except Exception as exc:  # noqa: BLE001 - candidate failure must not kill the sweep
+                errors[backend.name] = f"{type(exc).__name__}: {exc}"
+                continue
+            if outcome.succeeded:
+                outcomes[backend.name] = outcome
+            else:
+                errors[backend.name] = outcome.error or "compilation did not finish"
+        wall_time = perf_counter() - start
+        candidate_rewards = {name: r.reward for name, r in outcomes.items()}
+        if not outcomes:
+            return CompilationResult(
+                circuit=circuit,
+                device=None,
+                reward=0.0,
+                reward_name=objective,
+                reached_done=False,
+                backend=self.name,
+                wall_time=wall_time,
+                succeeded=False,
+                error=f"all candidates failed: {errors}",
+                metadata={"candidates": candidate_rewards, "candidate_errors": errors},
+            )
+        winner_name, winner = max(outcomes.items(), key=lambda item: item[1].reward)
+        best = CompilationResult(
+            circuit=winner.circuit,
+            device=winner.device,
+            reward=winner.reward,
+            reward_name=winner.reward_name,
+            actions=list(winner.actions),
+            reached_done=winner.reached_done,
+            backend=self.name,
+            scores=dict(winner.scores),
+            wall_time=wall_time,
+            metadata={
+                "winner": winner_name,
+                "candidates": candidate_rewards,
+                "candidate_errors": errors,
+            },
+        )
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BestOfBackend({self.name!r}, candidates={self.candidates})"
+
+
+def _register_builtin_backends() -> None:
+    for level in range(4):
+        register_backend(f"qiskit-o{level}", PresetBackend("qiskit", level), overwrite=True)
+    for level in range(3):
+        register_backend(f"tket-o{level}", PresetBackend("tket", level), overwrite=True)
+    register_backend("best-of", BestOfBackend(), overwrite=True)
+
+
+_register_builtin_backends()

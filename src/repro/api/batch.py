@@ -1,0 +1,254 @@
+"""Batch compilation service: worker-pool fan-out, caching, and error capture.
+
+``compile_batch`` compiles every (circuit, backend) combination of a sweep
+with two production-minded behaviours the single-shot facade does not need:
+
+* **Per-(circuit, backend, device, seed) result caching** — preset pipelines
+  are deterministic, so re-running a sweep (e.g. the same benchmark suite
+  scored under a different objective) reuses the compiled circuits.  Cached
+  results carry ``metadata["cached"] = True`` and are re-pointed at the
+  requested objective without recompiling.  This is the big wall-clock win
+  when the same circuits are swept repeatedly.
+* **Structured error capture** — one failing circuit does not kill the sweep;
+  the failure is returned as a ``CompilationResult`` with ``succeeded=False``
+  and the exception text in ``error``.
+
+Tasks are fanned out over a thread pool.  Because the pass pipelines are
+mostly pure Python, the GIL limits the speedup to the fraction of time spent
+in NumPy kernels — expect modest overlap, not a core-count multiplier.  The
+pool keeps the API ready for process-based or distributed executors without
+changing callers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..circuit.circuit import QuantumCircuit
+from ..devices.device import Device
+from ..devices.library import get_device
+from ..reward.functions import reward_function
+from .facade import resolve_backend
+from .registry import CompilerBackend
+from .result import CompilationResult
+
+__all__ = [
+    "BatchResult",
+    "CompilationCache",
+    "circuit_fingerprint",
+    "compile_batch",
+    "default_cache",
+]
+
+
+def circuit_fingerprint(circuit: QuantumCircuit) -> str:
+    """Stable content hash of a circuit (gate sequence, qubits, parameters)."""
+    hasher = hashlib.sha1()
+    hasher.update(f"{circuit.num_qubits}|{circuit.name}".encode())
+    for instr in circuit:
+        params = ",".join(f"{p:.12g}" for p in instr.params)
+        hasher.update(f";{instr.name}@{instr.qubits}/{instr.clbits}({params})".encode())
+    return hasher.hexdigest()
+
+
+class CompilationCache:
+    """Thread-safe LRU cache of compilation results.
+
+    Keys are ``(circuit fingerprint, backend cache token, device, seed)`` —
+    deliberately *not* the objective, because compilation is objective-agnostic
+    for deterministic backends and results carry scores for every metric.
+    """
+
+    def __init__(self, maxsize: int = 2048):
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, CompilationResult] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> CompilationResult | None:
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def put(self, key: tuple, result: CompilationResult) -> None:
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_DEFAULT_CACHE = CompilationCache()
+
+
+def default_cache() -> CompilationCache:
+    """The process-wide cache used by :func:`compile_batch` by default."""
+    return _DEFAULT_CACHE
+
+
+@dataclass
+class BatchResult:
+    """All results of one ``compile_batch`` sweep, circuit-major order."""
+
+    results: list[CompilationResult] = field(default_factory=list)
+    #: (circuit index, backend name) -> position in ``results``
+    index: dict[tuple[int, str], int] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def succeeded(self) -> list[CompilationResult]:
+        return [r for r in self.results if r.succeeded]
+
+    @property
+    def failures(self) -> list[CompilationResult]:
+        return [r for r in self.results if not r.succeeded]
+
+    def get(self, circuit_index: int, backend: str) -> CompilationResult:
+        """The result for one (circuit, backend) combination of the sweep."""
+        return self.results[self.index[(circuit_index, backend)]]
+
+    def by_backend(self, backend: str) -> list[CompilationResult]:
+        """All results produced by ``backend``, in circuit order."""
+        return [r for r in self.results if r.backend == backend]
+
+    def summary(self) -> str:
+        lines = [f"batch: {len(self.results)} compilations, {len(self.failures)} failed"]
+        for result in self.results:
+            lines.append("  " + result.summary())
+        return "\n".join(lines)
+
+
+def _failure_result(
+    circuit: QuantumCircuit,
+    backend_name: str,
+    objective: str,
+    exc: Exception,
+) -> CompilationResult:
+    return CompilationResult(
+        circuit=circuit,
+        device=None,
+        reward=0.0,
+        reward_name=objective,
+        reached_done=False,
+        backend=backend_name,
+        succeeded=False,
+        error=f"{type(exc).__name__}: {exc}",
+    )
+
+
+def compile_batch(
+    circuits: Iterable[QuantumCircuit],
+    backends: "Sequence[str | CompilerBackend]" = ("qiskit-o3",),
+    *,
+    device: "Device | str | None" = None,
+    objective: str = "fidelity",
+    seed: int = 0,
+    max_workers: int | None = None,
+    cache: CompilationCache | None = _DEFAULT_CACHE,
+) -> BatchResult:
+    """Compile every circuit with every backend, with caching and error capture.
+
+    Parameters
+    ----------
+    circuits:
+        Circuits to sweep over.
+    backends:
+        Backend specifications (registered names, backend instances, or
+        trained Predictors) — every circuit is compiled with each of them.
+    device, objective, seed:
+        Forwarded to each backend as in :func:`repro.compile`.
+    max_workers:
+        Worker-pool size (default: CPU count, capped at the task count).
+    cache:
+        A :class:`CompilationCache` (default: the process-wide cache) or
+        ``None`` to disable caching.  Failed compilations are never cached.
+
+    Returns a :class:`BatchResult` in circuit-major order: for circuits
+    ``[c0, c1]`` and backends ``[a, b]`` the results are
+    ``[c0/a, c0/b, c1/a, c1/b]``.
+    """
+    circuit_list = list(circuits)
+    specs = list(backends)
+    resolved = [resolve_backend(spec) for spec in specs]
+    if not resolved:
+        raise ValueError("compile_batch needs at least one backend")
+    reward_function(objective)  # fail fast regardless of cache warmth
+    target = get_device(device) if isinstance(device, str) else device
+    device_key = target.name if target is not None else "<auto>"
+
+    tasks: list[tuple[int, QuantumCircuit, CompilerBackend]] = [
+        (ci, circuit, backend)
+        for ci, circuit in enumerate(circuit_list)
+        for backend in resolved
+    ]
+
+    def run_one(task: tuple[int, QuantumCircuit, CompilerBackend]) -> CompilationResult:
+        _ci, circuit, backend = task
+        token = getattr(backend, "cache_token", backend.name)
+        key = (
+            circuit_fingerprint(circuit),
+            token() if callable(token) else token,
+            device_key,
+            seed,
+        )
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                result = hit.with_objective(objective)
+                result.metadata = {**result.metadata, "cached": True}
+                return result
+        try:
+            result = backend.compile(circuit, device=target, objective=objective, seed=seed)
+        except Exception as exc:  # noqa: BLE001 - one failure must not kill the sweep
+            return _failure_result(circuit, backend.name, objective, exc)
+        if cache is not None and result.succeeded:
+            cache.put(key, result)
+        return result
+
+    if max_workers is None:
+        max_workers = min(len(tasks) or 1, os.cpu_count() or 1)
+    if max_workers <= 1 or len(tasks) <= 1:
+        results = [run_one(task) for task in tasks]
+    else:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            results = list(pool.map(run_one, tasks))
+
+    backend_specs = {
+        backend.name: spec for spec, backend in zip(specs, resolved) if isinstance(spec, str)
+    }
+    batch = BatchResult()
+    for position, ((ci, _circuit, backend), result) in enumerate(zip(tasks, results)):
+        batch.results.append(result)
+        batch.index[(ci, backend.name)] = position
+        # Also index by the caller's original spec string, so lookups with an
+        # alias ("qiskit" for "qiskit-o3") resolve like get_backend() does.
+        spec = backend_specs.get(backend.name)
+        if spec is not None and spec != backend.name:
+            batch.index[(ci, spec)] = position
+    return batch

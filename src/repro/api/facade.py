@@ -1,0 +1,79 @@
+"""`repro.compile` — the single entry point for every compilation strategy.
+
+The facade hides the difference between the RL model and the preset pipelines:
+any registered backend name, backend instance, or trained ``Predictor`` can be
+passed as ``backend`` and the call returns the same unified
+:class:`~repro.api.result.CompilationResult`::
+
+    result = repro.compile(circuit, backend="qiskit-o3", device="ibmq_washington")
+    result = repro.compile(circuit, backend=trained_predictor)
+    result = repro.compile(circuit, backend="best-of", objective="critical_depth")
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from ..circuit.circuit import QuantumCircuit
+from ..devices.device import Device
+from ..devices.library import get_device
+from .registry import CompilerBackend, get_backend
+from .result import CompilationResult
+
+__all__ = ["compile", "resolve_backend"]
+
+
+def resolve_backend(spec: "str | CompilerBackend") -> CompilerBackend:
+    """Turn a backend specification into a backend instance.
+
+    Accepts a registered backend name (``"qiskit-o3"``), a backend instance,
+    or a trained :class:`~repro.core.predictor.Predictor` (auto-wrapped in a
+    :class:`~repro.api.backends.PredictorBackend`).
+    """
+    if isinstance(spec, str):
+        return get_backend(spec)
+    if callable(getattr(spec, "as_backend", None)):  # a Predictor
+        return spec.as_backend()
+    if callable(getattr(spec, "compile", None)) and hasattr(spec, "name"):
+        return spec
+    raise TypeError(
+        f"cannot resolve {spec!r} to a compiler backend; expected a registered "
+        "name, a CompilerBackend instance, or a trained Predictor"
+    )
+
+
+def compile(  # noqa: A001 - deliberate: the facade mirrors the paper's `compile`
+    circuit: QuantumCircuit,
+    backend: "str | CompilerBackend" = "qiskit-o3",
+    *,
+    device: "Device | str | None" = None,
+    objective: str = "fidelity",
+    seed: int = 0,
+) -> CompilationResult:
+    """Compile ``circuit`` with ``backend`` and return the unified result.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to compile.
+    backend:
+        Registered backend name (see :func:`repro.list_backends`), backend
+        instance, or trained :class:`~repro.Predictor`.
+    device:
+        Target device (name or :class:`~repro.Device`).  Preset backends
+        default to the paper's baseline device (``ibmq_washington``); the RL
+        backend selects its own device and ignores this argument.
+    objective:
+        Reward function the headline ``result.reward`` tracks
+        (``fidelity`` / ``critical_depth`` / ``combination``); all three are
+        always available in ``result.scores``.
+    seed:
+        Seed forwarded to stochastic passes for reproducibility.
+    """
+    resolved = resolve_backend(backend)
+    target = get_device(device) if isinstance(device, str) else device
+    start = perf_counter()
+    result = resolved.compile(circuit, device=target, objective=objective, seed=seed)
+    if not result.wall_time:
+        result.wall_time = perf_counter() - start
+    return result

@@ -1,0 +1,119 @@
+"""Pluggable compiler-backend registry.
+
+A *backend* is anything that turns a circuit into a unified
+:class:`~repro.api.result.CompilationResult`: the trained RL model, one of the
+Qiskit-/TKET-style preset pipelines, a meta-backend such as ``best-of``, or a
+user-supplied strategy.  Backends are registered under string names so the
+facade (``repro.compile``) and the batch service (``repro.compile_batch``) can
+treat them interchangeably::
+
+    register_backend("my-flow", MyBackend())
+    repro.compile(circuit, backend="my-flow")
+
+The built-in backends (``qiskit-o0`` ... ``qiskit-o3``, ``tket-o0`` ...
+``tket-o2``, ``best-of``) are registered when :mod:`repro.api.backends` is
+imported.  The RL backend is per-model, so it is *not* pre-registered: wrap a
+trained :class:`~repro.core.predictor.Predictor` with
+``predictor.as_backend()`` and register it (conventionally as ``"rl"``), or
+pass the predictor/backend instance directly to ``repro.compile``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Protocol, runtime_checkable
+
+from ..circuit.circuit import QuantumCircuit
+from ..devices.device import Device
+from .result import CompilationResult
+
+__all__ = [
+    "CompilerBackend",
+    "UnknownBackendError",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "unregister_backend",
+]
+
+
+@runtime_checkable
+class CompilerBackend(Protocol):
+    """Protocol every compiler backend implements."""
+
+    name: str
+
+    def compile(
+        self,
+        circuit: QuantumCircuit,
+        *,
+        device: Device | None = None,
+        objective: str = "fidelity",
+        seed: int = 0,
+    ) -> CompilationResult:
+        """Compile ``circuit`` and return a unified result."""
+        ...
+
+
+class UnknownBackendError(KeyError):
+    """Raised when looking up a backend name that is not registered."""
+
+    def __init__(self, name: str, available: list[str]):
+        hint = ""
+        if name == "rl":
+            hint = (
+                "; the RL backend is per-model — register one with "
+                "register_backend('rl', predictor.as_backend()) or pass the "
+                "Predictor instance directly"
+            )
+        super().__init__(
+            f"unknown compiler backend {name!r}; available: {', '.join(available)}{hint}"
+        )
+        self.backend_name = name
+        self.available = available
+
+
+_LOCK = threading.Lock()
+_REGISTRY: dict[str, CompilerBackend] = {}
+
+#: convenience aliases resolved by :func:`get_backend`
+_ALIASES = {
+    "qiskit": "qiskit-o3",
+    "tket": "tket-o2",
+    "best_of": "best-of",
+    "bestof": "best-of",
+}
+
+
+def register_backend(name: str, backend: CompilerBackend, *, overwrite: bool = False) -> None:
+    """Register ``backend`` under ``name`` for lookup by the facade and batch service."""
+    if not callable(getattr(backend, "compile", None)):
+        raise TypeError(f"backend {backend!r} does not implement compile()")
+    with _LOCK:
+        if name in _REGISTRY and not overwrite:
+            raise ValueError(
+                f"backend {name!r} is already registered; pass overwrite=True to replace it"
+            )
+        _REGISTRY[name] = backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a previously registered backend (no-op if absent)."""
+    with _LOCK:
+        _REGISTRY.pop(name, None)
+
+
+def list_backends() -> list[str]:
+    """Sorted names of all registered backends."""
+    with _LOCK:
+        return sorted(_REGISTRY)
+
+
+def get_backend(name: str) -> CompilerBackend:
+    """Look up a registered backend by name (aliases like ``qiskit`` resolve too)."""
+    with _LOCK:
+        resolved = _ALIASES.get(name, name)
+        try:
+            return _REGISTRY[resolved]
+        except KeyError:
+            raise UnknownBackendError(name, sorted(_REGISTRY)) from None

@@ -1,0 +1,106 @@
+"""The unified :class:`CompilationResult` returned by every compiler backend.
+
+Historically the framework had two incompatible result types: the RL
+``Predictor`` returned ``repro.core.predictor.CompilationResult`` while the
+preset baselines returned ``repro.compilers.presets.CompiledCircuit``.  The
+evaluation harness had to hand-stitch the two together.  This module merges
+them: one dataclass carrying the compiled circuit, the target device, the
+objective scores, the applied pass/action trace, wall-clock time, the backend
+that produced it, and structured success/error information.
+
+``repro.core.CompilationResult`` is now an alias of this class, so code
+written against the old Predictor API keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..circuit.circuit import QuantumCircuit
+from ..devices.device import Device
+
+__all__ = ["CompilationResult", "score_circuit"]
+
+
+def score_circuit(circuit: QuantumCircuit, device: Device) -> dict[str, float]:
+    """Evaluate ``circuit`` on ``device`` under every registered reward function."""
+    from ..reward.functions import REWARD_FUNCTIONS
+
+    return {name: float(fn(circuit, device)) for name, fn in REWARD_FUNCTIONS.items()}
+
+
+@dataclass
+class CompilationResult:
+    """Outcome of compiling one circuit with any backend (RL model or preset).
+
+    The first six fields keep the order of the pre-registry Predictor result,
+    so existing positional constructions continue to work.
+    """
+
+    #: the compiled circuit (or the untouched input when ``succeeded`` is False)
+    circuit: QuantumCircuit
+    #: the device the circuit was compiled for (``None`` if compilation failed
+    #: before a device was chosen)
+    device: Device | None
+    #: the achieved value of the optimization objective (0.0 on failure)
+    reward: float
+    #: name of the optimization objective (``fidelity`` / ``critical_depth`` / ...)
+    reward_name: str
+    #: the applied pass/action trace, in order
+    actions: list[str] = field(default_factory=list)
+    #: whether the compilation flow reached the terminal "Done" state
+    reached_done: bool = True
+    #: name of the backend that produced this result (``rl``, ``qiskit-o3``, ...)
+    backend: str = ""
+    #: the compiled circuit scored under *every* reward function (empty on failure)
+    scores: dict[str, float] = field(default_factory=dict)
+    #: wall-clock compile time in seconds
+    wall_time: float = 0.0
+    #: False when compilation failed or did not produce an executable circuit
+    succeeded: bool = True
+    #: human-readable error description when ``succeeded`` is False
+    error: str | None = None
+    #: free-form extras (batch bookkeeping, best-of candidate scores, ...)
+    metadata: dict = field(default_factory=dict)
+
+    # -- compatibility aliases ---------------------------------------------------------
+
+    @property
+    def passes(self) -> list[str]:
+        """Alias for :attr:`actions` (the old ``CompiledCircuit`` field name)."""
+        return self.actions
+
+    @property
+    def objective(self) -> str:
+        """Alias for :attr:`reward_name`."""
+        return self.reward_name
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def with_objective(self, objective: str) -> "CompilationResult":
+        """Return a copy whose headline ``reward`` tracks a different objective.
+
+        Compilation itself is objective-independent for the preset backends, so
+        a cached result can be re-pointed at another metric without recompiling.
+        Falls back to the current reward when the score is unavailable.  Always
+        returns a fresh object (with a fresh ``metadata`` dict) so callers can
+        annotate it without touching cached state.
+        """
+        return replace(
+            self,
+            reward=self.scores.get(objective, self.reward),
+            reward_name=objective,
+            metadata=dict(self.metadata),
+        )
+
+    def summary(self) -> str:
+        device_name = self.device.name if self.device else "-"
+        text = (
+            f"{self.circuit.name}: reward[{self.reward_name}]={self.reward:.4f} "
+            f"on {device_name} via {len(self.actions)} actions"
+        )
+        if self.backend:
+            text += f" [{self.backend}]"
+        if not self.succeeded:
+            text += f" (FAILED: {self.error})"
+        return text

@@ -1,5 +1,24 @@
-"""Baseline preset compilers (Qiskit-style and TKET-style flows)."""
+"""Preset compilation pipelines (Qiskit-style and TKET-style flows).
 
-from .presets import CompiledCircuit, compile_qiskit_style, compile_tket_style
+The public entry point for these flows is the backend registry: every level is
+registered as ``qiskit-o0`` ... ``qiskit-o3`` / ``tket-o0`` ... ``tket-o2``
+and reachable through ``repro.compile(circuit, backend=...)``.  The
+``compile_qiskit_style`` / ``compile_tket_style`` functions re-exported here
+are deprecation shims kept for backwards compatibility.
+"""
 
-__all__ = ["CompiledCircuit", "compile_qiskit_style", "compile_tket_style"]
+from .presets import (
+    CompiledCircuit,
+    compile_qiskit_style,
+    compile_tket_style,
+    qiskit_pipeline,
+    tket_pipeline,
+)
+
+__all__ = [
+    "CompiledCircuit",
+    "compile_qiskit_style",
+    "compile_tket_style",
+    "qiskit_pipeline",
+    "tket_pipeline",
+]

@@ -1,16 +1,26 @@
-"""Baseline preset compilation flows in the style of Qiskit and TKET.
+"""Preset compilation pipelines in the style of Qiskit and TKET.
 
-These are the comparison points of the paper's evaluation: every benchmark
-circuit is also compiled with "Qiskit at its highest optimization level (O3)"
-and "TKET at its highest optimization level (O2)".  The presets below are
+These pipelines are the comparison points of the paper's evaluation: every
+benchmark circuit is also compiled with "Qiskit at its highest optimization
+level (O3)" and "TKET at its highest optimization level (O2)".  They are
 assembled from the same pass implementations that the RL agent can choose
 from, with pass selections that follow the published structure of the two
 SDKs' preset pipelines.
+
+Since the backend-registry redesign, the public entry point for these flows is
+the unified facade: ``repro.compile(circuit, backend="qiskit-o3", device=...)``
+(every level is registered as ``qiskit-o0`` ... ``qiskit-o3`` and ``tket-o0``
+... ``tket-o2``; see :mod:`repro.api.backends`).  This module now holds only
+the *pipeline implementations* — :func:`qiskit_pipeline` / :func:`tket_pipeline`
+return the compiled circuit plus the applied pass trace and are consumed by the
+``PresetBackend`` wrappers.  The historical ``compile_qiskit_style`` /
+``compile_tket_style`` functions and the ``CompiledCircuit`` result type remain
+as thin deprecation shims around those pipelines.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import warnings
 
 from ..circuit.circuit import QuantumCircuit
 from ..devices.device import Device
@@ -30,11 +40,23 @@ from ..passes.optimization import (
 from ..passes.routing import BasicSwap, SabreSwap, StochasticSwap, TketRouting
 from ..passes.synthesis import BasisTranslator
 
-__all__ = ["compile_qiskit_style", "compile_tket_style", "CompiledCircuit"]
+__all__ = [
+    "CompiledCircuit",
+    "compile_qiskit_style",
+    "compile_tket_style",
+    "qiskit_pipeline",
+    "tket_pipeline",
+]
 
 
 class CompiledCircuit:
-    """Result of a preset compilation: the circuit plus flow bookkeeping."""
+    """Result of a preset compilation: the circuit plus flow bookkeeping.
+
+    .. deprecated::
+        Superseded by the unified :class:`repro.CompilationResult`; kept so
+        that the ``compile_qiskit_style`` / ``compile_tket_style`` shims stay
+        drop-in compatible.
+    """
 
     def __init__(self, circuit: QuantumCircuit, device: Device, passes: list[str]):
         self.circuit = circuit
@@ -57,13 +79,17 @@ def _finalise(circuit: QuantumCircuit, device: Device, context: PassContext) -> 
     return circuit
 
 
-def compile_qiskit_style(
+def qiskit_pipeline(
     circuit: QuantumCircuit,
     device: Device,
     optimization_level: int = 3,
     seed: int = 0,
-) -> CompiledCircuit:
-    """Compile with a Qiskit-style preset pipeline (levels 0-3, default O3)."""
+) -> tuple[QuantumCircuit, list[str]]:
+    """Run the Qiskit-style preset pipeline (levels 0-3, default O3).
+
+    Returns the compiled, executable circuit together with the names of the
+    applied passes, in order.
+    """
     if not 0 <= optimization_level <= 3:
         raise ValueError("Qiskit-style optimization level must be between 0 and 3")
     context = PassContext(device=device, seed=seed)
@@ -117,16 +143,20 @@ def compile_qiskit_style(
         work = run(RemoveDiagonalGatesBeforeMeasure(), work)
 
     work = _finalise(work, device, context)
-    return CompiledCircuit(work, device, applied)
+    return work, applied
 
 
-def compile_tket_style(
+def tket_pipeline(
     circuit: QuantumCircuit,
     device: Device,
     optimization_level: int = 2,
     seed: int = 0,
-) -> CompiledCircuit:
-    """Compile with a TKET-style preset pipeline (levels 0-2, default O2)."""
+) -> tuple[QuantumCircuit, list[str]]:
+    """Run the TKET-style preset pipeline (levels 0-2, default O2).
+
+    Returns the compiled, executable circuit together with the names of the
+    applied passes, in order.
+    """
     if not 0 <= optimization_level <= 2:
         raise ValueError("TKET-style optimization level must be between 0 and 2")
     context = PassContext(device=device, seed=seed)
@@ -167,4 +197,44 @@ def compile_tket_style(
         work = run(RemoveRedundancies(), work)
 
     work = _finalise(work, device, context)
-    return CompiledCircuit(work, device, applied)
+    return work, applied
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def compile_qiskit_style(
+    circuit: QuantumCircuit,
+    device: Device,
+    optimization_level: int = 3,
+    seed: int = 0,
+) -> CompiledCircuit:
+    """Deprecated shim: compile with the Qiskit-style preset pipeline.
+
+    Use ``repro.compile(circuit, backend=f"qiskit-o{level}", device=device)``,
+    which returns the unified :class:`repro.CompilationResult`.
+    """
+    _deprecated("compile_qiskit_style", 'repro.compile(..., backend="qiskit-o<level>")')
+    compiled, applied = qiskit_pipeline(circuit, device, optimization_level, seed)
+    return CompiledCircuit(compiled, device, applied)
+
+
+def compile_tket_style(
+    circuit: QuantumCircuit,
+    device: Device,
+    optimization_level: int = 2,
+    seed: int = 0,
+) -> CompiledCircuit:
+    """Deprecated shim: compile with the TKET-style preset pipeline.
+
+    Use ``repro.compile(circuit, backend=f"tket-o{level}", device=device)``,
+    which returns the unified :class:`repro.CompilationResult`.
+    """
+    _deprecated("compile_tket_style", 'repro.compile(..., backend="tket-o<level>")')
+    compiled, applied = tket_pipeline(circuit, device, optimization_level, seed)
+    return CompiledCircuit(compiled, device, applied)

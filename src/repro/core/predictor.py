@@ -14,39 +14,24 @@ This is the user-facing entry point of the framework, mirroring the role of
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+import warnings
 from pathlib import Path
+from time import perf_counter
 
 import numpy as np
 
+from ..api.result import CompilationResult, score_circuit
 from ..circuit.circuit import QuantumCircuit
-from ..devices.device import Device
 from ..features.extraction import feature_vector
 from ..reward.functions import reward_function
 from ..rl.ppo import PPO, PPOConfig, TrainingSummary
 from .environment import CompilationEnv
 from .state import CompilationState
 
+# CompilationResult used to be defined here; it now lives in repro.api.result
+# as the unified result type shared by every compiler backend, and is
+# re-exported for backwards compatibility.
 __all__ = ["CompilationResult", "Predictor"]
-
-
-@dataclass
-class CompilationResult:
-    """Outcome of compiling one circuit with a trained model."""
-
-    circuit: QuantumCircuit
-    device: Device | None
-    reward: float
-    reward_name: str
-    actions: list[str] = field(default_factory=list)
-    reached_done: bool = True
-
-    def summary(self) -> str:
-        device_name = self.device.name if self.device else "-"
-        return (
-            f"{self.circuit.name}: reward[{self.reward_name}]={self.reward:.4f} "
-            f"on {device_name} via {len(self.actions)} actions"
-        )
 
 
 class Predictor:
@@ -114,6 +99,7 @@ class Predictor:
         """Compile one circuit by greedily following the learned policy."""
         if self._agent is None:
             raise RuntimeError("the Predictor must be trained (or loaded) before compiling")
+        start = perf_counter()
         env = CompilationEnv(
             [circuit],
             reward=self.reward_name,
@@ -139,23 +125,45 @@ class Predictor:
         elif not terminated and env.state.is_done:
             reward = self._fallback_reward(env.state)
         state: CompilationState = env.state
-        final_reward = reward
+        succeeded = state.is_done and state.device is not None
         return CompilationResult(
             circuit=state.circuit,
             device=state.device,
-            reward=float(final_reward),
+            reward=float(reward),
             reward_name=self.reward_name,
             actions=list(state.applied_actions),
             reached_done=state.is_done,
+            backend="rl",
+            scores=score_circuit(state.circuit, state.device) if succeeded else {},
+            wall_time=perf_counter() - start,
+            succeeded=succeeded,
+            error=None if succeeded else f"policy did not finish compilation ({state.describe()})",
         )
 
     def evaluate(self, circuit: QuantumCircuit, reward: str | None = None) -> float:
-        """Compile ``circuit`` and score it under ``reward`` (default: own objective)."""
+        """Compile ``circuit`` and score it under ``reward`` (default: own objective).
+
+        Returns 0.0 — with a :class:`RuntimeWarning` — when the policy fails to
+        produce an executable circuit, so unfinished compilations no longer
+        collapse silently into the score distribution.
+        """
         result = self.compile(circuit)
-        if result.device is None or not result.reached_done:
+        if not result.succeeded:
+            warnings.warn(
+                f"compilation of {circuit.name!r} did not finish ({result.error}); "
+                "scoring it as 0.0",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return 0.0
         metric = reward_function(reward or self.reward_name)
         return float(metric(result.circuit, result.device))
+
+    def as_backend(self, name: str = "rl"):
+        """Wrap this trained predictor as a registrable compiler backend."""
+        from ..api.backends import PredictorBackend
+
+        return PredictorBackend(self, name=name)
 
     def _complete_compilation(self, env: CompilationEnv) -> float:
         """Finish an unfinished episode with a fixed, always-valid action sequence.

@@ -6,16 +6,28 @@ with each baseline at its highest optimization level (Qiskit O3, TKET O2,
 both targeting ``ibmq_washington``), and all three results are scored with
 the same reward function.  The absolute difference "RL minus baseline" is
 what Figs. 3a-f plot.
+
+The comparison is built on the unified backend registry
+(:mod:`repro.api`): the trained :class:`~repro.core.predictor.Predictor` is
+wrapped in a :class:`~repro.api.backends.PredictorBackend` and swept together
+with the named baseline backends through :func:`repro.api.compile_batch`, so
+baseline compilations are cached — comparing several reward models over the
+same suite compiles each baseline circuit only once.  Unfinished RL
+compilations and baseline failures are surfaced as
+:class:`RuntimeWarning`\\ s (and scored 0.0) instead of silently collapsing
+into the statistics.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api.backends import PredictorBackend
+from ..api.batch import CompilationCache, compile_batch
 from ..circuit.circuit import QuantumCircuit
-from ..compilers.presets import compile_qiskit_style, compile_tket_style
 from ..core.predictor import Predictor
 from ..devices.library import get_device
 from ..reward.functions import reward_function
@@ -68,6 +80,19 @@ class ComparisonSummary:
         return "\n".join(lines)
 
 
+def _scored(result, metric_name: str, circuit_name: str) -> float:
+    """The requested metric of one batch result, warning on failures."""
+    if not result.succeeded:
+        warnings.warn(
+            f"{result.backend} compilation of {circuit_name!r} failed "
+            f"({result.error}); scoring it as 0.0",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return 0.0
+    return float(result.scores[metric_name])
+
+
 def compare_predictor(
     predictor: Predictor,
     circuits: list[QuantumCircuit],
@@ -75,36 +100,50 @@ def compare_predictor(
     baseline_device: str = "ibmq_washington",
     metric: str | None = None,
     seed: int = 0,
+    qiskit_backend: str = "qiskit-o3",
+    tket_backend: str = "tket-o2",
+    max_workers: int | None = None,
+    cache: CompilationCache | None = None,
 ) -> list[ComparisonRecord]:
     """Compile every circuit with the RL model and both baselines; score all three.
 
     The RL model is free to select its own target device (as in the paper);
-    the baselines always target ``baseline_device``.  All results are scored
-    with ``metric`` (default: the predictor's own reward function) on the
-    device each compiled circuit actually targets.
+    the baseline backends always target ``baseline_device``.  All results are
+    scored with ``metric`` (default: the predictor's own reward function) on
+    the device each compiled circuit actually targets.  The three backends are
+    swept through :func:`repro.api.compile_batch`, so baseline compilations
+    are cached and reused across calls (default: the process-wide cache; pass
+    ``cache`` for an isolated one).
     """
     metric_name = metric or predictor.reward_name
-    metric_fn = reward_function(metric_name)
+    reward_function(metric_name)  # fail fast on unknown metrics
     device = get_device(baseline_device)
+    rl = PredictorBackend(predictor)
+    batch_kwargs = {} if cache is None else {"cache": cache}
+    batch = compile_batch(
+        circuits,
+        backends=[rl, qiskit_backend, tket_backend],
+        device=device,
+        objective=metric_name,
+        seed=seed,
+        max_workers=max_workers,
+        **batch_kwargs,
+    )
     records: list[ComparisonRecord] = []
-    for circuit in circuits:
-        result = predictor.compile(circuit)
-        if result.device is not None and result.reached_done:
-            rl_reward = float(metric_fn(result.circuit, result.device))
-        else:
-            rl_reward = 0.0
-        qiskit = compile_qiskit_style(circuit, device, optimization_level=3, seed=seed)
-        tket = compile_tket_style(circuit, device, optimization_level=2, seed=seed)
+    for index, circuit in enumerate(circuits):
+        rl_result = batch.get(index, rl.name)
+        qiskit_result = batch.get(index, qiskit_backend)
+        tket_result = batch.get(index, tket_backend)
         records.append(
             ComparisonRecord(
                 circuit_name=circuit.name,
                 benchmark=str(circuit.metadata.get("benchmark", circuit.name.rsplit("_", 1)[0])),
                 num_qubits=len(circuit.active_qubits() or {0}),
                 metric=metric_name,
-                rl_reward=rl_reward,
-                qiskit_reward=float(metric_fn(qiskit.circuit, device)),
-                tket_reward=float(metric_fn(tket.circuit, device)),
-                rl_device=result.device.name if result.device else None,
+                rl_reward=_scored(rl_result, metric_name, circuit.name),
+                qiskit_reward=_scored(qiskit_result, metric_name, circuit.name),
+                tket_reward=_scored(tket_result, metric_name, circuit.name),
+                rl_device=rl_result.device.name if rl_result.device else None,
             )
         )
     return records

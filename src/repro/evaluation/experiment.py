@@ -2,8 +2,13 @@
 
 ``run_experiment`` performs the full pipeline of Section IV: build the
 benchmark suite, train one model per reward function, compare every model
-against the Qiskit-O3 / TKET-O2 baselines (Figs. 3a-f), and compute the
-cross-model reward matrix (Table I).
+against the baseline backends (default Qiskit-O3 / TKET-O2, Figs. 3a-f), and
+compute the cross-model reward matrix (Table I).
+
+The comparisons run through the unified backend registry (:mod:`repro.api`):
+baselines are addressed by backend name and swept with the caching batch
+service, so the baseline compilations are shared across the per-reward models
+instead of being recomputed three times.
 
 Budgets are configurable so the identical code path runs both at paper scale
 (200 circuits, 100k timesteps — hours) and at test/benchmark scale (a handful
@@ -48,6 +53,12 @@ class ExperimentConfig:
     baseline_device: str = "ibmq_washington"
     seed: int = 0
     rewards: list[str] = field(default_factory=lambda: list(REWARD_FUNCTIONS))
+    #: registered backend names the RL models are compared against
+    qiskit_backend: str = "qiskit-o3"
+    tket_backend: str = "tket-o2"
+    #: worker-pool size for batch compilation (None: one worker per CPU;
+    #: thread-based, so overlap is limited to NumPy-heavy passes)
+    max_workers: int | None = None
 
 
 @dataclass
@@ -106,7 +117,13 @@ def run_experiment(config: ExperimentConfig | None = None) -> ExperimentResults:
     per_benchmark: dict[str, PerBenchmarkData] = {}
     for reward_name, model in models.items():
         reward_records = compare_predictor(
-            model, suite, baseline_device=config.baseline_device, seed=config.seed
+            model,
+            suite,
+            baseline_device=config.baseline_device,
+            seed=config.seed,
+            qiskit_backend=config.qiskit_backend,
+            tket_backend=config.tket_backend,
+            max_workers=config.max_workers,
         )
         records[reward_name] = reward_records
         summaries[reward_name] = summarize(reward_records)

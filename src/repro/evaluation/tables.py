@@ -7,6 +7,7 @@ metric achieves the best average value of that metric.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -52,14 +53,22 @@ def cross_model_rewards(
     for i, trained_metric in enumerate(metric_names):
         predictor = models[trained_metric]
         results = [predictor.compile(circuit) for circuit in circuits]
+        failed = [r.circuit.name for r in results if not r.succeeded]
+        if failed:
+            warnings.warn(
+                f"model trained for {trained_metric!r} failed to compile "
+                f"{len(failed)}/{len(results)} circuits ({', '.join(failed[:5])}"
+                f"{', ...' if len(failed) > 5 else ''}); scoring them as 0.0",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         for j, eval_metric in enumerate(metric_names):
-            metric_fn = reward_function(eval_metric)
-            rewards = []
-            for result in results:
-                if result.device is None or not result.reached_done:
-                    rewards.append(0.0)
-                else:
-                    rewards.append(float(metric_fn(result.circuit, result.device)))
+            reward_function(eval_metric)  # fail fast on unknown metrics
+            # Unified results are pre-scored under every metric.
+            rewards = [
+                result.scores.get(eval_metric, 0.0) if result.succeeded else 0.0
+                for result in results
+            ]
             values[i, j] = float(np.mean(rewards))
     return CrossModelTable(metric_names, list(metric_names), values)
 

@@ -1,0 +1,364 @@
+"""Unit tests for the unified compilation API: facade, registry, batch service."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.api import (
+    BestOfBackend,
+    CompilationCache,
+    CompilationResult,
+    PredictorBackend,
+    UnknownBackendError,
+    circuit_fingerprint,
+    compile_batch,
+    get_backend,
+    list_backends,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+from repro.bench import benchmark_circuit, benchmark_suite
+from repro.circuit import QuantumCircuit
+
+
+class _StubBackend:
+    """Minimal registrable backend for registry tests."""
+
+    def __init__(self, name="stub"):
+        self.name = name
+
+    def compile(self, circuit, *, device=None, objective="fidelity", seed=0):
+        return CompilationResult(
+            circuit=circuit, device=device, reward=0.5, reward_name=objective, backend=self.name
+        )
+
+
+class _FailingBackend:
+    name = "failing"
+
+    def compile(self, circuit, *, device=None, objective="fidelity", seed=0):
+        raise RuntimeError(f"cannot compile {circuit.name}")
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = list_backends()
+        for level in range(4):
+            assert f"qiskit-o{level}" in names
+        for level in range(3):
+            assert f"tket-o{level}" in names
+        assert "best-of" in names
+
+    def test_get_backend_resolves_aliases(self):
+        assert get_backend("qiskit").name == "qiskit-o3"
+        assert get_backend("tket").name == "tket-o2"
+
+    def test_unknown_backend_error(self):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            get_backend("no-such-backend")
+        assert isinstance(excinfo.value, KeyError)
+        assert "qiskit-o3" in str(excinfo.value)
+
+    def test_unknown_rl_backend_hints_at_registration(self):
+        unregister_backend("rl")
+        with pytest.raises(UnknownBackendError, match="as_backend"):
+            get_backend("rl")
+
+    def test_register_lookup_unregister(self):
+        backend = _StubBackend("custom-flow")
+        register_backend("custom-flow", backend)
+        try:
+            assert get_backend("custom-flow") is backend
+            assert "custom-flow" in list_backends()
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend("custom-flow", _StubBackend())
+            register_backend("custom-flow", backend, overwrite=True)
+        finally:
+            unregister_backend("custom-flow")
+        assert "custom-flow" not in list_backends()
+
+    def test_register_rejects_non_backend(self):
+        with pytest.raises(TypeError):
+            register_backend("bogus", object())
+
+    def test_resolve_backend_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+
+class TestFacade:
+    @pytest.mark.parametrize("backend", ["qiskit-o0", "qiskit-o3", "tket-o0", "tket-o2"])
+    def test_preset_backends_unified_result(self, backend, washington):
+        circuit = benchmark_circuit("ghz", 4)
+        result = repro.compile(circuit, backend=backend, device=washington)
+        assert isinstance(result, CompilationResult)
+        assert result.succeeded and result.error is None
+        assert result.backend == backend
+        assert washington.is_executable(result.circuit)
+        assert result.actions and result.passes == result.actions
+        assert result.wall_time > 0
+        assert set(result.scores) == {"fidelity", "critical_depth", "combination"}
+        assert result.reward == pytest.approx(result.scores["fidelity"])
+
+    def test_device_accepts_name_and_defaults_to_washington(self):
+        circuit = benchmark_circuit("dj", 3)
+        by_name = repro.compile(circuit, backend="qiskit-o3", device="ibmq_washington")
+        by_default = repro.compile(circuit, backend="qiskit-o3")
+        assert by_name.device.name == by_default.device.name == "ibmq_washington"
+
+    def test_objective_selects_headline_reward(self, washington):
+        circuit = benchmark_circuit("qft", 4)
+        result = repro.compile(
+            circuit, backend="tket-o2", device=washington, objective="critical_depth"
+        )
+        assert result.reward_name == "critical_depth"
+        assert result.reward == pytest.approx(result.scores["critical_depth"])
+
+    def test_unknown_objective_rejected(self, washington):
+        with pytest.raises(KeyError):
+            repro.compile(benchmark_circuit("ghz", 3), device=washington, objective="speed")
+
+    def test_unknown_objective_rejected_by_rl_backend(self, trained_predictor):
+        with pytest.raises(KeyError, match="unknown reward"):
+            repro.compile(benchmark_circuit("ghz", 3), backend=trained_predictor, objective="speed")
+
+    def test_rl_backend_from_predictor_instance(self, trained_predictor):
+        circuit = benchmark_circuit("ghz", 3)
+        result = repro.compile(circuit, backend=trained_predictor)
+        assert result.backend == "rl"
+        assert result.succeeded
+        assert result.device is not None
+        assert result.device.is_executable(result.circuit)
+
+    def test_rl_backend_registered_by_name(self, trained_predictor):
+        register_backend("rl", trained_predictor.as_backend(), overwrite=True)
+        try:
+            result = repro.compile(benchmark_circuit("ghz", 3), backend="rl")
+            assert result.backend == "rl" and result.succeeded
+        finally:
+            unregister_backend("rl")
+
+    def test_rl_result_matches_predictor_compile(self, trained_predictor):
+        circuit = benchmark_circuit("dj", 3)
+        direct = trained_predictor.compile(circuit)
+        via_facade = repro.compile(circuit, backend=trained_predictor)
+        assert via_facade.reward == pytest.approx(direct.reward)
+        assert via_facade.actions == direct.actions
+
+    def test_best_of_picks_the_best_candidate(self, washington):
+        circuit = benchmark_circuit("ghz", 4)
+        best = repro.compile(circuit, backend="best-of", device=washington)
+        assert best.succeeded
+        candidates = best.metadata["candidates"]
+        assert set(candidates) == {"qiskit-o3", "tket-o2"}
+        assert best.reward == pytest.approx(max(candidates.values()))
+        assert best.metadata["winner"] in candidates
+
+    def test_best_of_survives_candidate_failure(self, washington):
+        backend = BestOfBackend([_FailingBackend(), "qiskit-o3"], name="best-of-test")
+        result = backend.compile(benchmark_circuit("ghz", 3), device=washington)
+        assert result.succeeded
+        assert result.metadata["winner"] == "qiskit-o3"
+        assert "failing" in result.metadata["candidate_errors"]
+
+    def test_best_of_all_failures_is_structured(self):
+        backend = BestOfBackend([_FailingBackend()], name="best-of-fail")
+        result = backend.compile(benchmark_circuit("ghz", 3))
+        assert not result.succeeded
+        assert "failing" in (result.error or "")
+
+
+class TestDeprecatedShims:
+    def test_compile_qiskit_style_still_works_and_warns(self, washington):
+        with pytest.warns(DeprecationWarning):
+            result = repro.compile_qiskit_style(benchmark_circuit("ghz", 3), washington)
+        assert washington.is_executable(result.circuit)
+        assert result.passes
+
+    def test_old_result_type_importable_from_core(self):
+        from repro.core import CompilationResult as CoreResult
+
+        assert CoreResult is CompilationResult
+
+
+class TestBatchCompilation:
+    def test_sweep_ten_circuits_two_backends_with_caching(self):
+        circuits = benchmark_suite(2, 6, step=1, names=["ghz", "dj"])
+        assert len(circuits) >= 10
+        cache = CompilationCache()
+        batch = compile_batch(
+            circuits, backends=["qiskit-o1", "tket-o1"], cache=cache, max_workers=4
+        )
+        assert len(batch) == 2 * len(circuits)
+        assert not batch.failures
+        assert all(not r.metadata.get("cached") for r in batch)
+        assert len(batch.by_backend("qiskit-o1")) == len(circuits)
+        # Re-running the sweep is served entirely from the cache.
+        again = compile_batch(
+            circuits, backends=["qiskit-o1", "tket-o1"], cache=cache, max_workers=4
+        )
+        assert all(r.metadata.get("cached") for r in again)
+        assert cache.hits == len(again)
+        for index in range(len(circuits)):
+            first = batch.get(index, "qiskit-o1")
+            second = again.get(index, "qiskit-o1")
+            assert second.reward == pytest.approx(first.reward)
+
+    def test_cache_repoints_objective_without_recompiling(self):
+        circuits = [benchmark_circuit("ghz", 3)]
+        cache = CompilationCache()
+        fidelity = compile_batch(circuits, backends=["qiskit-o2"], cache=cache)
+        depth = compile_batch(
+            circuits, backends=["qiskit-o2"], cache=cache, objective="critical_depth"
+        )
+        result = depth.get(0, "qiskit-o2")
+        assert result.metadata.get("cached")
+        assert result.reward_name == "critical_depth"
+        assert result.reward == pytest.approx(
+            fidelity.get(0, "qiskit-o2").scores["critical_depth"]
+        )
+
+    def test_failing_circuit_does_not_kill_the_sweep(self):
+        # A 20-qubit circuit cannot fit the 8-qubit oqc_lucy device.
+        too_big = QuantumCircuit(20, name="too_big")
+        for q in range(19):
+            too_big.cx(q, q + 1)
+        good = benchmark_circuit("ghz", 3)
+        batch = compile_batch(
+            [good, too_big], backends=["qiskit-o3"], device="oqc_lucy", cache=None
+        )
+        assert len(batch) == 2
+        ok, failed = batch.get(0, "qiskit-o3"), batch.get(1, "qiskit-o3")
+        assert ok.succeeded
+        assert not failed.succeeded
+        assert failed.error
+        assert failed.reward == 0.0
+        assert failed.circuit is too_big
+        assert len(batch.failures) == 1
+
+    def test_failing_backend_captured_per_item(self):
+        circuits = [benchmark_circuit("ghz", 3), benchmark_circuit("dj", 3)]
+        batch = compile_batch(circuits, backends=[_FailingBackend(), "qiskit-o0"], cache=None)
+        assert len(batch.failures) == 2
+        assert all(r.backend == "failing" for r in batch.failures)
+        assert all(r.succeeded for r in batch.by_backend("qiskit-o0"))
+
+    def test_failures_are_not_cached(self):
+        cache = CompilationCache()
+        circuits = [benchmark_circuit("ghz", 3)]
+        compile_batch(circuits, backends=[_FailingBackend()], cache=cache)
+        assert len(cache) == 0
+
+    def test_mixed_predictor_and_preset_backends(self, trained_predictor):
+        circuits = [benchmark_circuit("ghz", 3), benchmark_circuit("dj", 3)]
+        batch = compile_batch(
+            circuits, backends=[trained_predictor, "qiskit-o3"], cache=None, max_workers=2
+        )
+        assert len(batch) == 4
+        assert {r.backend for r in batch} == {"rl", "qiskit-o3"}
+        assert all(r.succeeded for r in batch)
+
+    def test_requires_a_backend(self):
+        with pytest.raises(ValueError):
+            compile_batch([benchmark_circuit("ghz", 3)], backends=[])
+
+    def test_lookup_works_with_alias_spec(self):
+        circuits = [benchmark_circuit("ghz", 3)]
+        batch = compile_batch(circuits, backends=["qiskit", "tket"], cache=None)
+        assert batch.get(0, "qiskit").backend == "qiskit-o3"
+        assert batch.get(0, "qiskit") is batch.get(0, "qiskit-o3")
+        assert batch.get(0, "tket").backend == "tket-o2"
+
+    def test_unknown_objective_rejected_even_on_warm_cache(self):
+        circuits = [benchmark_circuit("ghz", 3)]
+        cache = CompilationCache()
+        compile_batch(circuits, backends=["qiskit-o1"], cache=cache)
+        with pytest.raises(KeyError, match="unknown reward"):
+            compile_batch(circuits, backends=["qiskit-o1"], cache=cache, objective="speeed")
+
+    def test_serial_and_parallel_agree(self):
+        circuits = benchmark_suite(3, 4, step=1, names=["ghz", "qft"])
+        serial = compile_batch(circuits, backends=["qiskit-o2"], cache=None, max_workers=1)
+        parallel = compile_batch(circuits, backends=["qiskit-o2"], cache=None, max_workers=8)
+        for index in range(len(circuits)):
+            assert parallel.get(index, "qiskit-o2").reward == pytest.approx(
+                serial.get(index, "qiskit-o2").reward
+            )
+
+    def test_batch_summary_mentions_failures(self):
+        batch = compile_batch([benchmark_circuit("ghz", 3)], backends=[_FailingBackend()], cache=None)
+        assert "1 failed" in batch.summary()
+
+
+class TestFingerprintAndCache:
+    def test_fingerprint_stable_and_content_sensitive(self):
+        a = benchmark_circuit("ghz", 4)
+        b = benchmark_circuit("ghz", 4)
+        c = benchmark_circuit("ghz", 5)
+        assert circuit_fingerprint(a) == circuit_fingerprint(b)
+        assert circuit_fingerprint(a) != circuit_fingerprint(c)
+
+    def test_lru_eviction(self):
+        cache = CompilationCache(maxsize=2)
+        r = CompilationResult(QuantumCircuit(1), None, 0.0, "fidelity")
+        cache.put(("a",), r)
+        cache.put(("b",), r)
+        cache.put(("c",), r)
+        assert len(cache) == 2
+        assert cache.get(("a",)) is None
+
+    def test_predictor_backends_never_share_cache_entries(self, trained_predictor):
+        first = PredictorBackend(trained_predictor)
+        second = PredictorBackend(trained_predictor)
+        assert first.cache_token() != second.cache_token()
+
+
+class TestUnifiedResult:
+    def test_with_objective_returns_fresh_copy(self):
+        result = CompilationResult(
+            QuantumCircuit(1), None, 0.9, "fidelity", scores={"fidelity": 0.9, "critical_depth": 0.4}
+        )
+        other = result.with_objective("critical_depth")
+        assert other is not result
+        assert other.reward == pytest.approx(0.4)
+        assert result.reward == pytest.approx(0.9)
+        other.metadata["cached"] = True
+        assert "cached" not in result.metadata
+
+    def test_failure_summary_mentions_error(self):
+        result = CompilationResult(
+            QuantumCircuit(1), None, 0.0, "fidelity", succeeded=False, error="boom"
+        )
+        assert "FAILED" in result.summary() and "boom" in result.summary()
+
+
+class TestSilentFailureSurfacing:
+    def test_evaluate_warns_on_unfinished_compilation(self, trained_predictor, monkeypatch):
+        failed = CompilationResult(
+            benchmark_circuit("ghz", 3),
+            None,
+            0.0,
+            "fidelity",
+            reached_done=False,
+            succeeded=False,
+            error="policy did not finish",
+        )
+        monkeypatch.setattr(type(trained_predictor), "compile", lambda self, c, **kw: failed)
+        with pytest.warns(RuntimeWarning, match="did not finish"):
+            value = trained_predictor.evaluate(benchmark_circuit("ghz", 3))
+        assert value == 0.0
+
+    def test_compare_predictor_warns_on_rl_failure(self, trained_predictor, monkeypatch):
+        from repro.evaluation import compare_predictor
+
+        circuit = benchmark_circuit("ghz", 3)
+        failed = CompilationResult(
+            circuit, None, 0.0, "fidelity", reached_done=False, succeeded=False, error="stuck"
+        )
+        monkeypatch.setattr(type(trained_predictor), "compile", lambda self, c, **kw: failed)
+        with pytest.warns(RuntimeWarning, match="scoring it as 0.0"):
+            records = compare_predictor(trained_predictor, [circuit], cache=CompilationCache())
+        assert records[0].rl_reward == 0.0
+        assert records[0].qiskit_reward > 0.0

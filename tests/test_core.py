@@ -250,10 +250,25 @@ class TestPredictor:
         path = tmp_path / "predictor.json"
         trained_predictor.save(path)
         restored = Predictor.load(path)
+        # Settings survive the round trip.
         assert restored.reward_name == trained_predictor.reward_name
+        assert restored.device_name == trained_predictor.device_name
+        assert restored.max_steps == trained_predictor.max_steps
+        assert restored.seed == trained_predictor.seed
+        # Policy and value weights are restored bit-for-bit.
+        for net in ("policy_net", "value_net"):
+            saved = getattr(trained_predictor._agent, net).state_dict()
+            loaded_net = getattr(restored._agent, net).state_dict()
+            for key in ("weights", "biases"):
+                assert len(saved[key]) == len(loaded_net[key])
+                for a, b in zip(saved[key], loaded_net[key]):
+                    np.testing.assert_array_equal(np.asarray(a), np.asarray(b))
+        # The restored policy takes the identical greedy action sequence.
         circuit = benchmark_circuit("qft", 3)
         original = trained_predictor.compile(circuit)
         loaded = restored.compile(circuit)
+        assert loaded.actions == original.actions
+        assert loaded.device.name == original.device.name
         assert loaded.reward == pytest.approx(original.reward)
 
     def test_save_untrained_raises(self, tmp_path):
