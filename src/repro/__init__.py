@@ -52,9 +52,10 @@ from .api import (
 )
 from .bench import available_benchmarks, benchmark_circuit, benchmark_suite
 from .circuit import Gate, Instruction, QuantumCircuit
-from .compilers import compile_qiskit_style, compile_tket_style
+from .compilers import compile_qiskit_style, compile_tket_style, preset_pass_manager
 from .core import CompilationEnv, Predictor
 from .devices import Device, get_device, list_devices
+from .pipeline import AnalysisCache, PassManager, RepeatUntilStable, Stage
 from .reward import combined_reward, critical_depth_reward, expected_fidelity
 
 __all__ = [
@@ -82,6 +83,12 @@ __all__ = [
     "unregister_backend",
     "list_backends",
     "get_backend",
+    # pipeline layer (declarative scheduling + shared analysis cache)
+    "PassManager",
+    "Stage",
+    "RepeatUntilStable",
+    "AnalysisCache",
+    "preset_pass_manager",
     # deprecated shims (use repro.compile with a backend name instead)
     "compile_qiskit_style",
     "compile_tket_style",

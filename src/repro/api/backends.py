@@ -16,7 +16,7 @@ import itertools
 from time import perf_counter
 from typing import TYPE_CHECKING
 
-from ..compilers.presets import qiskit_pipeline, tket_pipeline
+from ..compilers.presets import preset_pass_manager, run_preset_manager
 from ..devices.library import get_device
 from ..reward.functions import reward_function
 from .registry import CompilerBackend, get_backend, list_backends, register_backend
@@ -38,8 +38,6 @@ __all__ = [
 #: (the paper's baseline device)
 DEFAULT_DEVICE = "ibmq_washington"
 
-_PIPELINES = {"qiskit": qiskit_pipeline, "tket": tket_pipeline}
-
 
 def _resolve_device(device: "Device | str | None") -> "Device":
     if device is None:
@@ -50,17 +48,30 @@ def _resolve_device(device: "Device | str | None") -> "Device":
 
 
 class PresetBackend:
-    """Backend wrapping one preset pipeline at a fixed optimization level."""
+    """Backend running one declarative preset schedule at a fixed level.
+
+    The backend is built directly from the schedule tables in
+    :mod:`repro.compilers.presets` — it holds the corresponding
+    :class:`~repro.pipeline.PassManager` and runs it, so the registered
+    ``qiskit-o*`` / ``tket-o*`` backends and the ``qiskit_pipeline`` /
+    ``tket_pipeline`` functions execute the exact same stages.  The manager
+    carries no per-run state, making one backend instance safe to share
+    across the batch service's worker threads.
+    """
 
     def __init__(self, style: str, optimization_level: int):
-        if style not in _PIPELINES:
-            raise ValueError(f"unknown preset style {style!r}; expected one of {sorted(_PIPELINES)}")
         self.style = style
         self.optimization_level = optimization_level
         self.name = f"{style}-o{optimization_level}"
+        self._manager = preset_pass_manager(style, optimization_level)
 
     def cache_token(self) -> str:
         return self.name
+
+    @property
+    def schedule(self) -> list[dict]:
+        """The declarative stage schedule this backend runs (plain data)."""
+        return self._manager.describe()
 
     def compile(
         self,
@@ -73,7 +84,7 @@ class PresetBackend:
         reward_function(objective)  # fail fast on unknown objectives
         target = _resolve_device(device)
         start = perf_counter()
-        compiled, applied = _PIPELINES[self.style](circuit, target, self.optimization_level, seed)
+        compiled, applied = run_preset_manager(self._manager, circuit, target, seed)
         wall_time = perf_counter() - start
         scores = score_circuit(compiled, target)
         return CompilationResult(

@@ -8,6 +8,7 @@ all compilation actions consume and produce a ``QuantumCircuit``.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from typing import Iterable, Iterator, Sequence
 
@@ -32,6 +33,8 @@ class QuantumCircuit:
         self.name = name
         self._instructions: list[Instruction] = []
         self.metadata: dict = {}
+        # cached (instruction count, digest) pair; see fingerprint()
+        self._fingerprint: tuple[int, str] | None = None
 
     # -- basic container protocol ------------------------------------------------
 
@@ -92,6 +95,7 @@ class QuantumCircuit:
                     f"{self.num_clbits} clbits"
                 )
         self._instructions.append(instr)
+        self._fingerprint = None
         return self
 
     def append_instruction(self, instruction: Instruction) -> "QuantumCircuit":
@@ -225,7 +229,36 @@ class QuantumCircuit:
         gate = Gate("barrier")
         qs = tuple(qubits) if qubits else tuple(range(self.num_qubits))
         self._instructions.append(Instruction(gate, qs))
+        self._fingerprint = None
         return self
+
+    # -- identity ---------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the circuit (qubit count, gate sequence, parameters).
+
+        The digest identifies the circuit *structurally* — the name and metadata
+        do not contribute — which makes it usable as a cache key for analysis
+        results (:class:`repro.pipeline.AnalysisCache`) and, combined with the
+        name, for the batch-compilation LRU cache.
+
+        The hash is cached on the instance and invalidated by the mutating
+        construction methods (``append`` and friends).  Code that reaches into
+        ``_instructions`` directly is also covered as long as it changes the
+        instruction count; in-place same-length edits of the private list are
+        not detected.
+        """
+        cached = self._fingerprint
+        if cached is not None and cached[0] == len(self._instructions):
+            return cached[1]
+        hasher = hashlib.sha1()
+        hasher.update(str(self.num_qubits).encode())
+        for instr in self._instructions:
+            params = ",".join(f"{p:.12g}" for p in instr.params)
+            hasher.update(f";{instr.name}@{instr.qubits}/{instr.clbits}({params})".encode())
+        digest = hasher.hexdigest()
+        self._fingerprint = (len(self._instructions), digest)
+        return digest
 
     # -- metrics --------------------------------------------------------------------
 
@@ -307,6 +340,7 @@ class QuantumCircuit:
         out = QuantumCircuit(self.num_qubits, self.num_clbits, name or self.name)
         out._instructions = list(self._instructions)
         out.metadata = dict(self.metadata)
+        out._fingerprint = self._fingerprint
         return out
 
     def compose(self, other: "QuantumCircuit", qubits: Sequence[int] | None = None) -> "QuantumCircuit":

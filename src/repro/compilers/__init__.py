@@ -8,17 +8,23 @@ are deprecation shims kept for backwards compatibility.
 """
 
 from .presets import (
+    QISKIT_LEVELS,
+    TKET_LEVELS,
     CompiledCircuit,
     compile_qiskit_style,
     compile_tket_style,
+    preset_pass_manager,
     qiskit_pipeline,
     tket_pipeline,
 )
 
 __all__ = [
+    "QISKIT_LEVELS",
+    "TKET_LEVELS",
     "CompiledCircuit",
     "compile_qiskit_style",
     "compile_tket_style",
+    "preset_pass_manager",
     "qiskit_pipeline",
     "tket_pipeline",
 ]

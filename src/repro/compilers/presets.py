@@ -7,15 +7,22 @@ assembled from the same pass implementations that the RL agent can choose
 from, with pass selections that follow the published structure of the two
 SDKs' preset pipelines.
 
-Since the backend-registry redesign, the public entry point for these flows is
-the unified facade: ``repro.compile(circuit, backend="qiskit-o3", device=...)``
-(every level is registered as ``qiskit-o0`` ... ``qiskit-o3`` and ``tket-o0``
-... ``tket-o2``; see :mod:`repro.api.backends`).  This module now holds only
-the *pipeline implementations* — :func:`qiskit_pipeline` / :func:`tket_pipeline`
-return the compiled circuit plus the applied pass trace and are consumed by the
-``PresetBackend`` wrappers.  The historical ``compile_qiskit_style`` /
-``compile_tket_style`` functions and the ``CompiledCircuit`` result type remain
-as thin deprecation shims around those pipelines.
+Since the pipeline-layer refactor the levels are *declarative schedules*:
+:data:`QISKIT_LEVELS` and :data:`TKET_LEVELS` map each optimization level to
+the :class:`~repro.pipeline.Stage` sequence it runs, and
+:func:`preset_pass_manager` turns a (style, level) pair into a ready
+:class:`~repro.pipeline.PassManager`.  Both the pipeline functions here and
+the registered API backends (:mod:`repro.api.backends`) execute those same
+schedules — there is exactly one definition of what "qiskit-o3" means.
+
+The public entry point for end users is the unified facade:
+``repro.compile(circuit, backend="qiskit-o3", device=...)`` (every level is
+registered as ``qiskit-o0`` ... ``qiskit-o3`` and ``tket-o0`` ... ``tket-o2``).
+:func:`qiskit_pipeline` / :func:`tket_pipeline` return the compiled circuit
+plus the applied pass trace and are consumed by the ``PresetBackend``
+wrappers; the historical ``compile_qiskit_style`` / ``compile_tket_style``
+functions and the ``CompiledCircuit`` result type remain as thin deprecation
+shims around them.
 """
 
 from __future__ import annotations
@@ -39,14 +46,218 @@ from ..passes.optimization import (
 )
 from ..passes.routing import BasicSwap, SabreSwap, StochasticSwap, TketRouting
 from ..passes.synthesis import BasisTranslator
+from ..pipeline import AnalysisCache, PassManager, Stage
 
 __all__ = [
     "CompiledCircuit",
+    "QISKIT_LEVELS",
+    "TKET_LEVELS",
     "compile_qiskit_style",
     "compile_tket_style",
+    "preset_pass_manager",
     "qiskit_pipeline",
+    "run_preset_manager",
     "tket_pipeline",
 ]
+
+
+def _needs_rebase(circuit: QuantumCircuit, context: PassContext) -> bool:
+    """Finalisation condition: the circuit still contains non-native gates."""
+    return not context.require_device().gates_native(circuit)
+
+
+#: the shared clean-up stage: re-synthesise and tidy up only when a
+#: post-mapping optimization re-introduced non-native gates.  Not part of the
+#: advertised pass trace (it is a safety net, not a scheduled pass).
+def _finalise_stage() -> Stage:
+    return Stage(
+        "finalise",
+        (BasisTranslator(), Optimize1qGatesDecomposition()),
+        condition=_needs_rebase,
+        record_trace=False,
+    )
+
+
+def _qiskit_stages(level: int) -> tuple[Stage, ...]:
+    """The Qiskit-style schedule for one optimization level, as data.
+
+    Stochastic passes are instantiated without a seed: they draw it from the
+    ``PassContext`` at run time, which keeps one schedule valid for every
+    compilation seed.
+    """
+    pre: list = []
+    if level >= 1:
+        pre += [Optimize1qGatesDecomposition(basis="u3"), InverseCancellation()]
+    if level >= 2:
+        pre += [CommutativeCancellation()]
+    if level >= 3:
+        pre += [Collect2qBlocksConsolidate(), Optimize1qGatesDecomposition(basis="u3")]
+
+    layout = {0: TrivialLayout(), 1: DenseLayout()}.get(level, SabreLayout())
+    routing = {0: BasicSwap(), 1: StochasticSwap()}.get(level, SabreSwap())
+
+    post: list = []
+    if level >= 1:
+        post += [Optimize1qGatesDecomposition(), CXCancellation()]
+    if level >= 2:
+        post += [CommutativeCancellation()]
+    if level >= 3:
+        post += [
+            Collect2qBlocksConsolidate(),
+            BasisTranslator(),
+            Optimize1qGatesDecomposition(),
+            RemoveDiagonalGatesBeforeMeasure(),
+        ]
+
+    return (
+        Stage("pre_optimization", tuple(pre)),
+        Stage("synthesis", (BasisTranslator(),)),
+        Stage("layout", (layout,)),
+        Stage("routing", (routing,)),
+        Stage("post_optimization", tuple(post)),
+        _finalise_stage(),
+    )
+
+
+def _tket_stages(level: int) -> tuple[Stage, ...]:
+    """The TKET-style schedule for one optimization level, as data."""
+    pre: list = []
+    if level == 1:
+        pre = [RemoveRedundancies(), Optimize1qGatesDecomposition(basis="u3"), CliffordSimp()]
+    elif level >= 2:
+        pre = [FullPeepholeOptimise()]
+
+    placement = TrivialLayout() if level == 0 else DenseLayout()
+
+    post: list = []
+    if level >= 1:
+        post += [Optimize1qGatesDecomposition(), RemoveRedundancies()]
+    if level >= 2:
+        post += [
+            CliffordSimp(),
+            BasisTranslator(),
+            Optimize1qGatesDecomposition(),
+            RemoveRedundancies(),
+        ]
+
+    return (
+        Stage("pre_optimization", tuple(pre)),
+        Stage("rebase", (BasisTranslator(),)),
+        Stage("placement", (placement, TketRouting())),
+        Stage("post_routing", tuple(post)),
+        _finalise_stage(),
+    )
+
+
+#: level → declarative stage schedule for each preset style
+QISKIT_LEVELS: dict[int, tuple[Stage, ...]] = {level: _qiskit_stages(level) for level in range(4)}
+TKET_LEVELS: dict[int, tuple[Stage, ...]] = {level: _tket_stages(level) for level in range(3)}
+
+_LEVEL_TABLES = {"qiskit": QISKIT_LEVELS, "tket": TKET_LEVELS}
+
+
+def preset_pass_manager(
+    style: str,
+    optimization_level: int,
+    *,
+    cache: AnalysisCache | None = None,
+) -> PassManager:
+    """Build the :class:`PassManager` for one preset style and level.
+
+    This is the single source of truth for the preset flows: the pipeline
+    functions below and the registered ``qiskit-o*`` / ``tket-o*`` backends
+    all run the manager returned here.
+    """
+    try:
+        levels = _LEVEL_TABLES[style]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset style {style!r}; expected one of {sorted(_LEVEL_TABLES)}"
+        ) from None
+    if optimization_level not in levels:
+        label = "Qiskit" if style == "qiskit" else "TKET"
+        raise ValueError(
+            f"{label}-style optimization level must be between 0 and {max(levels)}"
+        )
+    return PassManager(
+        levels[optimization_level],
+        name=f"{style}-o{optimization_level}",
+        cache=cache,
+    )
+
+
+def run_preset_manager(
+    manager: PassManager,
+    circuit: QuantumCircuit,
+    device: Device,
+    seed: int = 0,
+) -> tuple[QuantumCircuit, list[str]]:
+    """Run a preset schedule and enforce the executable-output contract.
+
+    Shared by the pipeline functions here and the registered preset backends
+    so the finalisation invariant (the output must be executable on the
+    target device) lives in exactly one place.
+    """
+    context = PassContext(device=device, seed=seed)
+    trace: list[str] = []
+    compiled = manager.run(circuit.copy(), context, trace=trace)
+    cache = manager.cache
+    executable = (
+        cache.is_executable(compiled, device) if cache is not None else device.is_executable(compiled)
+    )
+    if not executable:
+        raise RuntimeError(
+            f"preset compilation failed to produce an executable circuit for {device.name}"
+        )
+    return compiled, trace
+
+
+def _run_preset(
+    style: str,
+    circuit: QuantumCircuit,
+    device: Device,
+    optimization_level: int,
+    seed: int,
+    cache: AnalysisCache | None = None,
+) -> tuple[QuantumCircuit, list[str]]:
+    manager = preset_pass_manager(style, optimization_level, cache=cache)
+    return run_preset_manager(manager, circuit, device, seed)
+
+
+def qiskit_pipeline(
+    circuit: QuantumCircuit,
+    device: Device,
+    optimization_level: int = 3,
+    seed: int = 0,
+    *,
+    cache: AnalysisCache | None = None,
+) -> tuple[QuantumCircuit, list[str]]:
+    """Run the Qiskit-style preset pipeline (levels 0-3, default O3).
+
+    Returns the compiled, executable circuit together with the names of the
+    applied passes, in order.
+    """
+    if not 0 <= optimization_level <= 3:
+        raise ValueError("Qiskit-style optimization level must be between 0 and 3")
+    return _run_preset("qiskit", circuit, device, optimization_level, seed, cache)
+
+
+def tket_pipeline(
+    circuit: QuantumCircuit,
+    device: Device,
+    optimization_level: int = 2,
+    seed: int = 0,
+    *,
+    cache: AnalysisCache | None = None,
+) -> tuple[QuantumCircuit, list[str]]:
+    """Run the TKET-style preset pipeline (levels 0-2, default O2).
+
+    Returns the compiled, executable circuit together with the names of the
+    applied passes, in order.
+    """
+    if not 0 <= optimization_level <= 2:
+        raise ValueError("TKET-style optimization level must be between 0 and 2")
+    return _run_preset("tket", circuit, device, optimization_level, seed, cache)
 
 
 class CompiledCircuit:
@@ -65,139 +276,6 @@ class CompiledCircuit:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CompiledCircuit({self.circuit.name!r}, device={self.device.name!r})"
-
-
-def _finalise(circuit: QuantumCircuit, device: Device, context: PassContext) -> QuantumCircuit:
-    """Ensure the output is executable: re-synthesise and clean up if needed."""
-    if not device.gates_native(circuit):
-        circuit = BasisTranslator().run(circuit, context)
-        circuit = Optimize1qGatesDecomposition().run(circuit, context)
-    if not device.is_executable(circuit):
-        raise RuntimeError(
-            f"preset compilation failed to produce an executable circuit for {device.name}"
-        )
-    return circuit
-
-
-def qiskit_pipeline(
-    circuit: QuantumCircuit,
-    device: Device,
-    optimization_level: int = 3,
-    seed: int = 0,
-) -> tuple[QuantumCircuit, list[str]]:
-    """Run the Qiskit-style preset pipeline (levels 0-3, default O3).
-
-    Returns the compiled, executable circuit together with the names of the
-    applied passes, in order.
-    """
-    if not 0 <= optimization_level <= 3:
-        raise ValueError("Qiskit-style optimization level must be between 0 and 3")
-    context = PassContext(device=device, seed=seed)
-    applied: list[str] = []
-
-    def run(pass_, circ):
-        applied.append(pass_.name)
-        return pass_.run(circ, context)
-
-    work = circuit.copy()
-
-    # Stage 1: device-independent optimization.
-    if optimization_level >= 1:
-        work = run(Optimize1qGatesDecomposition(basis="u3"), work)
-        work = run(InverseCancellation(), work)
-    if optimization_level >= 2:
-        work = run(CommutativeCancellation(), work)
-    if optimization_level >= 3:
-        work = run(Collect2qBlocksConsolidate(), work)
-        work = run(Optimize1qGatesDecomposition(basis="u3"), work)
-
-    # Stage 2: synthesis to the native gate set.
-    work = run(BasisTranslator(), work)
-
-    # Stage 3: layout.
-    if optimization_level == 0:
-        work = run(TrivialLayout(), work)
-    elif optimization_level == 1:
-        work = run(DenseLayout(), work)
-    else:
-        work = run(SabreLayout(seed=seed), work)
-
-    # Stage 4: routing.
-    if optimization_level == 0:
-        work = run(BasicSwap(), work)
-    elif optimization_level == 1:
-        work = run(StochasticSwap(seed=seed), work)
-    else:
-        work = run(SabreSwap(seed=seed), work)
-
-    # Stage 5: post-mapping optimization.
-    if optimization_level >= 1:
-        work = run(Optimize1qGatesDecomposition(), work)
-        work = run(CXCancellation(), work)
-    if optimization_level >= 2:
-        work = run(CommutativeCancellation(), work)
-    if optimization_level >= 3:
-        work = run(Collect2qBlocksConsolidate(), work)
-        work = run(BasisTranslator(), work)
-        work = run(Optimize1qGatesDecomposition(), work)
-        work = run(RemoveDiagonalGatesBeforeMeasure(), work)
-
-    work = _finalise(work, device, context)
-    return work, applied
-
-
-def tket_pipeline(
-    circuit: QuantumCircuit,
-    device: Device,
-    optimization_level: int = 2,
-    seed: int = 0,
-) -> tuple[QuantumCircuit, list[str]]:
-    """Run the TKET-style preset pipeline (levels 0-2, default O2).
-
-    Returns the compiled, executable circuit together with the names of the
-    applied passes, in order.
-    """
-    if not 0 <= optimization_level <= 2:
-        raise ValueError("TKET-style optimization level must be between 0 and 2")
-    context = PassContext(device=device, seed=seed)
-    applied: list[str] = []
-
-    def run(pass_, circ):
-        applied.append(pass_.name)
-        return pass_.run(circ, context)
-
-    work = circuit.copy()
-
-    # Stage 1: device-independent optimization ("SynthesiseTket" / "FullPeepholeOptimise").
-    if optimization_level == 1:
-        work = run(RemoveRedundancies(), work)
-        work = run(Optimize1qGatesDecomposition(basis="u3"), work)
-        work = run(CliffordSimp(), work)
-    elif optimization_level >= 2:
-        work = run(FullPeepholeOptimise(), work)
-
-    # Stage 2: rebase (synthesis) to the native gate set.
-    work = run(BasisTranslator(), work)
-
-    # Stage 3: placement + routing.
-    if optimization_level == 0:
-        work = run(TrivialLayout(), work)
-    else:
-        work = run(DenseLayout(), work)
-    work = run(TketRouting(seed=seed), work)
-
-    # Stage 4: post-routing clean-up.
-    if optimization_level >= 1:
-        work = run(Optimize1qGatesDecomposition(), work)
-        work = run(RemoveRedundancies(), work)
-    if optimization_level >= 2:
-        work = run(CliffordSimp(), work)
-        work = run(BasisTranslator(), work)
-        work = run(Optimize1qGatesDecomposition(), work)
-        work = run(RemoveRedundancies(), work)
-
-    work = _finalise(work, device, context)
-    return work, applied
 
 
 def _deprecated(old: str, new: str) -> None:

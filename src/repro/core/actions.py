@@ -19,7 +19,6 @@ inside one learned compilation flow.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from ..circuit.circuit import QuantumCircuit
 from ..devices.library import devices_for_platform, list_platforms
@@ -45,6 +44,7 @@ from ..passes.synthesis import BasisTranslator
 __all__ = [
     "Action",
     "ActionKind",
+    "MappingPass",
     "build_action_registry",
     "TERMINATE_ACTION_NAME",
 ]
@@ -73,28 +73,33 @@ class Action:
     kind: str
     origin: str
     #: payload interpreted by the environment: platform name, device name, or
-    #: a callable applying the pass(es).
+    #: the :class:`BasePass` to apply.  Pass payloads are callable
+    #: (``payload(circuit, context)``) and expose ``preserves`` so the
+    #: environment's pass runner can keep its analysis cache consistent.
     payload: object
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Action({self.index}, {self.name!r}, kind={self.kind!r})"
 
 
-def _pass_applier(pass_: BasePass) -> Callable[[QuantumCircuit, PassContext], QuantumCircuit]:
-    def apply(circuit: QuantumCircuit, context: PassContext) -> QuantumCircuit:
-        return pass_.run(circuit, context)
+class MappingPass(BasePass):
+    """One mapping action: a layout strategy followed by a routing strategy.
 
-    return apply
+    The router draws its seed from the :class:`PassContext` at run time, so a
+    single instance serves every episode of an RL training run.
+    """
 
+    requires_device = True
 
-def _mapping_applier(
-    layout_cls, routing_cls
-) -> Callable[[QuantumCircuit, PassContext], QuantumCircuit]:
-    def apply(circuit: QuantumCircuit, context: PassContext) -> QuantumCircuit:
-        placed = layout_cls().run(circuit, context)
-        return routing_cls(seed=context.seed).run(placed, context)
+    def __init__(self, layout_cls, routing_cls, name: str, origin: str):
+        self.layout_cls = layout_cls
+        self.routing_cls = routing_cls
+        self.name = name
+        self.origin = origin
 
-    return apply
+    def run(self, circuit: QuantumCircuit, context: PassContext) -> QuantumCircuit:
+        placed = self.layout_cls().run(circuit, context)
+        return self.routing_cls(seed=context.seed).run(placed, context)
 
 
 _OPTIMIZATION_PASSES: list[BasePass] = [
@@ -144,19 +149,16 @@ def build_action_registry(
         for device in devices_for_platform(platform):
             add(f"select_device_{device.name}", ActionKind.DEVICE, "repro", device.name)
 
-    add("synthesis_basis_translator", ActionKind.SYNTHESIS, "qiskit", _pass_applier(BasisTranslator()))
+    add("synthesis_basis_translator", ActionKind.SYNTHESIS, "qiskit", BasisTranslator())
 
     for layout_name, layout_cls in _LAYOUTS:
         for router_name, router_cls in _ROUTERS:
-            add(
-                f"map_{layout_name}_layout_{router_name}_routing",
-                ActionKind.MAPPING,
-                "qiskit" if router_name != "tket" else "tket",
-                _mapping_applier(layout_cls, router_cls),
-            )
+            name = f"map_{layout_name}_layout_{router_name}_routing"
+            origin = "qiskit" if router_name != "tket" else "tket"
+            add(name, ActionKind.MAPPING, origin, MappingPass(layout_cls, router_cls, name, origin))
 
     for pass_ in _OPTIMIZATION_PASSES:
-        add(f"optimize_{pass_.name}", ActionKind.OPTIMIZATION, pass_.origin, _pass_applier(pass_))
+        add(f"optimize_{pass_.name}", ActionKind.OPTIMIZATION, pass_.origin, pass_)
 
     if include_terminate:
         add(TERMINATE_ACTION_NAME, ActionKind.TERMINATE, "repro", None)

@@ -20,6 +20,7 @@ from ..circuit.circuit import QuantumCircuit
 from ..devices.library import get_device
 from ..features.extraction import FEATURE_NAMES, feature_vector
 from ..passes.base import PassContext
+from ..pipeline import AnalysisCache, PassRunner
 from ..reward.functions import reward_function
 from ..rl.env import Env
 from ..rl.spaces import Box, Discrete
@@ -41,6 +42,12 @@ class CompilationEnv(Env):
             how the paper's evaluation against a single target device works.
         max_steps: episode truncation limit (no reward if exceeded).
         seed: base RNG seed for stochastic passes.
+        use_analysis_cache: serve the per-step feature extraction and
+            executability checks from a shared :class:`AnalysisCache` (kept
+            across steps *and* episodes).  This is the hottest loop of the
+            framework — every PPO step runs these analyses — and the cache
+            only changes how often they are computed, never their values.
+            Disable for benchmarking the uncached baseline.
     """
 
     def __init__(
@@ -51,6 +58,7 @@ class CompilationEnv(Env):
         device_name: str | None = None,
         max_steps: int = 30,
         seed: int = 0,
+        use_analysis_cache: bool = True,
     ):
         if not circuits:
             raise ValueError("CompilationEnv needs at least one training circuit")
@@ -60,6 +68,8 @@ class CompilationEnv(Env):
         self.fixed_device = get_device(device_name) if device_name else None
         self.max_steps = max_steps
         self.base_seed = seed
+        self.analysis_cache = AnalysisCache() if use_analysis_cache else None
+        self._runner = PassRunner(self.analysis_cache)
 
         platforms = [self.fixed_device.platform] if self.fixed_device else None
         self.actions: list[Action] = build_action_registry(platforms)
@@ -79,7 +89,7 @@ class CompilationEnv(Env):
         circuit = self.circuits[self._episode % len(self.circuits)]
         self._episode += 1
         self._steps = 0
-        self._state = CompilationState(circuit.copy())
+        self._state = CompilationState(circuit.copy(), analysis=self.analysis_cache)
         if self.fixed_device is not None:
             self._state.platform = self.fixed_device.platform
             self._state.device = self.fixed_device
@@ -115,12 +125,15 @@ class CompilationEnv(Env):
         elif action.kind == ActionKind.DEVICE:
             state.device = get_device(str(action.payload))
         else:
+            # Every pass action flows through the shared runner so analysis
+            # results declared preserved by the pass migrate to the new
+            # circuit's cache entry instead of being recomputed.
             context = PassContext(
                 device=state.device,
                 seed=int(self._rng.integers(0, 2**31 - 1)),
             )
             try:
-                state.circuit = action.payload(state.circuit, context)
+                state.circuit = self._runner.apply(action.payload, state.circuit, context)
             except Exception as error:  # noqa: BLE001 - surfaced via info, episode continues
                 info["error"] = f"{type(error).__name__}: {error}"
         state.applied_actions.append(action.name)
@@ -144,6 +157,14 @@ class CompilationEnv(Env):
 
     # -- helpers -------------------------------------------------------------------
 
+    def _active_width(self, circuit: QuantumCircuit) -> int:
+        """Number of active qubits (cached; at least 1 for gateless circuits)."""
+        if self.analysis_cache is not None:
+            active = self.analysis_cache.active_qubits(circuit)
+        else:
+            active = circuit.active_qubits()
+        return len(active) if active else 1
+
     def _is_valid(self, action: Action, state: CompilationState, status: CompilationStatus) -> bool:
         if action.kind == ActionKind.PLATFORM:
             if status != CompilationStatus.START:
@@ -151,7 +172,7 @@ class CompilationEnv(Env):
             # Only offer platforms that have at least one large-enough device.
             from ..devices.library import devices_for_platform
 
-            width = len(state.circuit.active_qubits() or {0})
+            width = self._active_width(state.circuit)
             return any(d.num_qubits >= width for d in devices_for_platform(str(action.payload)))
         if action.kind == ActionKind.DEVICE:
             if status != CompilationStatus.PLATFORM_CHOSEN:
@@ -159,7 +180,7 @@ class CompilationEnv(Env):
             device = get_device(str(action.payload))
             if device.platform != state.platform:
                 return False
-            return len(state.circuit.active_qubits() or {0}) <= device.num_qubits
+            return self._active_width(state.circuit) <= device.num_qubits
         if action.kind == ActionKind.SYNTHESIS:
             return status in (CompilationStatus.DEVICE_CHOSEN, CompilationStatus.NATIVE_GATES)
         if action.kind == ActionKind.MAPPING:
@@ -173,6 +194,8 @@ class CompilationEnv(Env):
 
     def _observation(self) -> np.ndarray:
         assert self._state is not None
+        if self.analysis_cache is not None:
+            return self.analysis_cache.feature_vector(self._state.circuit)
         return feature_vector(self._state.circuit)
 
     def _final_reward(self) -> float:

@@ -18,6 +18,7 @@ from enum import Enum
 
 from ..circuit.circuit import QuantumCircuit
 from ..devices.device import Device
+from ..pipeline.properties import AnalysisCache
 
 __all__ = ["CompilationStatus", "CompilationState"]
 
@@ -40,6 +41,9 @@ class CompilationState:
     platform: str | None = None
     device: Device | None = None
     applied_actions: list[str] = field(default_factory=list)
+    #: when set, the executability checks behind :attr:`status` are served
+    #: from this cache (shared across steps and episodes by the environment)
+    analysis: AnalysisCache | None = field(default=None, repr=False, compare=False)
 
     @property
     def status(self) -> CompilationStatus:
@@ -47,8 +51,12 @@ class CompilationState:
             return CompilationStatus.START
         if self.device is None:
             return CompilationStatus.PLATFORM_CHOSEN
-        native = self.device.gates_native(self.circuit)
-        mapped = self.device.mapping_satisfied(self.circuit)
+        if self.analysis is not None:
+            native = self.analysis.gates_native(self.circuit, self.device)
+            mapped = self.analysis.mapping_satisfied(self.circuit, self.device)
+        else:
+            native = self.device.gates_native(self.circuit)
+            mapped = self.device.mapping_satisfied(self.circuit)
         if native and mapped:
             return CompilationStatus.DONE
         if native:

@@ -6,7 +6,7 @@ mixed freely inside one compilation flow — the key structural requirement of
 the paper's framework.
 """
 
-from .base import BasePass, PassContext, PassSequence
+from .base import AnalysisDomain, BasePass, PassContext, PassSequence
 from .layout import DenseLayout, SabreLayout, TrivialLayout, apply_layout
 from .optimization import (
     CliffordSimp,
@@ -26,6 +26,7 @@ from .routing import BasicSwap, SabreSwap, StochasticSwap, TketRouting
 from .synthesis import BasisTranslator, decompose_to_cx_basis
 
 __all__ = [
+    "AnalysisDomain",
     "BasePass",
     "PassContext",
     "PassSequence",

@@ -7,6 +7,16 @@ representation.  Here that contract is the :class:`BasePass` interface:
 mutates its input.  A :class:`PassContext` carries the target device (once
 one has been selected in the MDP) and bookkeeping such as the current
 layout and the RNG seed for stochastic passes.
+
+Passes additionally declare which cached analysis results survive them via
+:attr:`BasePass.preserves` — a set of :class:`AnalysisDomain` names.  The
+pipeline layer (:mod:`repro.pipeline`) uses these declarations to carry
+analysis results (feature vectors, DAGs, executability checks) forward from
+the input circuit to the output circuit instead of recomputing them.  The
+semantics are strict: a domain may only be declared preserved when the
+analysis value is guaranteed *identical* for input and output circuit, for
+every input.  Everything not preserved is considered invalidated
+(:attr:`BasePass.invalidates`).
 """
 
 from __future__ import annotations
@@ -17,7 +27,28 @@ from dataclasses import dataclass, field, replace
 from ..circuit.circuit import QuantumCircuit
 from ..devices.device import Device
 
-__all__ = ["PassContext", "BasePass", "PassSequence"]
+__all__ = ["AnalysisDomain", "PassContext", "BasePass", "PassSequence"]
+
+
+class AnalysisDomain:
+    """Names of the cached analysis domains a pass can preserve.
+
+    Mirrors the analyses in :mod:`repro.pipeline.properties`:
+
+    * ``DAG`` — the :class:`~repro.circuit.dag.DAGCircuit` dependency view;
+    * ``FEATURES`` — the seven-feature RL observation vector;
+    * ``ACTIVE_QUBITS`` — the set of qubits touched by at least one gate;
+    * ``NATIVE_GATES`` — the per-device "only native gates" check;
+    * ``MAPPING`` — the per-device coupling-map-satisfied check.
+    """
+
+    DAG = "dag"
+    FEATURES = "features"
+    ACTIVE_QUBITS = "active_qubits"
+    NATIVE_GATES = "native_gates"
+    MAPPING = "mapping"
+
+    ALL = frozenset({DAG, FEATURES, ACTIVE_QUBITS, NATIVE_GATES, MAPPING})
 
 
 @dataclass
@@ -31,7 +62,10 @@ class PassContext:
     properties: dict = field(default_factory=dict)
 
     def with_device(self, device: Device) -> "PassContext":
-        return replace(self, device=device)
+        # replace() reuses field values, which would alias the mutable
+        # ``properties`` dict between the copy and the original; give the
+        # copy its own dict so later mutations cannot leak back.
+        return replace(self, device=device, properties=dict(self.properties))
 
     def require_device(self) -> Device:
         if self.device is None:
@@ -48,6 +82,14 @@ class BasePass(ABC):
     origin: str = "repro"
     #: True if the pass needs a device (synthesis / mapping passes)
     requires_device: bool = False
+    #: analysis domains (see :class:`AnalysisDomain`) whose cached results are
+    #: guaranteed unchanged between the input and the output circuit
+    preserves: frozenset[str] = frozenset()
+
+    @property
+    def invalidates(self) -> frozenset[str]:
+        """Analysis domains this pass may change (complement of ``preserves``)."""
+        return AnalysisDomain.ALL - self.preserves
 
     @abstractmethod
     def run(self, circuit: QuantumCircuit, context: PassContext) -> QuantumCircuit:
@@ -67,6 +109,11 @@ class PassSequence(BasePass):
         self.passes = list(passes)
         self.name = name
         self.requires_device = any(p.requires_device for p in self.passes)
+        # A sequence preserves exactly what every member preserves.
+        preserved = AnalysisDomain.ALL
+        for pass_ in self.passes:
+            preserved &= pass_.preserves
+        self.preserves = preserved
 
     def run(self, circuit: QuantumCircuit, context: PassContext) -> QuantumCircuit:
         for pass_ in self.passes:

@@ -20,9 +20,13 @@ import numpy as np
 
 from ..circuit.circuit import QuantumCircuit
 from ..devices.device import CouplingMap, Device
-from .base import BasePass, PassContext
+from .base import AnalysisDomain, BasePass, PassContext
 
 __all__ = ["apply_layout", "TrivialLayout", "DenseLayout", "SabreLayout"]
+
+#: layout passes relabel qubits without touching gates, so the per-device
+#: "only native gates" analysis survives them unchanged
+_LAYOUT_PRESERVES = frozenset({AnalysisDomain.NATIVE_GATES})
 
 
 def apply_layout(
@@ -65,6 +69,7 @@ class TrivialLayout(BasePass):
     name = "trivial_layout"
     origin = "qiskit"
     requires_device = True
+    preserves = _LAYOUT_PRESERVES
 
     def run(self, circuit: QuantumCircuit, context: PassContext) -> QuantumCircuit:
         device = context.require_device()
@@ -95,6 +100,7 @@ class DenseLayout(BasePass):
     name = "dense_layout"
     origin = "qiskit"
     requires_device = True
+    preserves = _LAYOUT_PRESERVES
 
     def run(self, circuit: QuantumCircuit, context: PassContext) -> QuantumCircuit:
         device = context.require_device()
@@ -162,6 +168,7 @@ class SabreLayout(BasePass):
     name = "sabre_layout"
     origin = "qiskit"
     requires_device = True
+    preserves = _LAYOUT_PRESERVES
 
     def __init__(self, iterations: int = 2, seed: int | None = None):
         self.iterations = iterations

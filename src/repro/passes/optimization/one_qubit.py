@@ -8,7 +8,7 @@ from ...circuit.circuit import QuantumCircuit
 from ...circuit.gates import Gate, Instruction, gate_matrix
 from ...linalg.decompositions import synthesize_1q
 from ...linalg.unitaries import allclose_up_to_global_phase
-from ..base import BasePass, PassContext
+from ..base import AnalysisDomain, BasePass, PassContext
 
 __all__ = ["Optimize1qGatesDecomposition", "RemoveRedundancies"]
 
@@ -27,6 +27,9 @@ class Optimize1qGatesDecomposition(BasePass):
 
     name = "optimize_1q_gates"
     origin = "qiskit"
+    # Only single-qubit runs are rewritten: the multi-qubit gate structure —
+    # and with it the per-device coupling-map check — is untouched.
+    preserves = frozenset({AnalysisDomain.MAPPING})
 
     def __init__(self, basis: str | None = None):
         self.basis = basis

@@ -1,0 +1,38 @@
+"""Pipeline layer: declarative pass scheduling plus shared analysis caching.
+
+``PassManager`` executes declarative :class:`Stage` schedules (with flow
+controllers such as :class:`RepeatUntilStable`); ``AnalysisCache`` memoises
+expensive per-circuit analyses (DAG, feature vector, executability checks)
+keyed by circuit fingerprint, with results carried across passes according
+to each pass's ``preserves`` declaration.  The preset compilers, the API
+backends and the RL environment all execute through this layer.
+"""
+
+from ..passes.base import AnalysisDomain
+from .manager import PassManager, PassRunner, RepeatUntilStable, Stage
+from .properties import (
+    ActiveQubitsAnalysis,
+    AnalysisCache,
+    AnalysisPass,
+    DagAnalysis,
+    FeatureVectorAnalysis,
+    MappingAnalysis,
+    NativeGatesAnalysis,
+    PropertySet,
+)
+
+__all__ = [
+    "AnalysisDomain",
+    "PassManager",
+    "PassRunner",
+    "RepeatUntilStable",
+    "Stage",
+    "AnalysisCache",
+    "AnalysisPass",
+    "PropertySet",
+    "DagAnalysis",
+    "FeatureVectorAnalysis",
+    "ActiveQubitsAnalysis",
+    "NativeGatesAnalysis",
+    "MappingAnalysis",
+]

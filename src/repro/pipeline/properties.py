@@ -1,0 +1,281 @@
+"""Shared analysis results: :class:`PropertySet` and :class:`AnalysisCache`.
+
+Every expensive per-circuit computation in the framework — building the DAG
+view, extracting the seven observation features, checking native-gate and
+coupling-map executability — used to be recomputed from scratch at every
+consumer: once per RL step, once per pass-pipeline stage, once per backend.
+This module centralises them:
+
+* an :class:`AnalysisPass` wraps one such computation and names the
+  :class:`~repro.passes.base.AnalysisDomain` it belongs to;
+* a :class:`PropertySet` holds the computed values for *one* circuit state;
+* an :class:`AnalysisCache` maps circuit fingerprints
+  (:meth:`~repro.circuit.circuit.QuantumCircuit.fingerprint`) to property
+  sets with LRU eviction, so identical circuit states — the same training
+  circuit across episodes, a no-op optimization pass, a platform-selection
+  step that does not touch the circuit — share one computation.
+
+Transformation passes declare which domains they *preserve*; the pipeline
+layer calls :meth:`AnalysisCache.carry_forward` after each pass so preserved
+results migrate to the new circuit's property set instead of being redone.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Any
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.dag import DAGCircuit
+from ..devices.device import Device
+from ..passes.base import AnalysisDomain
+
+__all__ = [
+    "AnalysisPass",
+    "PropertySet",
+    "AnalysisCache",
+    "DagAnalysis",
+    "FeatureVectorAnalysis",
+    "ActiveQubitsAnalysis",
+    "NativeGatesAnalysis",
+    "MappingAnalysis",
+]
+
+
+class PropertySet(dict):
+    """Analysis results for one circuit state, keyed by analysis key.
+
+    A thin ``dict`` subclass so pipeline code can attach free-form entries
+    next to the structured analyses (mirroring Qiskit's property set).
+    """
+
+    def domain_keys(self, domain: str) -> list[str]:
+        """All keys belonging to ``domain`` (device-keyed analyses share a prefix)."""
+        return [key for key in self if key == domain or key.startswith(f"{domain}@")]
+
+
+class AnalysisPass(ABC):
+    """One cacheable per-circuit computation.
+
+    Analyses are pure functions of the circuit (and, for device-dependent
+    checks, the device); they never modify the circuit.  ``domain`` ties the
+    analysis to the :class:`~repro.passes.base.AnalysisDomain` vocabulary that
+    transformation passes use in their ``preserves`` declarations.
+    """
+
+    #: the analysis domain this computation belongs to
+    domain: str = "analysis"
+    #: True if the result depends on the target device
+    requires_device: bool = False
+
+    def key(self, device: Device | None = None) -> str:
+        """The property-set key (device-dependent analyses key per device)."""
+        if self.requires_device:
+            if device is None:
+                raise ValueError(f"analysis {self.domain!r} requires a device")
+            return f"{self.domain}@{device.name}"
+        return self.domain
+
+    @abstractmethod
+    def analyse(self, circuit: QuantumCircuit, device: Device | None = None) -> Any:
+        """Compute the analysis result for ``circuit``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(domain={self.domain!r})"
+
+
+class DagAnalysis(AnalysisPass):
+    """Dependency-DAG view of the circuit (consumed by optimization/routing)."""
+
+    domain = AnalysisDomain.DAG
+
+    def analyse(self, circuit: QuantumCircuit, device: Device | None = None) -> DAGCircuit:
+        return DAGCircuit.from_circuit(circuit)
+
+
+class FeatureVectorAnalysis(AnalysisPass):
+    """The seven-feature RL observation vector (the hottest analysis)."""
+
+    domain = AnalysisDomain.FEATURES
+
+    def analyse(self, circuit: QuantumCircuit, device: Device | None = None) -> np.ndarray:
+        from ..features.extraction import feature_vector
+
+        return feature_vector(circuit)
+
+
+class ActiveQubitsAnalysis(AnalysisPass):
+    """Qubits touched by at least one non-barrier instruction."""
+
+    domain = AnalysisDomain.ACTIVE_QUBITS
+
+    def analyse(self, circuit: QuantumCircuit, device: Device | None = None) -> frozenset[int]:
+        return frozenset(circuit.active_qubits())
+
+
+class NativeGatesAnalysis(AnalysisPass):
+    """Per-device check: does the circuit only use native gates?"""
+
+    domain = AnalysisDomain.NATIVE_GATES
+    requires_device = True
+
+    def analyse(self, circuit: QuantumCircuit, device: Device | None = None) -> bool:
+        assert device is not None
+        return device.gates_native(circuit)
+
+
+class MappingAnalysis(AnalysisPass):
+    """Per-device check: do all two-qubit gates respect the coupling map?"""
+
+    domain = AnalysisDomain.MAPPING
+    requires_device = True
+
+    def analyse(self, circuit: QuantumCircuit, device: Device | None = None) -> bool:
+        assert device is not None
+        return device.mapping_satisfied(circuit)
+
+
+#: singleton analysis instances used by the convenience accessors
+_DAG = DagAnalysis()
+_FEATURES = FeatureVectorAnalysis()
+_ACTIVE = ActiveQubitsAnalysis()
+_NATIVE = NativeGatesAnalysis()
+_MAPPING = MappingAnalysis()
+
+
+class AnalysisCache:
+    """Thread-safe LRU cache of :class:`PropertySet`\\ s keyed by circuit fingerprint.
+
+    One instance is shared across an entire pipeline run or RL training run;
+    circuits that hash to the same fingerprint (same structure) share their
+    analysis results regardless of object identity.
+    """
+
+    def __init__(self, maxsize: int = 1024):
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, PropertySet] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- core API -------------------------------------------------------------------
+
+    def properties(self, circuit: QuantumCircuit) -> PropertySet:
+        """The property set for ``circuit``'s current state (created on demand)."""
+        fingerprint = circuit.fingerprint()
+        with self._lock:
+            props = self._entries.get(fingerprint)
+            if props is None:
+                props = PropertySet()
+                self._entries[fingerprint] = props
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+            else:
+                self._entries.move_to_end(fingerprint)
+            return props
+
+    def get(
+        self,
+        circuit: QuantumCircuit,
+        analysis: AnalysisPass,
+        device: Device | None = None,
+    ) -> Any:
+        """Run ``analysis`` on ``circuit`` — or return the cached result."""
+        props = self.properties(circuit)
+        key = analysis.key(device)
+        with self._lock:
+            if key in props:
+                self.hits += 1
+                return props[key]
+            self.misses += 1
+        value = analysis.analyse(circuit, device)
+        with self._lock:
+            props[key] = value
+        return value
+
+    def carry_forward(
+        self,
+        source: QuantumCircuit,
+        target: QuantumCircuit,
+        preserves: frozenset[str],
+    ) -> None:
+        """Migrate preserved analysis results from ``source`` to ``target``.
+
+        Called after a transformation pass turned ``source`` into ``target``;
+        every cached entry whose domain the pass declared in ``preserves`` is
+        copied to the target's property set.
+        """
+        if not preserves:
+            return
+        source_fp = source.fingerprint()
+        target_fp = target.fingerprint()
+        if source_fp == target_fp:
+            return  # same structure, same property set — nothing to migrate
+        with self._lock:
+            props = self._entries.get(source_fp)
+            if not props:
+                return
+            # Snapshot under the lock: another thread's get() may insert into
+            # the same property set while we iterate.
+            carried = {
+                key: props[key]
+                for domain in preserves
+                for key in props.domain_keys(domain)
+            }
+        if not carried:
+            return
+        target_props = self.properties(target)
+        with self._lock:
+            for key, value in carried.items():
+                target_props.setdefault(key, value)
+
+    # -- convenience accessors ---------------------------------------------------------
+
+    def dag(self, circuit: QuantumCircuit) -> DAGCircuit:
+        return self.get(circuit, _DAG)
+
+    def feature_vector(self, circuit: QuantumCircuit) -> np.ndarray:
+        # Return a copy: observations flow into RL buffers that must not alias
+        # the cached array.
+        return self.get(circuit, _FEATURES).copy()
+
+    def active_qubits(self, circuit: QuantumCircuit) -> frozenset[int]:
+        return self.get(circuit, _ACTIVE)
+
+    def gates_native(self, circuit: QuantumCircuit, device: Device) -> bool:
+        return self.get(circuit, _NATIVE, device)
+
+    def mapping_satisfied(self, circuit: QuantumCircuit, device: Device) -> bool:
+        return self.get(circuit, _MAPPING, device)
+
+    def is_executable(self, circuit: QuantumCircuit, device: Device) -> bool:
+        return self.gates_native(circuit, device) and self.mapping_satisfied(circuit, device)
+
+    # -- bookkeeping -------------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

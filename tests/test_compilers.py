@@ -2,12 +2,17 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.bench import benchmark_circuit
-from repro.compilers import compile_qiskit_style, compile_tket_style
+from repro.compilers import compile_qiskit_style, compile_tket_style, qiskit_pipeline, tket_pipeline
 from repro.devices import get_device, list_devices
 from repro.reward import expected_fidelity
+
+_GOLDEN_PATH = Path(__file__).parent / "golden" / "preset_traces.json"
 
 
 class TestQiskitStylePresets:
@@ -70,6 +75,36 @@ class TestTketStylePresets:
         result = compile_tket_style(benchmark_circuit("ghz", 4), washington, optimization_level=2)
         assert "full_peephole_optimise" in result.passes
         assert "tket_routing" in result.passes
+
+
+def _golden_cases() -> list[dict]:
+    return json.loads(_GOLDEN_PATH.read_text())
+
+
+class TestGoldenTraces:
+    """Pin the preset flows to their pre-pipeline-refactor behaviour.
+
+    The golden file was generated from the hand-rolled pipeline loops before
+    they were replaced by declarative ``PassManager`` schedules; every
+    (circuit, device, level, seed) combination must still produce the exact
+    same pass trace and the exact same compiled circuit.
+    """
+
+    @pytest.mark.parametrize(
+        "case",
+        _golden_cases(),
+        ids=lambda c: f"{c['style']}-o{c['level']}-{c['circuit']}-{c['device']}",
+    )
+    def test_trace_and_circuit_match_golden(self, case):
+        family, width = case["circuit"].rsplit("_", 1)
+        circuit = benchmark_circuit(family, int(width))
+        device = get_device(case["device"])
+        pipeline = qiskit_pipeline if case["style"] == "qiskit" else tket_pipeline
+        compiled, trace = pipeline(circuit, device, case["level"], seed=case["seed"])
+        assert trace == case["trace"]
+        assert compiled.fingerprint() == case["fingerprint"]
+        assert dict(sorted(compiled.count_ops().items())) == case["ops"]
+        assert compiled.depth() == case["depth"]
 
 
 class TestBaselineQuality:

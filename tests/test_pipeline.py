@@ -1,0 +1,351 @@
+"""Tests for the pipeline layer: PassManager scheduling and the AnalysisCache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.compilers import preset_pass_manager
+from repro.core import CompilationEnv
+from repro.features import feature_vector
+from repro.passes import (
+    BasePass,
+    CXCancellation,
+    DenseLayout,
+    InverseCancellation,
+    Optimize1qGatesDecomposition,
+    PassContext,
+)
+from repro.passes.base import AnalysisDomain
+from repro.pipeline import (
+    AnalysisCache,
+    PassManager,
+    PassRunner,
+    RepeatUntilStable,
+    Stage,
+)
+
+
+class _CountingPass(BasePass):
+    """Test pass: appends an X on qubit 0 up to ``limit`` times, then no-ops."""
+
+    name = "counting"
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.calls = 0
+
+    def run(self, circuit: QuantumCircuit, context: PassContext) -> QuantumCircuit:
+        self.calls += 1
+        if circuit.size() >= self.limit:
+            return circuit.copy()
+        out = circuit.copy()
+        out.x(0)
+        return out
+
+
+class TestFingerprint:
+    def test_equal_structure_equal_fingerprint(self, bell_circuit):
+        other = QuantumCircuit(2, name="differently-named")
+        other.h(0)
+        other.cx(0, 1)
+        assert bell_circuit.fingerprint() == other.fingerprint()
+
+    def test_mutation_invalidates(self, bell_circuit):
+        before = bell_circuit.fingerprint()
+        bell_circuit.x(1)
+        assert bell_circuit.fingerprint() != before
+
+    def test_copy_shares_fingerprint(self, bell_circuit):
+        fp = bell_circuit.fingerprint()
+        assert bell_circuit.copy().fingerprint() == fp
+
+    def test_params_matter(self):
+        a = QuantumCircuit(1)
+        a.rz(0.5, 0)
+        b = QuantumCircuit(1)
+        b.rz(0.75, 0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_batch_fingerprint_includes_name(self, bell_circuit):
+        from repro.api.batch import circuit_fingerprint
+
+        renamed = bell_circuit.copy(name="other")
+        assert circuit_fingerprint(bell_circuit) != circuit_fingerprint(renamed)
+        assert bell_circuit.fingerprint() == renamed.fingerprint()
+
+
+class TestPassContext:
+    def test_with_device_does_not_share_properties(self, washington):
+        base = PassContext(properties={"layout_valid": True})
+        derived = base.with_device(washington)
+        derived.properties["layout_valid"] = False
+        derived.properties["new_key"] = 1
+        assert base.properties == {"layout_valid": True}
+
+    def test_with_device_keeps_existing_entries(self, washington):
+        base = PassContext(properties={"a": 1})
+        assert base.with_device(washington).properties == {"a": 1}
+
+
+class TestAnalysisCache:
+    def test_feature_vector_cached_and_copied(self, ghz5):
+        cache = AnalysisCache()
+        first = cache.feature_vector(ghz5)
+        second = cache.feature_vector(ghz5)
+        assert cache.hits == 1 and cache.misses == 1
+        assert np.array_equal(first, second)
+        assert first is not second  # callers must not alias the cached array
+        np.testing.assert_allclose(first, feature_vector(ghz5))
+
+    def test_structurally_equal_circuits_share_entries(self, ghz5):
+        cache = AnalysisCache()
+        cache.feature_vector(ghz5)
+        cache.feature_vector(ghz5.copy(name="twin"))
+        assert cache.hits == 1
+
+    def test_device_checks_keyed_per_device(self, ghz5, washington, montreal):
+        cache = AnalysisCache()
+        assert cache.gates_native(ghz5, washington) == washington.gates_native(ghz5)
+        assert cache.gates_native(ghz5, montreal) == montreal.gates_native(ghz5)
+        assert cache.misses == 2  # one entry per device
+        cache.gates_native(ghz5, washington)
+        assert cache.hits == 1
+
+    def test_lru_eviction(self):
+        cache = AnalysisCache(maxsize=2)
+        circuits = []
+        for i in range(3):
+            c = QuantumCircuit(1, name=f"c{i}")
+            c.rz(0.1 * (i + 1), 0)
+            circuits.append(c)
+            cache.active_qubits(c)
+        assert len(cache) == 2
+        cache.active_qubits(circuits[0])  # evicted → recomputed
+        assert cache.misses == 4
+
+    def test_carry_forward_preserved_domain(self, ghz5, washington):
+        cache = AnalysisCache()
+        runner = PassRunner(cache)
+        assert cache.gates_native(ghz5, washington) is False  # h/cx are not native
+        misses_before = cache.misses
+        placed = runner.apply(DenseLayout(), ghz5, PassContext(device=washington))
+        assert placed.fingerprint() != ghz5.fingerprint()
+        # The layout pass declares NATIVE_GATES preserved: the check must be
+        # served from the carried-forward entry without a recompute.
+        assert cache.gates_native(placed, washington) is False
+        assert cache.misses == misses_before
+        assert washington.gates_native(placed) is False  # and it is actually true
+
+    def test_carry_forward_not_applied_for_invalidated_domain(self, ghz5, washington):
+        cache = AnalysisCache()
+        runner = PassRunner(cache)
+        cache.mapping_satisfied(ghz5, washington)
+        misses_before = cache.misses
+        placed = runner.apply(DenseLayout(), ghz5, PassContext(device=washington))
+        cache.mapping_satisfied(placed, washington)  # MAPPING is invalidated by layout
+        assert cache.misses == misses_before + 1
+
+    def test_invalidates_is_complement_of_preserves(self):
+        layout = DenseLayout()
+        assert AnalysisDomain.NATIVE_GATES in layout.preserves
+        assert AnalysisDomain.NATIVE_GATES not in layout.invalidates
+        assert layout.preserves | layout.invalidates == AnalysisDomain.ALL
+        assert AnalysisDomain.MAPPING not in Optimize1qGatesDecomposition().invalidates
+        # Default: a pass preserves nothing, so it invalidates every domain.
+        assert InverseCancellation().invalidates == AnalysisDomain.ALL
+
+    def test_pass_sequence_preserves_intersection(self):
+        from repro.passes import PassSequence
+
+        seq = PassSequence([DenseLayout(), Optimize1qGatesDecomposition()])
+        assert seq.preserves == frozenset()  # {NATIVE_GATES} ∩ {MAPPING}
+        only_layouts = PassSequence([DenseLayout(), DenseLayout()])
+        assert only_layouts.preserves == frozenset({AnalysisDomain.NATIVE_GATES})
+
+    def test_preserves_declarations_are_sound(self, random_4q, washington):
+        # Spot-check the two non-trivial declarations against ground truth.
+        context = PassContext(device=washington, seed=3)
+        placed = DenseLayout().run(random_4q, context)
+        assert washington.gates_native(placed) == washington.gates_native(random_4q)
+        optimized = Optimize1qGatesDecomposition().run(placed, context)
+        assert washington.mapping_satisfied(optimized) == washington.mapping_satisfied(placed)
+
+
+class TestPassManager:
+    def test_runs_stages_in_order_and_records_trace(self, random_4q):
+        manager = PassManager(
+            [
+                Stage("one", (InverseCancellation(),)),
+                Stage("two", (CXCancellation(),)),
+            ]
+        )
+        trace: list[str] = []
+        out = manager.run(random_4q, trace=trace)
+        assert trace == ["inverse_cancellation", "cx_cancellation"]
+        assert isinstance(out, QuantumCircuit)
+
+    def test_conditional_stage_skipped(self, random_4q):
+        manager = PassManager(
+            [Stage("never", (InverseCancellation(),), condition=lambda c, ctx: False)]
+        )
+        trace: list[str] = []
+        out = manager.run(random_4q, trace=trace)
+        assert trace == []
+        assert out is random_4q  # nothing ran
+
+    def test_untraced_stage_executes_but_stays_off_trace(self):
+        counting = _CountingPass(limit=100)
+        manager = PassManager([Stage("hidden", (counting,), record_trace=False)])
+        circuit = QuantumCircuit(1)
+        trace: list[str] = []
+        out = manager.run(circuit, trace=trace)
+        assert trace == []
+        assert counting.calls == 1
+        assert out.size() == 1
+
+    def test_describe_is_declarative_data(self):
+        manager = preset_pass_manager("qiskit", 3)
+        schedule = manager.describe()
+        assert [entry["stage"] for entry in schedule] == [
+            "pre_optimization",
+            "synthesis",
+            "layout",
+            "routing",
+            "post_optimization",
+            "finalise",
+        ]
+        assert schedule[-1]["conditional"] and not schedule[-1]["record_trace"]
+        assert "sabre_layout" in schedule[2]["passes"]
+
+    def test_invalid_style_and_level_rejected(self):
+        with pytest.raises(ValueError):
+            preset_pass_manager("cirq", 1)
+        with pytest.raises(ValueError):
+            preset_pass_manager("tket", 3)
+
+    def test_shared_manager_reproducible_across_calls(self, ghz5, washington):
+        # One manager instance must give identical results for identical seeds
+        # (passes draw RNG state from the context, never from instance state).
+        manager = preset_pass_manager("qiskit", 3)
+        runs = [
+            manager.run(ghz5.copy(), PassContext(device=washington, seed=7))
+            for _ in range(2)
+        ]
+        assert runs[0].fingerprint() == runs[1].fingerprint()
+
+
+class TestRepeatUntilStable:
+    def test_stops_at_fixed_point(self):
+        counting = _CountingPass(limit=3)
+        controller = RepeatUntilStable([counting], max_iterations=10)
+        manager = PassManager([Stage("loop", (controller,))])
+        circuit = QuantumCircuit(1)
+        trace: list[str] = []
+        out = manager.run(circuit, trace=trace)
+        # 3 growth iterations + 1 confirming iteration, then stable.
+        assert out.size() == 3
+        assert counting.calls == 4
+        assert trace == ["counting"] * 4
+
+    def test_respects_max_iterations(self):
+        counting = _CountingPass(limit=1000)
+        controller = RepeatUntilStable([counting], max_iterations=2)
+        controller.execute(QuantumCircuit(1), PassContext(), lambda p, c: p.run(c, PassContext()))
+        assert counting.calls == 2
+
+    def test_reaches_quiescence_on_real_passes(self, random_4q):
+        controller = RepeatUntilStable(
+            [InverseCancellation(), CXCancellation()], max_iterations=8
+        )
+        manager = PassManager([Stage("opt", (controller,))])
+        out = manager.run(random_4q)
+        once_more = InverseCancellation().run(out, PassContext())
+        once_more = CXCancellation().run(once_more, PassContext())
+        assert once_more.fingerprint() == out.fingerprint()
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            RepeatUntilStable([InverseCancellation()], max_iterations=0)
+
+
+class TestEnvironmentCacheEquivalence:
+    """The analysis cache must change speed only — never observations or flow."""
+
+    def _rollout(self, circuit, *, use_cache: bool, actions=None):
+        env = CompilationEnv(
+            [circuit],
+            reward="fidelity",
+            device_name="ibmq_washington",
+            max_steps=12,
+            seed=5,
+            use_analysis_cache=use_cache,
+        )
+        observation, _ = env.reset(seed=5)
+        observations = [observation]
+        rewards = []
+        names = actions or [
+            "synthesis_basis_translator",
+            "optimize_optimize_1q_gates",
+            "map_dense_layout_sabre_routing",
+            "optimize_cx_cancellation",
+            "terminate",
+        ]
+        for name in names:
+            action = env.action_by_name(name)
+            observation, reward, terminated, truncated, _info = env.step(action.index)
+            observations.append(observation)
+            rewards.append(reward)
+            if terminated or truncated:
+                break
+        return observations, rewards, list(env.state.applied_actions)
+
+    def test_observations_and_rewards_identical(self, ghz5):
+        cached = self._rollout(ghz5, use_cache=True)
+        uncached = self._rollout(ghz5, use_cache=False)
+        for obs_cached, obs_uncached in zip(cached[0], uncached[0]):
+            np.testing.assert_array_equal(obs_cached, obs_uncached)
+        assert cached[1] == uncached[1]
+        assert cached[2] == uncached[2]
+
+    def test_cache_hits_accumulate_across_episodes(self, ghz5):
+        env = CompilationEnv([ghz5], device_name="ibmq_washington", seed=1)
+        for _ in range(3):
+            env.reset()
+            env.step(env.action_by_name("synthesis_basis_translator").index)
+        assert env.analysis_cache is not None
+        assert env.analysis_cache.hits > 0
+        # The same initial circuit is re-analysed from cache on later episodes.
+        assert env.analysis_cache.hit_rate > 0.3
+
+
+class TestGreedyPolicyInvariance:
+    def test_saved_predictor_greedy_sequence_unchanged_by_cache(
+        self, trained_predictor, tmp_path, ghz5
+    ):
+        from repro.core import Predictor
+
+        path = tmp_path / "model.json"
+        trained_predictor.save(path)
+        loaded = Predictor.load(path)
+
+        def greedy_actions(use_cache: bool) -> list[str]:
+            env = CompilationEnv(
+                [ghz5],
+                reward=loaded.reward_name,
+                max_steps=loaded.max_steps,
+                seed=loaded.seed,
+                use_analysis_cache=use_cache,
+            )
+            observation, _ = env.reset(seed=loaded.seed)
+            terminated = truncated = False
+            while not (terminated or truncated):
+                mask = env.action_masks()
+                action = loaded._agent.predict(observation, mask, deterministic=True)
+                if not mask[action]:
+                    action = int(np.flatnonzero(mask)[0])
+                observation, _reward, terminated, truncated, _info = env.step(action)
+            return list(env.state.applied_actions)
+
+        assert greedy_actions(True) == greedy_actions(False)

@@ -128,3 +128,37 @@ class TestPassProperties:
         once = InverseCancellation().run(circuit, PassContext())
         twice = InverseCancellation().run(once, PassContext())
         assert once.count_ops() == twice.count_ops()
+
+
+def _registry_pass_actions():
+    from repro.core.actions import ActionKind, build_action_registry
+
+    pass_kinds = (ActionKind.SYNTHESIS, ActionKind.MAPPING, ActionKind.OPTIMIZATION)
+    return [a for a in build_action_registry() if a.kind in pass_kinds]
+
+
+class TestRegistryPassesNeverMutateInput:
+    """Every registered compilation action obeys the circuit-in/circuit-out contract.
+
+    The unified-interface requirement of the paper (and the safety of the
+    fingerprint-keyed analysis cache) depends on passes *never* mutating
+    their input circuit — whether they succeed or raise.
+    """
+
+    @_SETTINGS
+    @given(circuit=small_circuits(), seed=_seeds)
+    def test_all_registered_passes_leave_input_untouched(self, circuit, seed, line5_device):
+        snapshot = list(circuit.instructions)
+        num_qubits = circuit.num_qubits
+        fingerprint = circuit.fingerprint()
+        for action in _registry_pass_actions():
+            context = PassContext(device=line5_device, seed=int(seed))
+            try:
+                result = action.payload(circuit, context)
+            except Exception:  # noqa: BLE001 - failing passes must not mutate either
+                result = None
+            assert circuit.num_qubits == num_qubits, action.name
+            assert circuit.instructions == snapshot, action.name
+            assert circuit.fingerprint() == fingerprint, action.name
+            if result is not None:
+                assert result is not circuit, action.name
