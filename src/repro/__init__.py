@@ -55,8 +55,9 @@ from .circuit import Gate, Instruction, QuantumCircuit
 from .compilers import compile_qiskit_style, compile_tket_style, preset_pass_manager
 from .core import CompilationEnv, Predictor
 from .devices import Device, get_device, list_devices
-from .pipeline import AnalysisCache, PassManager, RepeatUntilStable, Stage
+from .pipeline import AnalysisCache, PassManager, RepeatUntilStable, Stage, TransformCache
 from .reward import combined_reward, critical_depth_reward, expected_fidelity
+from .rl import AsyncVectorEnv, SyncVectorEnv, VectorEnv, make_compilation_vec_env
 
 __all__ = [
     "__version__",
@@ -88,7 +89,13 @@ __all__ = [
     "Stage",
     "RepeatUntilStable",
     "AnalysisCache",
+    "TransformCache",
     "preset_pass_manager",
+    # vectorised environment fleets (rollout collection at fleet throughput)
+    "VectorEnv",
+    "SyncVectorEnv",
+    "AsyncVectorEnv",
+    "make_compilation_vec_env",
     # deprecated shims (use repro.compile with a backend name instead)
     "compile_qiskit_style",
     "compile_tket_style",

@@ -13,25 +13,33 @@ with two production-minded behaviours the single-shot facade does not need:
   the failure is returned as a ``CompilationResult`` with ``succeeded=False``
   and the exception text in ``error``.
 
-Tasks are fanned out over a thread pool.  Because the pass pipelines are
-mostly pure Python, the GIL limits the speedup to the fraction of time spent
-in NumPy kernels — expect modest overlap, not a core-count multiplier.  The
-pool keeps the API ready for process-based or distributed executors without
-changing callers.
+Tasks are fanned out over a worker pool selected by ``executor``:
+
+* ``"thread"`` (default) — a ``ThreadPoolExecutor``.  Because the pass
+  pipelines are mostly pure Python, the GIL limits the speedup to the
+  fraction of time spent in NumPy kernels — modest overlap, not a
+  core-count multiplier.
+* ``"process"`` — a ``ProcessPoolExecutor``: circuits and backends are
+  pickled to worker processes, compiled GIL-free, and the results are
+  merged back into the shared :class:`CompilationCache` by the parent.
+  This is the core-count multiplier on multi-core machines; on a single
+  core the pickling round trip makes it strictly slower than threads.
+  Cache lookups always happen in the parent — worker processes never see
+  the cache.
 """
 
 from __future__ import annotations
 
 import os
-import threading
-from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..circuit.circuit import QuantumCircuit
 from ..devices.device import Device
 from ..devices.library import get_device
+from ..pipeline.properties import LruCache
 from ..reward.functions import reward_function
 from .facade import resolve_backend
 from .registry import CompilerBackend
@@ -57,46 +65,13 @@ def circuit_fingerprint(circuit: QuantumCircuit) -> str:
     return f"{circuit.name}|{circuit.fingerprint()}"
 
 
-class CompilationCache:
+class CompilationCache(LruCache):
     """Thread-safe LRU cache of compilation results.
 
     Keys are ``(circuit fingerprint, backend cache token, device, seed)`` —
     deliberately *not* the objective, because compilation is objective-agnostic
     for deterministic backends and results carry scores for every metric.
     """
-
-    def __init__(self, maxsize: int = 2048):
-        self.maxsize = maxsize
-        self._lock = threading.Lock()
-        self._entries: OrderedDict[tuple, CompilationResult] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-
-    def get(self, key: tuple) -> CompilationResult | None:
-        with self._lock:
-            result = self._entries.get(key)
-            if result is None:
-                self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return result
-
-    def put(self, key: tuple, result: CompilationResult) -> None:
-        with self._lock:
-            self._entries[key] = result
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-
-    def clear(self) -> None:
-        with self._lock:
-            self._entries.clear()
-            self.hits = self.misses = 0
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
 
 
 _DEFAULT_CACHE = CompilationCache()
@@ -162,6 +137,68 @@ def _failure_result(
     )
 
 
+def _compile_task(payload: tuple) -> CompilationResult:
+    """Compile one (circuit, backend) pair; exceptions become failure results.
+
+    Module-level so the process executor can pickle it; the payload carries
+    everything a worker needs (no access to the parent's caches).
+    """
+    circuit, backend, device, objective, seed = payload
+    try:
+        return backend.compile(circuit, device=device, objective=objective, seed=seed)
+    except Exception as exc:  # noqa: BLE001 - one failure must not kill the sweep
+        return _failure_result(circuit, backend.name, objective, exc)
+
+
+def _same_backend(a: CompilerBackend, b: CompilerBackend) -> bool:
+    """True when two resolved backends are the same compiler.
+
+    Predictor specs are wrapped in a *fresh* ``PredictorBackend`` per
+    :func:`resolve_backend` call, so object identity alone would treat the
+    same Predictor passed twice as a conflict; compare the wrapped predictor
+    instead.
+    """
+    if a is b:
+        return True
+    predictor = getattr(a, "predictor", None)
+    return predictor is not None and predictor is getattr(b, "predictor", None)
+
+
+def _resolve_unique_backends(
+    specs: Sequence,
+) -> tuple[list[CompilerBackend], dict[str, str]]:
+    """Resolve specs to backends, deduplicating repeats and alias collisions.
+
+    Returns the unique backends in first-appearance order plus a mapping of
+    alias spec strings to canonical backend names (for index lookups).  Two
+    specs resolving to the *same* backend (``"qiskit"`` and ``"qiskit-o3"``,
+    the same instance twice, or the same Predictor twice) collapse into one
+    entry; two *different* backends claiming one name would silently
+    overwrite each other's results in :attr:`BatchResult.index`, so that is
+    an error.
+    """
+    unique: dict[str, CompilerBackend] = {}
+    aliases: dict[str, str] = {}
+    ordered: list[CompilerBackend] = []
+    for spec in specs:
+        backend = resolve_backend(spec)
+        existing = unique.get(backend.name)
+        if existing is None:
+            unique[backend.name] = backend
+            ordered.append(backend)
+        elif not _same_backend(existing, backend):
+            raise ValueError(
+                f"conflicting backend specs: {spec!r} resolves to name "
+                f"{backend.name!r}, which a different backend in this batch "
+                "already uses — results would overwrite each other.  Give "
+                "each backend a distinct name (for Predictors: "
+                'predictor.as_backend(name="...")).'
+            )
+        if isinstance(spec, str) and spec != backend.name:
+            aliases[spec] = backend.name
+    return ordered, aliases
+
+
 def compile_batch(
     circuits: Iterable[QuantumCircuit],
     backends: "Sequence[str | CompilerBackend]" = ("qiskit-o3",),
@@ -170,6 +207,7 @@ def compile_batch(
     objective: str = "fidelity",
     seed: int = 0,
     max_workers: int | None = None,
+    executor: str = "thread",
     cache: CompilationCache | None = _DEFAULT_CACHE,
 ) -> BatchResult:
     """Compile every circuit with every backend, with caching and error capture.
@@ -181,10 +219,17 @@ def compile_batch(
     backends:
         Backend specifications (registered names, backend instances, or
         trained Predictors) — every circuit is compiled with each of them.
+        Duplicate specs and aliases resolving to the same backend are
+        deduplicated; two *different* backends sharing one name raise.
     device, objective, seed:
         Forwarded to each backend as in :func:`repro.compile`.
     max_workers:
         Worker-pool size (default: CPU count, capped at the task count).
+    executor:
+        ``"thread"`` (default) or ``"process"``.  The process pool pickles
+        circuits and backends to worker processes and compiles GIL-free;
+        cache lookups stay in the parent and worker results are merged back
+        into the shared cache.
     cache:
         A :class:`CompilationCache` (default: the process-wide cache) or
         ``None`` to disable caching.  Failed compilations are never cached.
@@ -193,11 +238,13 @@ def compile_batch(
     ``[c0, c1]`` and backends ``[a, b]`` the results are
     ``[c0/a, c0/b, c1/a, c1/b]``.
     """
+    if executor not in ("thread", "process"):
+        raise ValueError(f"unknown executor {executor!r} (use 'thread' or 'process')")
     circuit_list = list(circuits)
     specs = list(backends)
-    resolved = [resolve_backend(spec) for spec in specs]
-    if not resolved:
+    if not specs:
         raise ValueError("compile_batch needs at least one backend")
+    resolved, aliases = _resolve_unique_backends(specs)
     reward_function(objective)  # fail fast regardless of cache warmth
     target = get_device(device) if isinstance(device, str) else device
     device_key = target.name if target is not None else "<auto>"
@@ -208,47 +255,88 @@ def compile_batch(
         for backend in resolved
     ]
 
-    def run_one(task: tuple[int, QuantumCircuit, CompilerBackend]) -> CompilationResult:
-        _ci, circuit, backend = task
+    def cache_key(circuit: QuantumCircuit, backend: CompilerBackend) -> tuple:
         token = getattr(backend, "cache_token", backend.name)
-        key = (
+        return (
             circuit_fingerprint(circuit),
             token() if callable(token) else token,
             device_key,
             seed,
         )
+
+    # Serve cache hits up front (always in the parent process), then fan the
+    # misses out over the chosen worker pool.  Duplicate (circuit, backend)
+    # pairs inside one sweep compile once; the copies are served like cache
+    # hits after the owner's result lands.
+    results: list[CompilationResult | None] = [None] * len(tasks)
+    pending: list[int] = []
+    key_owner: dict[tuple, int] = {}
+    duplicates: list[tuple[int, int]] = []
+    for position, (_ci, circuit, backend) in enumerate(tasks):
+        key = cache_key(circuit, backend)
         if cache is not None:
             hit = cache.get(key)
             if hit is not None:
                 result = hit.with_objective(objective)
                 result.metadata = {**result.metadata, "cached": True}
-                return result
-        try:
-            result = backend.compile(circuit, device=target, objective=objective, seed=seed)
-        except Exception as exc:  # noqa: BLE001 - one failure must not kill the sweep
-            return _failure_result(circuit, backend.name, objective, exc)
-        if cache is not None and result.succeeded:
-            cache.put(key, result)
-        return result
+                results[position] = result
+                continue
+        owner = key_owner.get(key)
+        if owner is not None:
+            duplicates.append((position, owner))
+            continue
+        key_owner[key] = position
+        pending.append(position)
 
+    payloads = [
+        (tasks[position][1], tasks[position][2], target, objective, seed)
+        for position in pending
+    ]
     if max_workers is None:
-        max_workers = min(len(tasks) or 1, os.cpu_count() or 1)
-    if max_workers <= 1 or len(tasks) <= 1:
-        results = [run_one(task) for task in tasks]
+        max_workers = min(len(pending) or 1, os.cpu_count() or 1)
+    if executor == "process" and pending:
+        for backend in resolved:
+            try:
+                pickle.dumps(backend)
+            except Exception as exc:
+                raise ValueError(
+                    f"backend {backend.name!r} cannot be pickled for "
+                    f"executor='process' ({exc}); use executor='thread'"
+                ) from exc
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            computed = list(pool.map(_compile_task, payloads))
+    elif max_workers <= 1 or len(pending) <= 1:
+        computed = [_compile_task(payload) for payload in payloads]
     else:
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(run_one, tasks))
+            computed = list(pool.map(_compile_task, payloads))
 
-    backend_specs = {
-        backend.name: spec for spec, backend in zip(specs, resolved) if isinstance(spec, str)
-    }
+    for position, result in zip(pending, computed):
+        results[position] = result
+        _ci, circuit, backend = tasks[position]
+        if cache is not None and result.succeeded:
+            cache.put(cache_key(circuit, backend), result)
+    for position, owner in duplicates:
+        owned = results[owner]
+        if owned is not None and owned.succeeded:
+            result = owned.with_objective(objective)
+            result.metadata = {**result.metadata, "cached": True}
+            results[position] = result
+        else:
+            # The owner failed (failures are never cached): attempt the
+            # duplicate independently, matching the pre-dedup behaviour.
+            _ci, circuit, backend = tasks[position]
+            results[position] = _compile_task((circuit, backend, target, objective, seed))
+
     batch = BatchResult()
+    aliases_by_name: dict[str, list[str]] = {}
+    for spec, name in aliases.items():
+        aliases_by_name.setdefault(name, []).append(spec)
     for position, ((ci, _circuit, backend), result) in enumerate(zip(tasks, results)):
         batch.results.append(result)
         batch.index[(ci, backend.name)] = position
-        # Also index by the caller's original spec string, so lookups with an
-        # alias ("qiskit" for "qiskit-o3") resolve like get_backend() does.
-        spec = backend_specs.get(backend.name)
-        if spec is not None and spec != backend.name:
-            batch.index[(ci, spec)] = position
+        # Also index by every alias the caller used ("qiskit" for
+        # "qiskit-o3"), so lookups resolve like get_backend() does.
+        for alias in aliases_by_name.get(backend.name, ()):
+            batch.index[(ci, alias)] = position
     return batch

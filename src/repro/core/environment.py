@@ -14,13 +14,15 @@ terminate action only once the circuit is executable).
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from ..circuit.circuit import QuantumCircuit
 from ..devices.library import get_device
 from ..features.extraction import FEATURE_NAMES, feature_vector
 from ..passes.base import PassContext
-from ..pipeline import AnalysisCache, PassRunner
+from ..pipeline import AnalysisCache, PassRunner, TransformCache
 from ..reward.functions import reward_function
 from ..rl.env import Env
 from ..rl.spaces import Box, Discrete
@@ -34,8 +36,12 @@ class CompilationEnv(Env):
     """Gym-style environment for learning quantum compilation flows.
 
     Args:
-        circuits: the training circuits; one is picked per episode
-            (round-robin under the episode counter, shuffled by the reset seed).
+        circuits: the training circuits; one is picked per episode.  The
+            episode order is re-shuffled at every epoch boundary (once all
+            circuits have been visited) by the environment's seeded RNG, so
+            training does not see the circuits in a fixed round-robin order
+            while the sequence stays reproducible under the reset seed.
+            Single-circuit environments skip the shuffle entirely.
         reward: ``"fidelity"``, ``"critical_depth"`` or ``"combination"``.
         device_name: if given, the platform/device are fixed up front and the
             corresponding selection actions are removed from the MDP, which is
@@ -48,6 +54,19 @@ class CompilationEnv(Env):
             framework — every PPO step runs these analyses — and the cache
             only changes how often they are computed, never their values.
             Disable for benchmarking the uncached baseline.
+        analysis_cache: an explicit :class:`AnalysisCache` to use instead of
+            a private one — vectorised fleets pass one instance to every
+            member so analyses are computed once per fleet.
+        transform_cache: optional :class:`TransformCache` memoising whole
+            pass applications; only effective together with
+            ``seed_mode="state"`` (stream-drawn seeds never repeat, so the
+            memo would never hit across episodes).
+        seed_mode: ``"stream"`` (default) draws a fresh seed for every
+            stochastic pass application from the environment's RNG stream;
+            ``"state"`` derives it deterministically from (base seed, circuit
+            fingerprint, action name), which makes a pass application a pure
+            function of the visible state — the property that lets fleet
+            members share transform results.
     """
 
     def __init__(
@@ -59,17 +78,27 @@ class CompilationEnv(Env):
         max_steps: int = 30,
         seed: int = 0,
         use_analysis_cache: bool = True,
+        analysis_cache: AnalysisCache | None = None,
+        transform_cache: TransformCache | None = None,
+        seed_mode: str = "stream",
     ):
         if not circuits:
             raise ValueError("CompilationEnv needs at least one training circuit")
+        if seed_mode not in ("stream", "state"):
+            raise ValueError(f"unknown seed_mode {seed_mode!r} (use 'stream' or 'state')")
         self.circuits = list(circuits)
         self.reward_name = reward
         self._reward_fn = reward_function(reward)
         self.fixed_device = get_device(device_name) if device_name else None
         self.max_steps = max_steps
         self.base_seed = seed
-        self.analysis_cache = AnalysisCache() if use_analysis_cache else None
-        self._runner = PassRunner(self.analysis_cache)
+        self.seed_mode = seed_mode
+        if analysis_cache is not None:
+            self.analysis_cache = analysis_cache
+        else:
+            self.analysis_cache = AnalysisCache() if use_analysis_cache else None
+        self.transform_cache = transform_cache
+        self._runner = PassRunner(self.analysis_cache, transform_cache)
 
         platforms = [self.fixed_device.platform] if self.fixed_device else None
         self.actions: list[Action] = build_action_registry(platforms)
@@ -78,6 +107,7 @@ class CompilationEnv(Env):
 
         self._episode = 0
         self._rng = np.random.default_rng(seed)
+        self._order = np.arange(len(self.circuits))
         self._state: CompilationState | None = None
         self._steps = 0
 
@@ -86,7 +116,11 @@ class CompilationEnv(Env):
     def reset(self, *, seed: int | None = None) -> tuple[np.ndarray, dict]:
         if seed is not None:
             self._rng = np.random.default_rng(seed)
-        circuit = self.circuits[self._episode % len(self.circuits)]
+        index = self._episode % len(self.circuits)
+        if index == 0 and len(self.circuits) > 1:
+            # New epoch: visit the circuits in a fresh seeded order.
+            self._order = self._rng.permutation(len(self.circuits))
+        circuit = self.circuits[int(self._order[index])]
         self._episode += 1
         self._steps = 0
         self._state = CompilationState(circuit.copy(), analysis=self.analysis_cache)
@@ -116,6 +150,7 @@ class CompilationEnv(Env):
 
         terminated = False
         reward = 0.0
+        applied = True
         if action.kind == ActionKind.TERMINATE:
             terminated = True
             reward = self._final_reward()
@@ -130,13 +165,18 @@ class CompilationEnv(Env):
             # circuit's cache entry instead of being recomputed.
             context = PassContext(
                 device=state.device,
-                seed=int(self._rng.integers(0, 2**31 - 1)),
+                seed=self._pass_seed(action, state.circuit),
             )
             try:
                 state.circuit = self._runner.apply(action.payload, state.circuit, context)
             except Exception as error:  # noqa: BLE001 - surfaced via info, episode continues
                 info["error"] = f"{type(error).__name__}: {error}"
-        state.applied_actions.append(action.name)
+                info["failed_action"] = action.name
+                applied = False
+        if applied:
+            # Only successfully applied passes enter the recorded trace;
+            # replaying it must reproduce the episode's actual circuit flow.
+            state.applied_actions.append(action.name)
 
         truncated = not terminated and self._steps >= self.max_steps
         info["status"] = state.status.value
@@ -156,6 +196,22 @@ class CompilationEnv(Env):
         return mask
 
     # -- helpers -------------------------------------------------------------------
+
+    def _pass_seed(self, action: Action, circuit: QuantumCircuit) -> int:
+        """Seed for one stochastic pass application.
+
+        ``"stream"`` mode draws from the environment's RNG (the historical
+        behaviour); ``"state"`` mode hashes (base seed, circuit fingerprint,
+        action name) so the same action on the same circuit state always
+        runs with the same seed — in any fleet member, in any process.
+        """
+        if self.seed_mode == "state":
+            digest = hashlib.blake2b(
+                f"{self.base_seed}|{circuit.fingerprint()}|{action.name}".encode(),
+                digest_size=4,
+            ).digest()
+            return int.from_bytes(digest, "big") % (2**31 - 1)
+        return int(self._rng.integers(0, 2**31 - 1))
 
     def _active_width(self, circuit: QuantumCircuit) -> int:
         """Number of active qubits (cached; at least 1 for gateless circuits)."""

@@ -45,11 +45,15 @@ class Predictor:
         max_steps: int = 30,
         ppo_config: PPOConfig | None = None,
         seed: int = 0,
+        n_envs: int = 1,
     ):
+        if n_envs < 1:
+            raise ValueError("n_envs must be at least 1")
         self.reward_name = reward
         self.device_name = device_name
         self.max_steps = max_steps
         self.seed = seed
+        self.n_envs = n_envs
         self.ppo_config = ppo_config or PPOConfig(n_steps=128, batch_size=64, n_epochs=6)
         self._agent: PPO | None = None
         self._training_circuits: list[QuantumCircuit] | None = None
@@ -69,7 +73,21 @@ class Predictor:
 
             circuits = benchmark_suite(min_qubits=2, max_qubits=8)
         self._training_circuits = list(circuits)
-        env = self._make_env(self._training_circuits)
+        if self.n_envs > 1:
+            # Rollouts come from a synchronised fleet sharing one analysis
+            # cache and one transform cache (see repro.rl.vecenv).
+            from ..rl.vecenv import make_compilation_vec_env
+
+            env = make_compilation_vec_env(
+                self._training_circuits,
+                self.n_envs,
+                reward=self.reward_name,
+                device_name=self.device_name,
+                max_steps=self.max_steps,
+                seed=self.seed,
+            )
+        else:
+            env = self._make_env(self._training_circuits)
         self._agent = PPO(env, self.ppo_config, seed=self.seed)
         self.training_summary = self._agent.learn(total_timesteps, log_callback=log_callback)
         return self.training_summary

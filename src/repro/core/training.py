@@ -27,6 +27,9 @@ class TrainingConfig:
     max_steps: int = 30
     seed: int = 0
     device_name: str | None = None
+    #: rollout-collection fleet size (1 = the classic single-env loop;
+    #: >1 trains on a synchronised vectorised fleet, see repro.rl.vecenv)
+    n_envs: int = 1
     ppo: PPOConfig = field(default_factory=lambda: PPOConfig(n_steps=128, batch_size=64, n_epochs=6))
 
 
@@ -43,6 +46,7 @@ def train_model(
         max_steps=config.max_steps,
         ppo_config=config.ppo,
         seed=config.seed,
+        n_envs=config.n_envs,
     )
     predictor.train(circuits, total_timesteps=config.total_timesteps)
     return predictor

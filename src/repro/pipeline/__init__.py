@@ -19,6 +19,7 @@ from .properties import (
     MappingAnalysis,
     NativeGatesAnalysis,
     PropertySet,
+    TransformCache,
 )
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "RepeatUntilStable",
     "Stage",
     "AnalysisCache",
+    "TransformCache",
     "AnalysisPass",
     "PropertySet",
     "DagAnalysis",

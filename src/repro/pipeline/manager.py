@@ -27,7 +27,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..circuit.circuit import QuantumCircuit
 from ..passes.base import BasePass, PassContext
-from .properties import AnalysisCache
+from .properties import AnalysisCache, TransformCache
 
 __all__ = ["PassRunner", "RepeatUntilStable", "Stage", "PassManager"]
 
@@ -42,17 +42,36 @@ class PassRunner:
     — preset schedules, backend compilations and RL actions alike.  After a
     pass produces a new circuit, the analysis results the pass declared as
     preserved are migrated to the new circuit's property set.
+
+    ``transform_cache``, when given, memoises whole pass applications keyed
+    by (pass, input fingerprint, device, seed).  This is only sound when the
+    context is constructed per application and discarded afterwards — the RL
+    environment's step loop and vectorised fleets — because a memo hit skips
+    any context mutation; :class:`PassManager` therefore never sets it.
     """
 
-    def __init__(self, cache: AnalysisCache | None = None):
+    def __init__(
+        self,
+        cache: AnalysisCache | None = None,
+        transform_cache: TransformCache | None = None,
+    ):
         self.cache = cache
+        self.transform_cache = transform_cache
 
     def apply(
         self, pass_: BasePass, circuit: QuantumCircuit, context: PassContext
     ) -> QuantumCircuit:
+        key = None
+        if self.transform_cache is not None:
+            key = TransformCache.key(pass_.name, circuit, context.device, context.seed)
+            memo = self.transform_cache.get(key)
+            if memo is not None:
+                return memo
         out = pass_.run(circuit, context)
         if self.cache is not None and out is not circuit:
             self.cache.carry_forward(circuit, out, pass_.preserves)
+        if key is not None:
+            self.transform_cache.put(key, out)
         return out
 
 

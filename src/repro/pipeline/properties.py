@@ -38,6 +38,8 @@ __all__ = [
     "AnalysisPass",
     "PropertySet",
     "AnalysisCache",
+    "LruCache",
+    "TransformCache",
     "DagAnalysis",
     "FeatureVectorAnalysis",
     "ActiveQubitsAnalysis",
@@ -279,3 +281,95 @@ class AnalysisCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+
+class LruCache:
+    """Thread-safe LRU key/value cache with hit/miss bookkeeping.
+
+    The shared base of every flat result cache in the framework
+    (:class:`TransformCache` here, ``CompilationCache`` in the batch
+    service); :class:`AnalysisCache` keeps its own structure because its
+    entries are per-circuit property *sets*, not single values.
+    """
+
+    def __init__(self, maxsize: int = 2048):
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class TransformCache(LruCache):
+    """Thread-safe LRU memo of pass applications.
+
+    Keys are ``(pass name, input circuit fingerprint, device name, seed)``
+    — everything a deterministic pass's output depends on.  Values are the
+    output circuits, returned *by object*: circuits are immutable by the
+    pass contract (enforced by the registry-wide no-input-mutation property
+    test), so sharing the instance also shares its cached fingerprint and
+    analysis entries.
+
+    Sound only where the :class:`~repro.passes.base.PassContext` is built per
+    application and discarded afterwards (the RL environment's step loop):
+    replaying a memoised result skips any context mutation the original run
+    performed.  The :class:`~repro.pipeline.manager.PassManager`, which
+    threads one context through a whole schedule, must not use it.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        super().__init__(maxsize)
+
+    @staticmethod
+    def key(
+        pass_name: str,
+        circuit: QuantumCircuit,
+        device: Device | None,
+        seed: int,
+    ) -> tuple:
+        return (
+            pass_name,
+            circuit.fingerprint(),
+            device.name if device is not None else None,
+            seed,
+        )

@@ -1,4 +1,4 @@
-"""Reinforcement-learning substrate: env API, networks, and PPO."""
+"""Reinforcement-learning substrate: env API, vectorised fleets, networks, PPO."""
 
 from .buffers import RolloutBatch, RolloutBuffer
 from .distributions import MaskedCategorical
@@ -6,9 +6,14 @@ from .env import Env
 from .networks import MLP, Adam
 from .ppo import PPO, PPOConfig, TrainingSummary
 from .spaces import Box, Discrete
+from .vecenv import AsyncVectorEnv, SyncVectorEnv, VectorEnv, make_compilation_vec_env
 
 __all__ = [
     "Env",
+    "VectorEnv",
+    "SyncVectorEnv",
+    "AsyncVectorEnv",
+    "make_compilation_vec_env",
     "Box",
     "Discrete",
     "MLP",

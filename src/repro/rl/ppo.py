@@ -19,6 +19,7 @@ from .buffers import RolloutBuffer
 from .distributions import MaskedCategorical
 from .env import Env
 from .networks import MLP, Adam
+from .vecenv import SyncVectorEnv, VectorEnv
 
 __all__ = ["PPOConfig", "PPO", "TrainingSummary"]
 
@@ -52,14 +53,25 @@ class TrainingSummary:
 
 
 class PPO:
-    """PPO agent over a single (maskable) environment."""
+    """PPO agent over a (maskable) environment or a vectorised fleet of them.
 
-    def __init__(self, env: Env, config: PPOConfig | None = None, seed: int = 0):
+    A plain :class:`~repro.rl.env.Env` is wrapped into a single-member
+    :class:`~repro.rl.vecenv.SyncVectorEnv`, so the single-environment path
+    is literally the ``n_envs=1`` special case of the vectorised rollout
+    loop: training on a raw env and on a one-member fleet consumes the same
+    RNG stream and produces byte-identical updates.  (Episode resets happen
+    inside the fleet now — unseeded, continuing each env's own RNG — so
+    trajectories are *not* comparable with the pre-vectorisation loop, which
+    drew a fresh reset seed from the agent's RNG per episode.)
+    """
+
+    def __init__(self, env: "Env | VectorEnv", config: PPOConfig | None = None, seed: int = 0):
         self.env = env
+        self.vec_env = env if isinstance(env, VectorEnv) else SyncVectorEnv.from_envs([env])
         self.config = config or PPOConfig()
         self.rng = np.random.default_rng(seed)
-        obs_dim = int(np.prod(env.observation_space.shape))
-        n_actions = env.action_space.n
+        obs_dim = int(np.prod(self.vec_env.observation_space.shape))
+        n_actions = self.vec_env.action_space.n
         self.policy_net = MLP(obs_dim, n_actions, self.config.hidden_sizes, seed=seed)
         self.value_net = MLP(obs_dim, 1, self.config.hidden_sizes, seed=seed + 1, output_scale=1.0)
         self.policy_optimizer = Adam(self.policy_net.parameters(), self.config.learning_rate)
@@ -89,47 +101,76 @@ class PPO:
     # -- learning -------------------------------------------------------------------
 
     def learn(self, total_timesteps: int, log_callback=None) -> TrainingSummary:
-        """Run PPO training for ``total_timesteps`` environment steps."""
+        """Run PPO training for ``total_timesteps`` environment steps.
+
+        Rollouts are collected from all fleet members at once: one batched
+        policy/value forward per fleet step, ``n_envs`` environment steps per
+        iteration.  Episodes that hit a time limit (``truncated`` without
+        ``terminated``) bootstrap the value of their final observation into
+        the GAE targets instead of being treated as terminal.
+        """
         config = self.config
-        obs_dim = int(np.prod(self.env.observation_space.shape))
+        vec = self.vec_env
+        n_envs = vec.num_envs
+        obs_dim = int(np.prod(vec.observation_space.shape))
         buffer = RolloutBuffer(
-            config.n_steps, obs_dim, self.env.action_space.n, config.gamma, config.gae_lambda
+            config.n_steps,
+            obs_dim,
+            vec.action_space.n,
+            config.gamma,
+            config.gae_lambda,
+            n_envs=n_envs,
         )
-        observation, _ = self.env.reset(seed=int(self.rng.integers(2**31 - 1)))
-        episode_start = True
-        episode_reward = 0.0
-        episode_length = 0
+        observations, _ = vec.reset(seed=int(self.rng.integers(2**31 - 1)))
+        episode_rewards = np.zeros(n_envs)
+        episode_lengths = np.zeros(n_envs, dtype=int)
 
         while self.num_timesteps < total_timesteps:
             buffer.reset()
             while not buffer.full and self.num_timesteps < total_timesteps:
-                mask = self.env.action_masks()
-                logits = self.policy_net(observation)
-                dist = MaskedCategorical(logits, mask[None, :])
-                action = int(dist.sample(self.rng)[0])
-                log_prob = float(dist.log_prob(np.array([action]))[0])
-                value = self.value(observation)
+                masks = vec.action_masks()
+                logits = self.policy_net(observations)
+                dist = MaskedCategorical(logits, masks)
+                actions = dist.sample(self.rng)
+                log_probs = dist.log_prob(actions)
+                values = self.value_net(observations)[:, 0]
 
-                next_observation, reward, terminated, truncated, _info = self.env.step(action)
-                done = terminated or truncated
-                buffer.add(observation, action, reward, episode_start, value, log_prob, mask)
-                self.num_timesteps += 1
-                episode_reward += reward
-                episode_length += 1
-                episode_start = done
-                observation = next_observation
-                if done:
-                    self._episode_rewards.append(episode_reward)
-                    self._episode_lengths.append(episode_length)
+                next_observations, rewards, terminated, truncated, infos = vec.step(actions)
+                # Time-limit bootstrapping: the truncated state is not
+                # terminal, so its value stands in for the cut-off future.
+                bootstrap_values = np.zeros(n_envs)
+                for i in np.flatnonzero(truncated & ~terminated):
+                    final_obs = infos["final_observation"][i]
+                    if final_obs is not None:
+                        bootstrap_values[i] = self.value(final_obs)
+                buffer.add(
+                    observations,
+                    actions,
+                    rewards,
+                    terminated,
+                    truncated,
+                    values,
+                    log_probs,
+                    masks,
+                    bootstrap_values,
+                )
+                self.num_timesteps += n_envs
+                episode_rewards += rewards
+                episode_lengths += 1
+                for i in np.flatnonzero(terminated | truncated):
+                    self._episode_rewards.append(float(episode_rewards[i]))
+                    self._episode_lengths.append(int(episode_lengths[i]))
                     if log_callback is not None:
-                        log_callback(self.num_timesteps, episode_reward, episode_length)
-                    episode_reward = 0.0
-                    episode_length = 0
-                    observation, _ = self.env.reset(
-                        seed=int(self.rng.integers(2**31 - 1))
-                    )
-            last_value = self.value(observation)
-            buffer.compute_returns_and_advantages(last_value, done=episode_start)
+                        log_callback(
+                            self.num_timesteps,
+                            float(episode_rewards[i]),
+                            int(episode_lengths[i]),
+                        )
+                    episode_rewards[i] = 0.0
+                    episode_lengths[i] = 0
+                observations = next_observations
+            last_values = self.value_net(observations)[:, 0]
+            buffer.compute_returns_and_advantages(last_values)
             self._update(buffer)
 
         return TrainingSummary(

@@ -291,6 +291,146 @@ class TestBatchCompilation:
         batch = compile_batch([benchmark_circuit("ghz", 3)], backends=[_FailingBackend()], cache=None)
         assert "1 failed" in batch.summary()
 
+    def test_duplicate_and_alias_specs_deduplicated(self):
+        """Regression: "qiskit" + "qiskit-o3" used to silently overwrite index
+        entries; now the resolved backend runs once and both names look it up."""
+        circuits = [benchmark_circuit("ghz", 3), benchmark_circuit("dj", 3)]
+        batch = compile_batch(
+            circuits, backends=["qiskit", "qiskit-o3", "qiskit-o3"], cache=None
+        )
+        # One backend after dedup: one result per circuit, not three.
+        assert len(batch) == len(circuits)
+        for index in range(len(circuits)):
+            assert batch.get(index, "qiskit") is batch.get(index, "qiskit-o3")
+
+    def test_same_predictor_twice_deduplicates(self, trained_predictor):
+        circuits = [benchmark_circuit("ghz", 3)]
+        batch = compile_batch(
+            circuits, backends=[trained_predictor, trained_predictor], cache=None
+        )
+        assert len(batch) == 1
+        assert batch.get(0, "rl").backend == "rl"
+
+    def test_two_different_predictors_conflict_with_guidance(self, trained_predictor):
+        from repro.core import Predictor
+
+        other = Predictor(reward=trained_predictor.reward_name)
+        other._agent = trained_predictor._agent  # trained enough to resolve
+        with pytest.raises(ValueError, match="as_backend"):
+            compile_batch(
+                [benchmark_circuit("ghz", 3)],
+                backends=[trained_predictor, other],
+                cache=None,
+            )
+
+    def test_duplicate_circuit_compiled_once_per_sweep(self):
+        circuit = benchmark_circuit("ghz", 3)
+        cache = CompilationCache()
+        batch = compile_batch([circuit, circuit], backends=["qiskit-o1"], cache=cache)
+        assert len(batch) == 2
+        first, second = batch.get(0, "qiskit-o1"), batch.get(1, "qiskit-o1")
+        assert not first.metadata.get("cached")
+        assert second.metadata.get("cached")
+        assert second.reward == pytest.approx(first.reward)
+        # Only the owner's compilation entered the cache.
+        assert len(cache) == 1
+
+    def test_duplicate_circuit_deduplicated_even_without_cache(self):
+        circuit = benchmark_circuit("ghz", 3)
+        batch = compile_batch([circuit, circuit], backends=["qiskit-o1"], cache=None)
+        first, second = batch.get(0, "qiskit-o1"), batch.get(1, "qiskit-o1")
+        assert not first.metadata.get("cached")
+        assert second.metadata.get("cached")
+        assert second.reward == pytest.approx(first.reward)
+
+    def test_two_alias_spellings_of_one_backend_both_indexed(self):
+        circuits = [benchmark_circuit("ghz", 3)]
+        batch = compile_batch(circuits, backends=["best_of", "bestof"], cache=None)
+        assert len(batch) == 1
+        assert batch.get(0, "best_of") is batch.get(0, "bestof")
+        assert batch.get(0, "best-of").backend == "best-of"
+
+    def test_conflicting_backend_names_raise(self):
+        class _Impostor:
+            name = "qiskit-o3"
+
+            def compile(self, circuit, *, device=None, objective="fidelity", seed=0):
+                raise AssertionError("never reached")
+
+        with pytest.raises(ValueError, match="conflicting backend specs"):
+            compile_batch(
+                [benchmark_circuit("ghz", 3)],
+                backends=["qiskit-o3", _Impostor()],
+                cache=None,
+            )
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            compile_batch(
+                [benchmark_circuit("ghz", 3)], backends=["qiskit-o0"], executor="rocket"
+            )
+
+    def test_process_executor_matches_thread_executor(self):
+        circuits = [benchmark_circuit("ghz", 3), benchmark_circuit("qft", 3)]
+        backends = ["qiskit-o1", "tket-o1"]
+        thread = compile_batch(circuits, backends, cache=None, executor="thread")
+        process = compile_batch(
+            circuits, backends, cache=None, executor="process", max_workers=2
+        )
+        assert len(process) == len(thread) == 4
+        assert not process.failures
+        for index in range(len(circuits)):
+            for backend in backends:
+                a = thread.get(index, backend)
+                b = process.get(index, backend)
+                assert b.reward == pytest.approx(a.reward)
+                assert b.circuit.fingerprint() == a.circuit.fingerprint()
+
+    def test_process_executor_merges_results_into_shared_cache(self):
+        circuits = [benchmark_circuit("ghz", 3)]
+        cache = CompilationCache()
+        first = compile_batch(
+            circuits, backends=["qiskit-o1"], cache=cache, executor="process"
+        )
+        assert not first.get(0, "qiskit-o1").metadata.get("cached")
+        assert len(cache) == 1
+        # The re-sweep is served from the parent-side cache (any executor).
+        again = compile_batch(
+            circuits, backends=["qiskit-o1"], cache=cache, executor="process"
+        )
+        assert again.get(0, "qiskit-o1").metadata.get("cached")
+
+    def test_process_batch_results_pickle_round_trip(self):
+        import pickle
+
+        circuits = [benchmark_circuit("ghz", 3)]
+        batch = compile_batch(circuits, backends=["qiskit-o1"], cache=None, executor="process")
+        restored = pickle.loads(pickle.dumps(batch))
+        assert len(restored) == len(batch)
+        original = batch.get(0, "qiskit-o1")
+        round_tripped = restored.get(0, "qiskit-o1")
+        assert round_tripped.reward == pytest.approx(original.reward)
+        assert round_tripped.backend == original.backend
+        assert round_tripped.circuit.fingerprint() == original.circuit.fingerprint()
+
+    def test_unpicklable_backend_gets_clear_error_for_process_executor(self):
+        class _Unpicklable:
+            name = "unpicklable"
+
+            def __init__(self):
+                self.lock = __import__("threading").Lock()
+
+            def compile(self, circuit, *, device=None, objective="fidelity", seed=0):
+                raise AssertionError("never reached")
+
+        with pytest.raises(ValueError, match="cannot be pickled"):
+            compile_batch(
+                [benchmark_circuit("ghz", 3)],
+                backends=[_Unpicklable()],
+                cache=None,
+                executor="process",
+            )
+
 
 class TestFingerprintAndCache:
     def test_fingerprint_stable_and_content_sensitive(self):

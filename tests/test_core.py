@@ -210,6 +210,90 @@ class TestCompilationEnv:
             names.add(info["circuit"])
         assert len(names) > 1
 
+    def test_epoch_shuffle_is_seed_deterministic(self, tiny_suite):
+        """Episode order is shuffled per epoch by the seeded RNG — reproducibly."""
+
+        def episode_order(seed: int, episodes: int) -> list[str]:
+            env = CompilationEnv(tiny_suite, seed=seed)
+            order = []
+            for _ in range(episodes):
+                _obs, info = env.reset()
+                order.append(info["circuit"])
+            return order
+
+        episodes = 2 * len(tiny_suite)
+        first = episode_order(11, episodes)
+        second = episode_order(11, episodes)
+        other = episode_order(12, episodes)
+        assert first == second
+        # Every epoch covers each circuit exactly once.
+        all_names = sorted(c.name for c in tiny_suite)
+        assert sorted(first[: len(tiny_suite)]) == all_names
+        assert sorted(first[len(tiny_suite):]) == all_names
+        # Different seeds shuffle differently (with several circuits the odds
+        # of two epochs agreeing by chance are negligible).
+        if len(tiny_suite) >= 3:
+            assert first != other or len(set(first)) == 1
+
+    def test_reset_seed_controls_shuffle(self, tiny_suite):
+        """Explicit reset seeds reproduce the same shuffled episode order."""
+
+        def order_with_reset_seed(seed: int) -> list[str]:
+            env = CompilationEnv(tiny_suite, seed=0)
+            names = []
+            for episode in range(len(tiny_suite)):
+                _obs, info = env.reset(seed=seed if episode == 0 else None)
+                names.append(info["circuit"])
+            return names
+
+        assert order_with_reset_seed(5) == order_with_reset_seed(5)
+
+    def test_failed_pass_not_recorded_in_applied_actions(self, tiny_suite):
+        """Only successfully applied passes enter the trace; failures go to info."""
+        env = CompilationEnv(tiny_suite, seed=0)
+        env.reset(seed=1)
+
+        class _Boom(Exception):
+            pass
+
+        def exploding_runner_apply(pass_, circuit, context):
+            raise _Boom("pass exploded")
+
+        action = env.action_by_name("optimize_optimize_1q_gates")
+        original_apply = env._runner.apply
+        env._runner.apply = exploding_runner_apply
+        try:
+            _obs, reward, terminated, _trunc, info = env.step(action.index)
+        finally:
+            env._runner.apply = original_apply
+        assert not terminated and reward == 0.0
+        assert "error" in info and "_Boom" in info["error"]
+        assert info["failed_action"] == action.name
+        assert env.state.applied_actions == []
+        # A subsequent successful action is still recorded normally.
+        env.step(env.action_by_name("select_platform_ibm").index)
+        assert env.state.applied_actions == ["select_platform_ibm"]
+
+    def test_state_seed_mode_is_deterministic_per_state(self, tiny_suite):
+        """seed_mode="state": same action on the same circuit state, same seed."""
+        suite = [tiny_suite[0]]
+        env_a = CompilationEnv(suite, seed=3, seed_mode="state")
+        env_b = CompilationEnv(suite, seed=3, seed_mode="state")
+        env_a.reset(seed=1)
+        env_b.reset(seed=99)  # the reset seed must not matter in state mode
+        action = env_a.action_by_name("optimize_optimize_1q_gates")
+        seed_a = env_a._pass_seed(action, env_a.state.circuit)
+        seed_b = env_b._pass_seed(action, env_b.state.circuit)
+        assert seed_a == seed_b
+        # A different base seed derives a different pass seed.
+        env_c = CompilationEnv(suite, seed=4, seed_mode="state")
+        env_c.reset(seed=1)
+        assert env_c._pass_seed(action, env_c.state.circuit) != seed_a
+
+    def test_unknown_seed_mode_rejected(self, tiny_suite):
+        with pytest.raises(ValueError):
+            CompilationEnv(tiny_suite, seed_mode="chaotic")
+
     def test_oversized_circuit_masks_small_platforms(self):
         big = QuantumCircuit(40, name="big")
         for q in range(39):

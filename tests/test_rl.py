@@ -173,39 +173,114 @@ class TestMaskedCategorical:
 class TestRolloutBuffer:
     def test_add_and_full(self):
         buffer = RolloutBuffer(2, 3, 4)
-        buffer.add(np.zeros(3), 0, 1.0, True, 0.5, -0.1, np.ones(4, dtype=bool))
+        buffer.add(np.zeros(3), 0, 1.0, False, False, 0.5, -0.1, np.ones(4, dtype=bool))
         assert not buffer.full
-        buffer.add(np.zeros(3), 1, 0.0, False, 0.2, -0.3, np.ones(4, dtype=bool))
+        buffer.add(np.zeros(3), 1, 0.0, True, False, 0.2, -0.3, np.ones(4, dtype=bool))
         assert buffer.full
         with pytest.raises(RuntimeError):
-            buffer.add(np.zeros(3), 0, 0.0, False, 0.0, 0.0, np.ones(4, dtype=bool))
+            buffer.add(np.zeros(3), 0, 0.0, False, False, 0.0, 0.0, np.ones(4, dtype=bool))
 
     def test_gae_single_step_episode(self):
         buffer = RolloutBuffer(1, 1, 2, gamma=0.9, gae_lambda=1.0)
-        buffer.add(np.zeros(1), 0, reward=1.0, episode_start=True, value=0.4, log_prob=0.0, action_mask=np.ones(2, dtype=bool))
-        buffer.compute_returns_and_advantages(last_value=0.0, done=True)
+        buffer.add(np.zeros(1), 0, 1.0, True, False, 0.4, 0.0, np.ones(2, dtype=bool))
+        buffer.compute_returns_and_advantages(last_values=0.0)
         # advantage = r - V(s) for a terminal step
-        assert buffer.advantages[0] == pytest.approx(1.0 - 0.4)
-        assert buffer.returns[0] == pytest.approx(1.0)
+        assert buffer.advantages[0, 0] == pytest.approx(1.0 - 0.4)
+        assert buffer.returns[0, 0] == pytest.approx(1.0)
 
     def test_gae_two_step_episode_matches_hand_computation(self):
         gamma, lam = 0.9, 0.8
         buffer = RolloutBuffer(2, 1, 2, gamma=gamma, gae_lambda=lam)
-        buffer.add(np.zeros(1), 0, reward=0.0, episode_start=True, value=0.5, log_prob=0.0, action_mask=np.ones(2, dtype=bool))
-        buffer.add(np.zeros(1), 1, reward=1.0, episode_start=False, value=0.6, log_prob=0.0, action_mask=np.ones(2, dtype=bool))
-        buffer.compute_returns_and_advantages(last_value=0.0, done=True)
+        buffer.add(np.zeros(1), 0, 0.0, False, False, 0.5, 0.0, np.ones(2, dtype=bool))
+        buffer.add(np.zeros(1), 1, 1.0, True, False, 0.6, 0.0, np.ones(2, dtype=bool))
+        buffer.compute_returns_and_advantages(last_values=0.0)
         delta1 = 1.0 - 0.6
         delta0 = 0.0 + gamma * 0.6 - 0.5
-        assert buffer.advantages[1] == pytest.approx(delta1)
-        assert buffer.advantages[0] == pytest.approx(delta0 + gamma * lam * delta1)
+        assert buffer.advantages[1, 0] == pytest.approx(delta1)
+        assert buffer.advantages[0, 0] == pytest.approx(delta0 + gamma * lam * delta1)
+
+    def test_truncation_bootstraps_final_state_value(self):
+        """Regression: truncation is not termination — V(s_final) enters the target.
+
+        Before the fix, a ``max_steps`` truncation was stored as ``done`` and
+        the return target of the final step collapsed to ``r`` instead of
+        ``r + gamma * V(s_final)``, biasing every episode that hit the limit.
+        """
+        gamma = 0.9
+        buffer = RolloutBuffer(1, 1, 2, gamma=gamma, gae_lambda=0.95)
+        v_final = 0.7
+        buffer.add(
+            np.zeros(1), 0, 0.2, False, True, 0.4, 0.0, np.ones(2, dtype=bool),
+            bootstrap_values=v_final,
+        )
+        buffer.compute_returns_and_advantages(last_values=123.0)  # must be ignored
+        assert buffer.returns[0, 0] == pytest.approx(0.2 + gamma * v_final)
+        assert buffer.advantages[0, 0] == pytest.approx(0.2 + gamma * v_final - 0.4)
+
+    def test_truncation_cuts_gae_chain_like_termination(self):
+        """The lambda-chain must not leak across a truncation boundary."""
+        gamma, lam = 0.9, 0.8
+        buffer = RolloutBuffer(2, 1, 2, gamma=gamma, gae_lambda=lam)
+        buffer.add(np.zeros(1), 0, 0.5, False, True, 0.3, 0.0, np.ones(2, dtype=bool),
+                   bootstrap_values=0.6)
+        buffer.add(np.zeros(1), 0, 0.0, False, False, 0.2, 0.0, np.ones(2, dtype=bool))
+        buffer.compute_returns_and_advantages(last_values=0.1)
+        # Step 1 belongs to the next episode and bootstraps the rollout tail.
+        delta1 = 0.0 + gamma * 0.1 - 0.2
+        assert buffer.advantages[1, 0] == pytest.approx(delta1)
+        # Step 0's advantage is purely its own delta: no lambda term crosses
+        # the episode boundary, but the truncated state's value is in it.
+        delta0 = 0.5 + gamma * 0.6 - 0.3
+        assert buffer.advantages[0, 0] == pytest.approx(delta0)
+
+    def test_vectorised_gae_matches_per_env_computation(self):
+        """(n_steps, n_envs) GAE equals running each env through its own buffer."""
+        gamma, lam = 0.95, 0.9
+        rng = np.random.default_rng(7)
+        n_steps, n_envs = 6, 3
+        rewards = rng.normal(size=(n_steps, n_envs))
+        values = rng.normal(size=(n_steps, n_envs))
+        terminated = rng.random((n_steps, n_envs)) < 0.2
+        truncated = (rng.random((n_steps, n_envs)) < 0.2) & ~terminated
+        bootstrap = np.where(truncated, rng.random((n_steps, n_envs)), 0.0)
+        last_values = rng.normal(size=n_envs)
+
+        vec = RolloutBuffer(n_steps, 1, 2, gamma=gamma, gae_lambda=lam, n_envs=n_envs)
+        for t in range(n_steps):
+            vec.add(np.zeros((n_envs, 1)), np.zeros(n_envs, dtype=int), rewards[t],
+                    terminated[t], truncated[t], values[t], np.zeros(n_envs),
+                    np.ones((n_envs, 2), dtype=bool), bootstrap[t])
+        vec.compute_returns_and_advantages(last_values)
+
+        for env in range(n_envs):
+            single = RolloutBuffer(n_steps, 1, 2, gamma=gamma, gae_lambda=lam)
+            for t in range(n_steps):
+                single.add(np.zeros(1), 0, rewards[t, env], terminated[t, env],
+                           truncated[t, env], values[t, env], 0.0,
+                           np.ones(2, dtype=bool), bootstrap[t, env])
+            single.compute_returns_and_advantages(last_values[env])
+            np.testing.assert_allclose(vec.advantages[:, env], single.advantages[:, 0])
+            np.testing.assert_allclose(vec.returns[:, env], single.returns[:, 0])
 
     def test_minibatches_cover_all_steps(self):
         buffer = RolloutBuffer(8, 2, 3)
         for i in range(8):
-            buffer.add(np.full(2, i), i % 3, 0.0, i == 0, 0.0, 0.0, np.ones(3, dtype=bool))
-        buffer.compute_returns_and_advantages(0.0, done=True)
+            buffer.add(np.full(2, i), i % 3, 0.0, False, False, 0.0, 0.0, np.ones(3, dtype=bool))
+        buffer.compute_returns_and_advantages(0.0)
         seen = []
         for batch in buffer.minibatches(3, np.random.default_rng(0)):
+            seen.extend(batch.observations[:, 0].tolist())
+        assert sorted(seen) == list(range(8))
+
+    def test_minibatches_cover_all_envs(self):
+        buffer = RolloutBuffer(4, 1, 2, n_envs=2)
+        for t in range(4):
+            buffer.add(np.array([[2 * t], [2 * t + 1]]), np.zeros(2, dtype=int),
+                       np.zeros(2), False, False, np.zeros(2), np.zeros(2),
+                       np.ones((2, 2), dtype=bool))
+        buffer.compute_returns_and_advantages(np.zeros(2))
+        seen = []
+        for batch in buffer.minibatches(3, np.random.default_rng(1)):
             seen.extend(batch.observations[:, 0].tolist())
         assert sorted(seen) == list(range(8))
 
