@@ -1,0 +1,138 @@
+"""Compile-service benchmark: requests/sec under concurrent clients.
+
+Measures the service layer the way a deployment would see it and writes the
+numbers to ``benchmarks/results/BENCH_service.json``:
+
+* **Concurrent clients** — N client threads (N in {1, 4, 8}), each holding a
+  :class:`~repro.service.ServiceClient` on one shared
+  :class:`~repro.service.CompileService`, submit the same (circuit, backend)
+  workload and block on their futures.  Aggregate requests/sec is recorded
+  per client count.
+* **Cold vs warm shared cache** — each client count runs two waves against
+  the same service: the first from an empty cache (compute-bound, overlap
+  served by in-flight coalescing), the second re-submitting the identical
+  workload (served almost entirely from the shared cache).  The ratio is
+  the headline number: it is what a compile-once/reuse-everywhere
+  deployment gains from the shared cache.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the workload so CI keeps the artifact fresh
+without burning minutes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.bench import benchmark_circuit
+from repro.service import CompileService, ServiceClient
+
+from conftest import report
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+RESULTS_PATH = Path(__file__).resolve().parent / "results" / "BENCH_service.json"
+
+BACKENDS = ["qiskit-o1", "tket-o1"]
+CLIENT_COUNTS = (1, 4, 8)
+
+
+def _bench_circuits():
+    width = 4 if SMOKE else 6
+    return [
+        benchmark_circuit("ghz", width),
+        benchmark_circuit("qft", width),
+        benchmark_circuit("wstate", width),
+    ]
+
+
+def _client_wave(service: CompileService, circuits, n_clients: int) -> dict:
+    """N client threads submit the same workload; returns aggregate requests/sec."""
+    errors: list[Exception] = []
+    barrier = threading.Barrier(n_clients + 1)
+
+    def one_client() -> None:
+        try:
+            client = ServiceClient(service)
+            barrier.wait(timeout=60)
+            futures = [
+                client.submit(circuit, backend, device="ibmq_washington")
+                for circuit in circuits
+                for backend in BACKENDS
+            ]
+            for future in futures:
+                result = future.result(timeout=600)
+                assert result.succeeded, result.error
+        except Exception as exc:  # noqa: BLE001 - surfaced after join
+            errors.append(exc)
+
+    threads = [threading.Thread(target=one_client) for _ in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60)
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    requests = n_clients * len(circuits) * len(BACKENDS)
+    return {
+        "requests": requests,
+        "seconds": round(elapsed, 4),
+        "requests_per_sec": round(requests / elapsed, 1),
+    }
+
+
+def _write_results(payload: dict) -> None:
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    data = {}
+    if RESULTS_PATH.exists():
+        data = json.loads(RESULTS_PATH.read_text())
+    data.update(payload)
+    data["config"] = {"smoke": SMOKE, "backends": BACKENDS, "cpu_count": os.cpu_count()}
+    RESULTS_PATH.write_text(json.dumps(data, indent=1, sort_keys=True))
+
+
+def test_service_throughput_cold_vs_warm():
+    circuits = _bench_circuits()
+    clients: dict[str, dict] = {}
+    for n_clients in CLIENT_COUNTS:
+        with CompileService(max_workers=2) as service:
+            cold = _client_wave(service, circuits, n_clients)
+            warm = _client_wave(service, circuits, n_clients)
+            stats = service.stats()
+        clients[str(n_clients)] = {
+            "cold": cold,
+            "warm": warm,
+            "warm_over_cold": round(
+                warm["requests_per_sec"] / cold["requests_per_sec"], 2
+            ),
+            "cache_hits": stats["cache_hits"],
+            "coalesced": stats["coalesced"],
+            "cache": stats["cache"],
+            "mean_latency_seconds": round(stats["latency"]["mean_seconds"], 4),
+        }
+
+    _write_results({"clients": clients})
+    summary = ", ".join(
+        f"n={n}: cold {clients[str(n)]['cold']['requests_per_sec']:.0f} -> "
+        f"warm {clients[str(n)]['warm']['requests_per_sec']:.0f} req/s "
+        f"(x{clients[str(n)]['warm_over_cold']:.1f})"
+        for n in CLIENT_COUNTS
+    )
+    report(f"\ncompile service: {summary}")
+
+    for n_clients in CLIENT_COUNTS:
+        entry = clients[str(n_clients)]
+        # Every warm request must be served by the shared cache, and the
+        # cold overlap by cache hits or in-flight coalescing.
+        workload = n_clients * len(circuits) * len(BACKENDS)
+        assert entry["cache_hits"] + entry["coalesced"] >= workload
+        if not SMOKE:
+            assert entry["warm_over_cold"] >= 2.0, (
+                f"warm shared cache delivered only x{entry['warm_over_cold']:.2f} "
+                f"over cold compilation at {n_clients} clients"
+            )

@@ -55,9 +55,19 @@ from .circuit import Gate, Instruction, QuantumCircuit
 from .compilers import compile_qiskit_style, compile_tket_style, preset_pass_manager
 from .core import CompilationEnv, Predictor
 from .devices import Device, get_device, list_devices
-from .pipeline import AnalysisCache, PassManager, RepeatUntilStable, Stage, TransformCache
+from .pipeline import (
+    AnalysisCache,
+    CacheStore,
+    DictStore,
+    LruCache,
+    PassManager,
+    RepeatUntilStable,
+    Stage,
+    TransformCache,
+)
 from .reward import combined_reward, critical_depth_reward, expected_fidelity
 from .rl import AsyncVectorEnv, SyncVectorEnv, VectorEnv, make_compilation_vec_env
+from .service import CacheServer, CompileService, ServiceClient, SharedCacheStore
 
 __all__ = [
     "__version__",
@@ -90,7 +100,15 @@ __all__ = [
     "RepeatUntilStable",
     "AnalysisCache",
     "TransformCache",
+    "CacheStore",
+    "DictStore",
+    "LruCache",
     "preset_pass_manager",
+    # compile-service subsystem (request queue + worker pools + shared cache)
+    "CompileService",
+    "ServiceClient",
+    "CacheServer",
+    "SharedCacheStore",
     # vectorised environment fleets (rollout collection at fleet throughput)
     "VectorEnv",
     "SyncVectorEnv",

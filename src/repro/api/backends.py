@@ -57,13 +57,20 @@ class PresetBackend:
     ``tket_pipeline`` functions execute the exact same stages.  The manager
     carries no per-run state, making one backend instance safe to share
     across the batch service's worker threads.
+
+    ``iterate=True`` builds the experimental fixed-point variant (registered
+    as ``qiskit-o3-iter`` / ``tket-o2-iter``): the post-mapping optimization
+    stage repeats until the circuit stops changing, trading wall time for
+    whatever additional gate cancellations the extra rounds expose.  The
+    golden-pinned base levels are untouched — these are new backend names.
     """
 
-    def __init__(self, style: str, optimization_level: int):
+    def __init__(self, style: str, optimization_level: int, *, iterate: bool = False):
         self.style = style
         self.optimization_level = optimization_level
-        self.name = f"{style}-o{optimization_level}"
-        self._manager = preset_pass_manager(style, optimization_level)
+        self.iterate = iterate
+        self.name = f"{style}-o{optimization_level}" + ("-iter" if iterate else "")
+        self._manager = preset_pass_manager(style, optimization_level, iterate=iterate)
 
     def cache_token(self) -> str:
         return self.name
@@ -240,6 +247,11 @@ def _register_builtin_backends() -> None:
         register_backend(f"qiskit-o{level}", PresetBackend("qiskit", level), overwrite=True)
     for level in range(3):
         register_backend(f"tket-o{level}", PresetBackend("tket", level), overwrite=True)
+    # Experimental fixed-point variants of the highest level of each style:
+    # same schedules, with the post-mapping optimization stage run to
+    # quiescence by a RepeatUntilStable controller.
+    register_backend("qiskit-o3-iter", PresetBackend("qiskit", 3, iterate=True), overwrite=True)
+    register_backend("tket-o2-iter", PresetBackend("tket", 2, iterate=True), overwrite=True)
     register_backend("best-of", BestOfBackend(), overwrite=True)
 
 

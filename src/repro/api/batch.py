@@ -26,6 +26,11 @@ Tasks are fanned out over a worker pool selected by ``executor``:
   core the pickling round trip makes it strictly slower than threads.
   Cache lookups always happen in the parent — worker processes never see
   the cache.
+* ``"service"`` — the misses are submitted to a
+  :class:`~repro.service.CompileService` (the ``service`` argument, or a
+  temporary one), riding on its per-backend worker pools and its shared —
+  possibly server-backed — cache.  This is how sweeps join a long-lived
+  compile server instead of spinning up their own pool.
 """
 
 from __future__ import annotations
@@ -51,6 +56,7 @@ __all__ = [
     "circuit_fingerprint",
     "compile_batch",
     "default_cache",
+    "result_cache_key",
 ]
 
 
@@ -72,6 +78,27 @@ class CompilationCache(LruCache):
     deliberately *not* the objective, because compilation is objective-agnostic
     for deterministic backends and results carry scores for every metric.
     """
+
+
+def result_cache_key(
+    circuit: QuantumCircuit,
+    backend: CompilerBackend,
+    device_name: str | None,
+    seed: int,
+) -> tuple:
+    """The :class:`CompilationCache` key for one (circuit, backend) task.
+
+    The single definition of the key scheme, shared by ``compile_batch`` and
+    the compile service: a server-backed cache only lets the two layers reuse
+    each other's results while their key tuples stay byte-identical.
+    """
+    token = getattr(backend, "cache_token", backend.name)
+    return (
+        circuit_fingerprint(circuit),
+        token() if callable(token) else token,
+        device_name if device_name is not None else "<auto>",
+        seed,
+    )
 
 
 _DEFAULT_CACHE = CompilationCache()
@@ -209,6 +236,7 @@ def compile_batch(
     max_workers: int | None = None,
     executor: str = "thread",
     cache: CompilationCache | None = _DEFAULT_CACHE,
+    service=None,
 ) -> BatchResult:
     """Compile every circuit with every backend, with caching and error capture.
 
@@ -226,20 +254,31 @@ def compile_batch(
     max_workers:
         Worker-pool size (default: CPU count, capped at the task count).
     executor:
-        ``"thread"`` (default) or ``"process"``.  The process pool pickles
-        circuits and backends to worker processes and compiles GIL-free;
-        cache lookups stay in the parent and worker results are merged back
-        into the shared cache.
+        ``"thread"`` (default), ``"process"`` or ``"service"``.  The process
+        pool pickles circuits and backends to worker processes and compiles
+        GIL-free; cache lookups stay in the parent and worker results are
+        merged back into the shared cache.  ``"service"`` routes the misses
+        through a :class:`~repro.service.CompileService`.
     cache:
         A :class:`CompilationCache` (default: the process-wide cache) or
         ``None`` to disable caching.  Failed compilations are never cached.
+    service:
+        The :class:`~repro.service.CompileService` (or
+        :class:`~repro.service.ServiceClient`) used by
+        ``executor="service"``; when omitted, a temporary service is started
+        for the sweep and drained afterwards.  Only valid with
+        ``executor="service"``.
 
     Returns a :class:`BatchResult` in circuit-major order: for circuits
     ``[c0, c1]`` and backends ``[a, b]`` the results are
     ``[c0/a, c0/b, c1/a, c1/b]``.
     """
-    if executor not in ("thread", "process"):
-        raise ValueError(f"unknown executor {executor!r} (use 'thread' or 'process')")
+    if executor not in ("thread", "process", "service"):
+        raise ValueError(
+            f"unknown executor {executor!r} (use 'thread', 'process' or 'service')"
+        )
+    if service is not None and executor != "service":
+        raise ValueError("the `service` argument requires executor='service'")
     circuit_list = list(circuits)
     specs = list(backends)
     if not specs:
@@ -256,13 +295,7 @@ def compile_batch(
     ]
 
     def cache_key(circuit: QuantumCircuit, backend: CompilerBackend) -> tuple:
-        token = getattr(backend, "cache_token", backend.name)
-        return (
-            circuit_fingerprint(circuit),
-            token() if callable(token) else token,
-            device_key,
-            seed,
-        )
+        return result_cache_key(circuit, backend, device_key, seed)
 
     # Serve cache hits up front (always in the parent process), then fan the
     # misses out over the chosen worker pool.  Duplicate (circuit, backend)
@@ -294,7 +327,28 @@ def compile_batch(
     ]
     if max_workers is None:
         max_workers = min(len(pending) or 1, os.cpu_count() or 1)
-    if executor == "process" and pending:
+    if executor == "service" and pending:
+        owned = None
+        if service is None:
+            from ..service import CompileService
+
+            owned = service = CompileService(max_workers=max_workers)
+        try:
+            futures = [
+                service.submit(
+                    tasks[position][1],
+                    tasks[position][2],
+                    device=target,
+                    objective=objective,
+                    seed=seed,
+                )
+                for position in pending
+            ]
+            computed = [future.result() for future in futures]
+        finally:
+            if owned is not None:
+                owned.shutdown(drain=True)
+    elif executor == "process" and pending:
         for backend in resolved:
             try:
                 pickle.dumps(backend)

@@ -17,7 +17,7 @@ from time import perf_counter
 from ..circuit.circuit import QuantumCircuit
 from ..devices.device import Device
 from ..devices.library import get_device
-from .registry import CompilerBackend, get_backend
+from .registry import CompilerBackend, get_backend, list_backends
 from .result import CompilationResult
 
 __all__ = ["compile", "resolve_backend"]
@@ -38,7 +38,8 @@ def resolve_backend(spec: "str | CompilerBackend") -> CompilerBackend:
         return spec
     raise TypeError(
         f"cannot resolve {spec!r} to a compiler backend; expected a registered "
-        "name, a CompilerBackend instance, or a trained Predictor"
+        "name, a CompilerBackend instance, or a trained Predictor "
+        f"(registered backends: {', '.join(list_backends())})"
     )
 
 
@@ -49,6 +50,7 @@ def compile(  # noqa: A001 - deliberate: the facade mirrors the paper's `compile
     device: "Device | str | None" = None,
     objective: str = "fidelity",
     seed: int = 0,
+    service=None,
 ) -> CompilationResult:
     """Compile ``circuit`` with ``backend`` and return the unified result.
 
@@ -69,7 +71,18 @@ def compile(  # noqa: A001 - deliberate: the facade mirrors the paper's `compile
         always available in ``result.scores``.
     seed:
         Seed forwarded to stochastic passes for reproducibility.
+    service:
+        A :class:`~repro.service.CompileService` or
+        :class:`~repro.service.ServiceClient`: the request is submitted to
+        the service (serving from its shared cache, scheduling onto its
+        worker pools) and this call blocks on the result.  ``None`` (the
+        default) compiles in the calling thread.
     """
+    if service is not None:
+        future = service.submit(
+            circuit, backend, device=device, objective=objective, seed=seed
+        )
+        return future.result()
     resolved = resolve_backend(backend)
     target = get_device(device) if isinstance(device, str) else device
     start = perf_counter()

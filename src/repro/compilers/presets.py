@@ -46,12 +46,13 @@ from ..passes.optimization import (
 )
 from ..passes.routing import BasicSwap, SabreSwap, StochasticSwap, TketRouting
 from ..passes.synthesis import BasisTranslator
-from ..pipeline import AnalysisCache, PassManager, Stage
+from ..pipeline import AnalysisCache, PassManager, RepeatUntilStable, Stage
 
 __all__ = [
     "CompiledCircuit",
     "QISKIT_LEVELS",
     "TKET_LEVELS",
+    "iterate_stage",
     "compile_qiskit_style",
     "compile_tket_style",
     "preset_pass_manager",
@@ -155,18 +156,57 @@ TKET_LEVELS: dict[int, tuple[Stage, ...]] = {level: _tket_stages(level) for leve
 
 _LEVEL_TABLES = {"qiskit": QISKIT_LEVELS, "tket": TKET_LEVELS}
 
+#: the post-mapping optimization stage of each style — the stage the
+#: experimental ``-iter`` backends run to a fixed point
+_POST_STAGE = {"qiskit": "post_optimization", "tket": "post_routing"}
+
+
+def iterate_stage(
+    stages: "tuple[Stage, ...]",
+    stage_name: str,
+    *,
+    max_iterations: int = 8,
+) -> tuple[Stage, ...]:
+    """Wrap one stage's passes in a :class:`RepeatUntilStable` controller.
+
+    Returns a new schedule in which ``stage_name`` runs to quiescence (its
+    pass group repeats until the circuit fingerprint stops changing) while
+    every other stage is shared, untouched, with the input schedule.  This is
+    how the experimental fixed-point preset levels are derived from the
+    golden-pinned base levels without altering them.
+    """
+    out = []
+    for stage in stages:
+        if stage.name == stage_name and stage.passes:
+            controller = RepeatUntilStable(
+                stage.passes,
+                max_iterations=max_iterations,
+                name=f"{stage.name}_fixed_point",
+            )
+            stage = Stage(
+                stage.name,
+                (controller,),
+                condition=stage.condition,
+                record_trace=stage.record_trace,
+            )
+        out.append(stage)
+    return tuple(out)
+
 
 def preset_pass_manager(
     style: str,
     optimization_level: int,
     *,
+    iterate: bool = False,
     cache: AnalysisCache | None = None,
 ) -> PassManager:
     """Build the :class:`PassManager` for one preset style and level.
 
     This is the single source of truth for the preset flows: the pipeline
     functions below and the registered ``qiskit-o*`` / ``tket-o*`` backends
-    all run the manager returned here.
+    all run the manager returned here.  With ``iterate=True`` the
+    post-mapping optimization stage is wrapped in a fixed-point controller
+    (the experimental ``qiskit-o3-iter`` / ``tket-o2-iter`` backends).
     """
     try:
         levels = _LEVEL_TABLES[style]
@@ -179,11 +219,12 @@ def preset_pass_manager(
         raise ValueError(
             f"{label}-style optimization level must be between 0 and {max(levels)}"
         )
-    return PassManager(
-        levels[optimization_level],
-        name=f"{style}-o{optimization_level}",
-        cache=cache,
-    )
+    stages = levels[optimization_level]
+    name = f"{style}-o{optimization_level}"
+    if iterate:
+        stages = iterate_stage(stages, _POST_STAGE[style])
+        name += "-iter"
+    return PassManager(stages, name=name, cache=cache)
 
 
 def run_preset_manager(

@@ -14,8 +14,11 @@ from .properties import (
     ActiveQubitsAnalysis,
     AnalysisCache,
     AnalysisPass,
+    CacheStore,
     DagAnalysis,
+    DictStore,
     FeatureVectorAnalysis,
+    LruCache,
     MappingAnalysis,
     NativeGatesAnalysis,
     PropertySet,
@@ -29,6 +32,9 @@ __all__ = [
     "RepeatUntilStable",
     "Stage",
     "AnalysisCache",
+    "CacheStore",
+    "DictStore",
+    "LruCache",
     "TransformCache",
     "AnalysisPass",
     "PropertySet",

@@ -38,6 +38,8 @@ __all__ = [
     "AnalysisPass",
     "PropertySet",
     "AnalysisCache",
+    "CacheStore",
+    "DictStore",
     "LruCache",
     "TransformCache",
     "DagAnalysis",
@@ -163,6 +165,7 @@ class AnalysisCache:
         self._entries: OrderedDict[str, PropertySet] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # -- core API -------------------------------------------------------------------
 
@@ -176,6 +179,7 @@ class AnalysisCache:
                 self._entries[fingerprint] = props
                 while len(self._entries) > self.maxsize:
                     self._entries.popitem(last=False)
+                    self.evictions += 1
             else:
                 self._entries.move_to_end(fingerprint)
             return props
@@ -270,27 +274,55 @@ class AnalysisCache:
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
                 "hit_rate": self.hit_rate,
             }
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
-            self.hits = self.misses = 0
+            self.hits = self.misses = self.evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
 
-class LruCache:
-    """Thread-safe LRU key/value cache with hit/miss bookkeeping.
+class CacheStore(ABC):
+    """Where a flat cache keeps its entries — the pluggable storage backend.
 
-    The shared base of every flat result cache in the framework
-    (:class:`TransformCache` here, ``CompilationCache`` in the batch
-    service); :class:`AnalysisCache` keeps its own structure because its
-    entries are per-circuit property *sets*, not single values.
+    :class:`LruCache` (and therefore ``TransformCache`` and the batch
+    service's ``CompilationCache``) delegates every storage operation to a
+    store.  The default :class:`DictStore` is a private in-process dict; the
+    compile-service subsystem provides a server-backed implementation
+    (:class:`repro.service.SharedCacheStore`) so worker processes and
+    ``AsyncVectorEnv`` members can share one set of entries across process
+    boundaries.  Stores own the eviction policy *and* the hit/miss/eviction
+    counters, so shared stores aggregate statistics across every client.
     """
+
+    @abstractmethod
+    def get(self, key) -> Any:
+        """The cached value for ``key``, or ``None`` (counted as hit/miss)."""
+
+    @abstractmethod
+    def put(self, key, value) -> None:
+        """Insert ``key`` → ``value``, evicting per the store's policy."""
+
+    @abstractmethod
+    def stats(self) -> dict[str, float]:
+        """Counters: ``entries`` / ``hits`` / ``misses`` / ``evictions`` / ``hit_rate``."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+
+    def __len__(self) -> int:
+        return int(self.stats()["entries"])
+
+
+class DictStore(CacheStore):
+    """Thread-safe in-process LRU store with hit/miss/eviction counters."""
 
     def __init__(self, maxsize: int = 2048):
         self.maxsize = maxsize
@@ -298,6 +330,7 @@ class LruCache:
         self._entries: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key):
         with self._lock:
@@ -315,29 +348,77 @@ class LruCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+                self.evictions += 1
 
     def stats(self) -> dict[str, float]:
         with self._lock:
+            total = self.hits + self.misses
             return {
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
-                "hit_rate": self.hit_rate,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / total if total else 0.0,
             }
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
-            self.hits = self.misses = 0
+            self.hits = self.misses = self.evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+
+class LruCache:
+    """Key/value cache with hit/miss/eviction bookkeeping and pluggable storage.
+
+    The shared base of every flat result cache in the framework
+    (:class:`TransformCache` here, ``CompilationCache`` in the batch
+    service); :class:`AnalysisCache` keeps its own structure because its
+    entries are per-circuit property *sets*, not single values.
+
+    ``store`` selects where entries live: the default is a private
+    thread-safe :class:`DictStore`; pass a
+    :class:`repro.service.SharedCacheStore` to share one entry set (and one
+    set of counters) with other processes through a cache server.
+    """
+
+    def __init__(self, maxsize: int = 2048, *, store: CacheStore | None = None):
+        self.maxsize = maxsize
+        self.store = store if store is not None else DictStore(maxsize)
+
+    def get(self, key):
+        return self.store.get(key)
+
+    def put(self, key, value) -> None:
+        self.store.put(key, value)
+
+    @property
+    def hits(self) -> int:
+        return int(self.store.stats()["hits"])
+
+    @property
+    def misses(self) -> int:
+        return int(self.store.stats()["misses"])
+
+    @property
+    def evictions(self) -> int:
+        return int(self.store.stats()["evictions"])
+
+    @property
+    def hit_rate(self) -> float:
+        return float(self.store.stats()["hit_rate"])
+
+    def stats(self) -> dict[str, float]:
+        return self.store.stats()
+
+    def clear(self) -> None:
+        self.store.clear()
+
+    def __len__(self) -> int:
+        return len(self.store)
 
 
 class TransformCache(LruCache):
@@ -357,8 +438,8 @@ class TransformCache(LruCache):
     threads one context through a whole schedule, must not use it.
     """
 
-    def __init__(self, maxsize: int = 4096):
-        super().__init__(maxsize)
+    def __init__(self, maxsize: int = 4096, *, store: CacheStore | None = None):
+        super().__init__(maxsize, store=store)
 
     @staticmethod
     def key(

@@ -297,16 +297,30 @@ class AsyncVectorEnv(VectorEnv):
 
 
 class _CompilationEnvFactory:
-    """Picklable factory building one fleet member (used by the async path)."""
+    """Picklable factory building one fleet member (used by the async path).
 
-    def __init__(self, circuits, kwargs):
+    ``shared_store``, when given, is a picklable
+    :class:`~repro.pipeline.CacheStore` client (e.g. a
+    :class:`~repro.service.SharedCacheStore`): the member's
+    ``TransformCache`` is built over it *inside the worker process*, so every
+    member of the fleet — each in its own process — shares one set of pass
+    memos through the cache server.
+    """
+
+    def __init__(self, circuits, kwargs, shared_store=None):
         self.circuits = circuits
         self.kwargs = kwargs
+        self.shared_store = shared_store
 
     def __call__(self) -> Env:
         from ..core.environment import CompilationEnv
+        from ..pipeline import TransformCache
 
-        return CompilationEnv(self.circuits, **self.kwargs)
+        kwargs = dict(self.kwargs)
+        if self.shared_store is not None:
+            kwargs["transform_cache"] = TransformCache(store=self.shared_store)
+            kwargs["seed_mode"] = "state"
+        return CompilationEnv(self.circuits, **kwargs)
 
 
 def make_compilation_vec_env(
@@ -319,6 +333,7 @@ def make_compilation_vec_env(
     max_steps: int = 30,
     seed: int = 0,
     share_work: bool = True,
+    shared_store=None,
 ) -> VectorEnv:
     """Build a fleet of N :class:`~repro.core.environment.CompilationEnv`\\ s.
 
@@ -333,7 +348,15 @@ def make_compilation_vec_env(
     :class:`~repro.pipeline.TransformCache` and use state-keyed pass seeds
     (``seed_mode="state"``): applying a pass to a circuit state is done once
     per fleet, not once per member.  Async fleets live in separate processes
-    and always build private caches.
+    and build private in-memory caches — *unless* ``shared_store`` is given.
+
+    ``shared_store`` (a picklable :class:`~repro.pipeline.CacheStore` client,
+    typically :meth:`repro.service.CacheServer.store`) opts a fleet into the
+    server-backed ``TransformCache``: every member keys pass applications by
+    state (``seed_mode="state"``) and memoises them in the cache server, so
+    process fleets share pass results across process boundaries the way sync
+    fleets share them in memory.  Worth it when pass applications are
+    expensive relative to one round trip to the cache server.
     """
     if n_envs < 1:
         raise ValueError("n_envs must be at least 1")
@@ -350,7 +373,10 @@ def make_compilation_vec_env(
         }
 
     if backend == "async":
-        factories = [_CompilationEnvFactory(circuits, member_kwargs()) for _ in range(n_envs)]
+        factories = [
+            _CompilationEnvFactory(circuits, member_kwargs(), shared_store=shared_store)
+            for _ in range(n_envs)
+        ]
         return AsyncVectorEnv(factories)
     if backend != "sync":
         raise ValueError(f"unknown vecenv backend {backend!r} (use 'sync' or 'async')")
@@ -359,6 +385,20 @@ def make_compilation_vec_env(
     from ..pipeline import AnalysisCache, TransformCache
 
     shared_kwargs = member_kwargs()
+    if shared_store is not None:
+        # Each member wraps the same server-backed store; the entries (and
+        # the hit/miss counters) live in the cache server.
+        shared_kwargs["analysis_cache"] = AnalysisCache()
+        shared_kwargs["seed_mode"] = "state"
+        envs = [
+            CompilationEnv(
+                circuits,
+                **shared_kwargs,
+                transform_cache=TransformCache(store=shared_store),
+            )
+            for _ in range(n_envs)
+        ]
+        return SyncVectorEnv.from_envs(envs)
     if share_work:
         shared_kwargs["analysis_cache"] = AnalysisCache()
         shared_kwargs["transform_cache"] = TransformCache()

@@ -1,0 +1,42 @@
+"""Compile-service subsystem: serve many clients against one shared cache.
+
+This package turns the one-shot compilation facilities (``repro.compile``,
+``repro.compile_batch``) into a long-lived server:
+
+* :class:`CompileService` — request queue, scheduler, per-backend worker
+  pools (thread lanes for in-process backends, process lanes reusing the
+  batch executor's pickled-task machinery), request coalescing, and
+  hit/miss/queue-depth/latency metrics via :meth:`CompileService.stats`.
+* :class:`CacheServer` / :class:`SharedCacheStore` — a cache server process
+  plus picklable store clients, so pool workers, other services and
+  ``AsyncVectorEnv`` members share ``CompilationCache`` / ``TransformCache``
+  entries across process boundaries.
+* :class:`ServiceClient` — the caller API (``submit`` → future,
+  ``submit_many``, ``result``, ``stats``), identical against an in-process
+  service or a ``python -m repro.service`` server.
+
+Quickstart::
+
+    from repro.service import CompileService, ServiceClient
+
+    with CompileService() as service:
+        client = ServiceClient(service)
+        futures = client.submit_many(circuits, backend="qiskit-o3")
+        results = [f.result() for f in futures]
+        print(service.stats()["cache"])
+"""
+
+from __future__ import annotations
+
+from .client import ServiceClient, ServiceManager
+from .service import CompileRequest, CompileService
+from .store import CacheServer, SharedCacheStore
+
+__all__ = [
+    "CacheServer",
+    "CompileRequest",
+    "CompileService",
+    "ServiceClient",
+    "ServiceManager",
+    "SharedCacheStore",
+]

@@ -1,0 +1,101 @@
+"""``python -m repro.service`` — run a compile server for remote clients.
+
+Starts a :class:`~repro.service.CompileService` (optionally backed by a
+shared :class:`~repro.service.CacheServer`) and exposes it over a
+``multiprocessing`` manager::
+
+    $ python -m repro.service --port 7707
+    repro compile service listening on 127.0.0.1:7707
+    authkey: 6d79736563726574...
+
+Clients connect with the printed credentials::
+
+    client = ServiceClient(address=("127.0.0.1", 7707), authkey=bytes.fromhex("..."))
+
+The process serves until interrupted; Ctrl-C drains in-flight work before
+exiting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .client import ServiceManager
+from .service import SERVICE_RPC_METHODS, CompileService
+from .store import CacheServer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve repro compilations to remote ServiceClients.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: loopback)")
+    parser.add_argument("--port", type=int, default=0, help="port (default: OS-assigned)")
+    parser.add_argument(
+        "--authkey",
+        default=None,
+        help="hex-encoded shared secret (default: freshly generated and printed)",
+    )
+    parser.add_argument(
+        "--max-workers", type=int, default=2, help="worker threads/processes per backend lane"
+    )
+    parser.add_argument(
+        "--process-backends",
+        default="",
+        help="comma-separated backend names to run on process lanes",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=4096, help="capacity of the shared result cache"
+    )
+    parser.add_argument(
+        "--shared-cache",
+        action="store_true",
+        help="back the result cache by a cache-server process (lets process-lane "
+        "workers and external cache clients share entries)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    authkey = bytes.fromhex(args.authkey) if args.authkey else os.urandom(16)
+    process_backends = tuple(
+        name.strip() for name in args.process_backends.split(",") if name.strip()
+    )
+
+    cache_server = CacheServer(args.cache_size) if args.shared_cache else None
+    service = CompileService(
+        store=cache_server.store() if cache_server else None,
+        process_backends=process_backends,
+        max_workers=args.max_workers,
+        cache_size=args.cache_size,
+    )
+
+    class _ServerManager(ServiceManager):
+        """Server-side manager bound to this process's service instance."""
+
+    _ServerManager.register(
+        "compile_service", callable=lambda: service, exposed=SERVICE_RPC_METHODS
+    )
+    manager = _ServerManager(address=(args.host, args.port), authkey=authkey)
+    server = manager.get_server()
+    host, port = server.address
+    print(f"repro compile service listening on {host}:{port}", flush=True)
+    print(f"authkey: {authkey.hex()}", flush=True)
+    try:
+        # serve_forever returns on KeyboardInterrupt/SystemExit.
+        server.serve_forever()
+    finally:
+        print("draining compile service ...", flush=True)
+        service.shutdown(drain=True)
+        if cache_server is not None:
+            cache_server.shutdown()
+        print("compile service stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+""":class:`ServiceClient` — the caller's view of a compile service.
+
+One client class covers both deployment shapes:
+
+* **In-process** — ``ServiceClient(service)`` wraps a live
+  :class:`~repro.service.CompileService` directly; ``submit`` returns the
+  service's own future.
+* **Remote** — ``ServiceClient(address=(host, port), authkey=...)`` connects
+  to a ``python -m repro.service`` server over a ``multiprocessing`` manager.
+  ``submit`` obtains a ticket from the server and returns a local future
+  resolved by a background waiter thread, so the calling code is identical in
+  both shapes::
+
+      client = ServiceClient(address=("127.0.0.1", 7707), authkey=b"...")
+      futures = client.submit_many(circuits, backend="qiskit-o3")
+      results = [f.result() for f in futures]
+      print(client.stats()["cache"]["hit_rate"])
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from multiprocessing.managers import BaseManager
+from typing import TYPE_CHECKING
+
+from .service import SERVICE_RPC_METHODS, CompileService
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.registry import CompilerBackend
+    from ..circuit.circuit import QuantumCircuit
+    from ..devices.device import Device
+
+__all__ = ["ServiceClient", "ServiceManager"]
+
+
+class ServiceManager(BaseManager):
+    """Manager protocol shared by ``python -m repro.service`` and its clients."""
+
+
+ServiceManager.register("compile_service", exposed=SERVICE_RPC_METHODS)
+
+
+class ServiceClient:
+    """Submit circuits to a compile service and collect the results as futures."""
+
+    def __init__(
+        self,
+        service: CompileService | None = None,
+        *,
+        address: tuple | None = None,
+        authkey: bytes | None = None,
+        max_waiters: int = 8,
+    ):
+        if (service is None) == (address is None):
+            raise ValueError("pass exactly one of `service` (in-process) or `address` (remote)")
+        self._service = service
+        self._proxy = None
+        self._waiters: ThreadPoolExecutor | None = None
+        if address is not None:
+            if authkey is None:
+                raise ValueError("remote clients need the server's authkey")
+            manager = ServiceManager(address=tuple(address), authkey=authkey)
+            manager.connect()
+            self._proxy = manager.compile_service()
+            # One waiter pool resolves remote tickets into local futures;
+            # manager proxies hold one connection per thread, so concurrent
+            # blocking wait_result calls do not serialise each other.
+            self._waiters = ThreadPoolExecutor(
+                max_workers=max_waiters, thread_name_prefix="svc-client"
+            )
+
+    def submit(
+        self,
+        circuit: "QuantumCircuit",
+        backend: "str | CompilerBackend" = "qiskit-o3",
+        *,
+        device: "Device | str | None" = None,
+        objective: str = "fidelity",
+        seed: int = 0,
+    ) -> Future:
+        """Submit one compilation; returns a future of its ``CompilationResult``."""
+        if self._service is not None:
+            return self._service.submit(
+                circuit, backend, device=device, objective=objective, seed=seed
+            )
+        if not isinstance(backend, str):
+            # Remote services resolve names against their own registry;
+            # instances generally do not round-trip.
+            backend = getattr(backend, "name", backend)
+        device_name = device if isinstance(device, str) or device is None else device.name
+        ticket = self._proxy.submit_request(circuit, backend, device_name, objective, seed)
+        assert self._waiters is not None
+        return self._waiters.submit(self._proxy.wait_result, ticket)
+
+    def submit_many(
+        self,
+        circuits,
+        backend: "str | CompilerBackend" = "qiskit-o3",
+        *,
+        device: "Device | str | None" = None,
+        objective: str = "fidelity",
+        seed: int = 0,
+    ) -> list[Future]:
+        """One future per circuit, in input order."""
+        return [
+            self.submit(circuit, backend, device=device, objective=objective, seed=seed)
+            for circuit in circuits
+        ]
+
+    def result(self, future: Future, timeout: float | None = None):
+        """Convenience: block on one future from :meth:`submit`/:meth:`submit_many`."""
+        return future.result(timeout)
+
+    def stats(self) -> dict:
+        """The service's metrics (queue depth, cache counters, lanes, latency)."""
+        if self._service is not None:
+            return self._service.stats()
+        return self._proxy.stats()
+
+    def ping(self) -> str:
+        """The service's name — raises if a remote server is unreachable."""
+        if self._service is not None:
+            return self._service.ping()
+        return self._proxy.ping()
+
+    def close(self) -> None:
+        """Release client-side resources (never stops the service itself)."""
+        if self._waiters is not None:
+            self._waiters.shutdown(wait=False)
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "in-process" if self._service is not None else "remote"
+        return f"ServiceClient({mode})"

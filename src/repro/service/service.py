@@ -1,0 +1,518 @@
+"""The compile server: request queue, per-backend worker pools, shared cache.
+
+``compile_batch`` fans one sweep out over one pool and returns when the sweep
+is done; a *service* accepts requests from many concurrent clients, keeps its
+pools warm between them, and shares one result cache across everything it
+compiles.  :class:`CompileService` is that subsystem:
+
+* **Request queue + scheduler** — every ``submit()`` enqueues a
+  :class:`CompileRequest`; a scheduler thread pops requests, serves cache
+  hits immediately, coalesces requests for work that is already in flight,
+  and dispatches the rest to per-backend worker pools.
+* **Per-backend lanes** — each backend gets its own worker pool, so a slow
+  backend (``best-of``, an RL predictor) cannot starve the cheap preset
+  lanes.  In-process backends run on a ``ThreadPoolExecutor``; backends
+  listed in ``process_backends`` run on a ``ProcessPoolExecutor`` lane that
+  reuses the pickled-task machinery of ``compile_batch(executor="process")``.
+* **Server-backed shared cache** — pass ``store=CacheServer().store()`` and
+  the service cache lives behind a cache server: process-lane workers check
+  and fill it from inside their worker processes, and anything else holding
+  a client of the same server (another service, an ``AsyncVectorEnv``
+  fleet) shares the entries too.
+* **Metrics** — ``stats()`` reports queue depth, in-flight count,
+  hit/miss/eviction counters, coalescing, per-lane dispatch counts, and
+  request latency, so benchmarks can measure the service instead of guessing.
+
+The service runs in-process; ``python -m repro.service`` exposes one over a
+``multiprocessing`` manager for remote :class:`~repro.service.ServiceClient`\\ s.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import threading
+import queue as queue_module
+from concurrent.futures import Future, InvalidStateError, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import TYPE_CHECKING
+
+from ..api.batch import CompilationCache, _compile_task, _failure_result, result_cache_key
+from ..api.facade import resolve_backend
+from ..api.registry import CompilerBackend
+from ..api.result import CompilationResult
+from ..devices.library import get_device
+from ..reward.functions import reward_function
+from .store import SharedCacheStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..circuit.circuit import QuantumCircuit
+    from ..devices.device import Device
+    from ..pipeline.properties import CacheStore
+
+__all__ = ["CompileRequest", "CompileService", "SERVICE_RPC_METHODS"]
+
+#: CompileService methods exposed to remote clients through the manager
+SERVICE_RPC_METHODS = ("submit_request", "wait_result", "stats", "ping")
+
+#: scheduler-queue sentinel that stops the scheduler thread
+_STOP = object()
+
+
+def _service_compile_task(payload: tuple) -> CompilationResult:
+    """One worker-side compilation, optionally against the shared store.
+
+    Module-level so process lanes can pickle it.  When a shared store client
+    rides along, the worker checks it before compiling and fills it after —
+    that is what makes results flow *between worker processes* instead of
+    only through the parent.
+    """
+    circuit, backend, device, objective, seed, key, store = payload
+    if store is not None:
+        try:
+            hit = store.get(key)
+        except Exception:  # pragma: no cover - cache server gone; compile anyway
+            hit = None
+            store = None
+        if hit is not None:
+            result = hit.with_objective(objective)
+            result.metadata = {**result.metadata, "cached": True}
+            return result
+    result = _compile_task((circuit, backend, device, objective, seed))
+    if store is not None and result.succeeded:
+        store.put(key, result)
+    return result
+
+
+@dataclass
+class CompileRequest:
+    """One queued compilation request (internal bookkeeping of the service)."""
+
+    circuit: "QuantumCircuit"
+    backend: CompilerBackend
+    device: "Device | None"
+    objective: str
+    seed: int
+    future: Future = field(default_factory=Future)
+    submitted_at: float = 0.0
+
+    def key(self) -> tuple:
+        """The shared-cache key (the one scheme shared with ``compile_batch``)."""
+        device_name = self.device.name if self.device is not None else None
+        return result_cache_key(self.circuit, self.backend, device_name, self.seed)
+
+
+class _Lane:
+    """One backend's worker pool plus its dispatch counter."""
+
+    def __init__(self, backend_name: str, kind: str, max_workers: int):
+        self.backend_name = backend_name
+        self.kind = kind
+        self.max_workers = max_workers
+        self.dispatched = 0
+        if kind == "process":
+            self.executor: "ThreadPoolExecutor | ProcessPoolExecutor" = ProcessPoolExecutor(
+                max_workers=max_workers
+            )
+        else:
+            self.executor = ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix=f"svc-{backend_name}"
+            )
+
+    def stats(self) -> dict:
+        return {
+            "kind": self.kind,
+            "max_workers": self.max_workers,
+            "dispatched": self.dispatched,
+        }
+
+
+class CompileService:
+    """Concurrent compile server with a shared cache and per-backend pools.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`~repro.pipeline.CacheStore` backing the service
+        cache — pass :meth:`repro.service.CacheServer.store` to share entries
+        (and counters) across process boundaries.  Defaults to a private
+        in-process store.
+    process_backends:
+        Backend names whose lane runs on a ``ProcessPoolExecutor`` (the
+        backend must be picklable; validated when the lane is created).
+        Everything else runs on a per-backend thread pool.
+    max_workers:
+        Worker count per lane (default 2).  ``lane_workers`` overrides it
+        per backend name.
+    cache_size:
+        Capacity of the service cache when ``store`` is not given.
+    """
+
+    def __init__(
+        self,
+        *,
+        store: "CacheStore | None" = None,
+        process_backends: tuple = (),
+        max_workers: int = 2,
+        lane_workers: dict | None = None,
+        cache_size: int = 4096,
+        name: str = "compile-service",
+    ):
+        self.name = name
+        self.cache = CompilationCache(cache_size, store=store)
+        self._shared_store = store if isinstance(store, SharedCacheStore) else None
+        self._process_backends = frozenset(process_backends)
+        self._max_workers = max(1, max_workers)
+        self._lane_workers = dict(lane_workers or {})
+        self._queue: queue_module.Queue = queue_module.Queue()
+        self._lanes: dict[str, _Lane] = {}
+        self._inflight: dict[tuple, tuple[CompileRequest, list[CompileRequest]]] = {}
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._unfinished = 0
+        self._closed = False
+        self._metrics = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "latency_total": 0.0,
+            "latency_max": 0.0,
+        }
+        self._request_ids = itertools.count(1)
+        self._tickets: dict[str, Future] = {}
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name=f"{name}-scheduler", daemon=True
+        )
+        self._scheduler.start()
+
+    # -- client API ------------------------------------------------------------------
+
+    def submit(
+        self,
+        circuit: "QuantumCircuit",
+        backend: "str | CompilerBackend" = "qiskit-o3",
+        *,
+        device: "Device | str | None" = None,
+        objective: str = "fidelity",
+        seed: int = 0,
+    ) -> Future:
+        """Enqueue one compilation; the returned future resolves to its result.
+
+        Validation (unknown backend, unknown objective) happens here, in the
+        caller's thread, so bad requests fail fast instead of poisoning the
+        queue.  The future's result is always a
+        :class:`~repro.CompilationResult` — compilation failures are captured
+        as ``succeeded=False`` results, matching ``compile_batch``.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"{self.name} is shut down")
+            self._unfinished += 1
+            self._metrics["submitted"] += 1
+        try:
+            resolved = resolve_backend(backend)
+            reward_function(objective)  # fail fast on unknown objectives
+            target = get_device(device) if isinstance(device, str) else device
+        except Exception:
+            with self._lock:
+                self._unfinished -= 1
+                self._metrics["submitted"] -= 1
+                self._idle.notify_all()
+            raise
+        request = CompileRequest(
+            circuit=circuit,
+            backend=resolved,
+            device=target,
+            objective=objective,
+            seed=seed,
+            submitted_at=perf_counter(),
+        )
+        self._queue.put(request)
+        return request.future
+
+    def submit_many(
+        self,
+        circuits,
+        backend: "str | CompilerBackend" = "qiskit-o3",
+        *,
+        device: "Device | str | None" = None,
+        objective: str = "fidelity",
+        seed: int = 0,
+    ) -> list[Future]:
+        """Enqueue one request per circuit; futures come back in input order."""
+        return [
+            self.submit(circuit, backend, device=device, objective=objective, seed=seed)
+            for circuit in circuits
+        ]
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every submitted request has resolved.
+
+        Returns ``False`` if ``timeout`` elapsed with work still pending.
+        """
+        deadline = None if timeout is None else perf_counter() + timeout
+        with self._idle:
+            while self._unfinished:
+                remaining = None if deadline is None else deadline - perf_counter()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(timeout=remaining)
+        return True
+
+    def shutdown(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the service: refuse new work, optionally finish pending work.
+
+        With ``drain=True`` (the default) every already-accepted request is
+        completed before the pools are torn down; with ``drain=False``
+        pending futures are cancelled/failed as the pools shut down.
+        Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if drain:
+            self.drain(timeout=timeout)
+        self._queue.put(_STOP)
+        self._scheduler.join(timeout=10)
+        for lane in self._lanes.values():
+            lane.executor.shutdown(wait=drain)
+        # Fail any request that was still pending (drain=False teardown).
+        with self._lock:
+            pending = [owner for owner, _ in self._inflight.values()]
+            followers = [req for _, reqs in self._inflight.values() for req in reqs]
+            self._inflight.clear()
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue_module.Empty:
+                break
+            if item is not _STOP:
+                pending.append(item)
+        for request in pending + followers:
+            if not request.future.done():
+                self._finish(
+                    request,
+                    _failure_result(
+                        request.circuit,
+                        request.backend.name,
+                        request.objective,
+                        RuntimeError("service shut down before request completed"),
+                    ),
+                )
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- RPC surface (used by remote ServiceClients via the manager) -------------------
+
+    def submit_request(
+        self,
+        circuit: "QuantumCircuit",
+        backend: str = "qiskit-o3",
+        device: str | None = None,
+        objective: str = "fidelity",
+        seed: int = 0,
+    ) -> str:
+        """``submit()`` for remote callers: returns a ticket id instead of a future."""
+        future = self.submit(circuit, backend, device=device, objective=objective, seed=seed)
+        ticket = f"req-{next(self._request_ids)}"
+        with self._lock:
+            self._tickets[ticket] = future
+        return ticket
+
+    def wait_result(self, ticket: str, timeout: float | None = None) -> CompilationResult:
+        """Block until the ticket's request resolves; the ticket is single-use."""
+        with self._lock:
+            future = self._tickets.get(ticket)
+        if future is None:
+            raise KeyError(f"unknown or already-collected request ticket {ticket!r}")
+        result = future.result(timeout)
+        with self._lock:
+            self._tickets.pop(ticket, None)
+        return result
+
+    def ping(self) -> str:
+        """Liveness probe for remote clients."""
+        return self.name
+
+    # -- metrics ---------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Queue/cache/lane/latency counters for monitoring and benchmarks."""
+        with self._lock:
+            metrics = dict(self._metrics)
+            in_flight = len(self._inflight)
+            lanes = {name: lane.stats() for name, lane in self._lanes.items()}
+            unfinished = self._unfinished
+        completed = metrics["completed"]
+        return {
+            "name": self.name,
+            "submitted": metrics["submitted"],
+            "completed": completed,
+            "failed": metrics["failed"],
+            "cache_hits": metrics["cache_hits"],
+            "coalesced": metrics["coalesced"],
+            "queue_depth": self._queue.qsize(),
+            "in_flight": in_flight,
+            "unfinished": unfinished,
+            "latency": {
+                "mean_seconds": metrics["latency_total"] / completed if completed else 0.0,
+                "max_seconds": metrics["latency_max"],
+            },
+            "lanes": lanes,
+            "cache": self.cache.stats(),
+            "shared_cache": self._shared_store is not None,
+        }
+
+    # -- scheduler -------------------------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                break
+            try:
+                self._schedule(item)
+            except Exception as exc:  # noqa: BLE001 - a bad request must not kill the loop
+                self._finish(
+                    item,
+                    _failure_result(item.circuit, item.backend.name, item.objective, exc),
+                )
+
+    def _schedule(self, request: CompileRequest) -> None:
+        key = request.key()
+        hit = self.cache.get(key)
+        if hit is not None:
+            result = hit.with_objective(request.objective)
+            result.metadata = {**result.metadata, "cached": True}
+            with self._lock:
+                self._metrics["cache_hits"] += 1
+            self._finish(request, result)
+            return
+        with self._lock:
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                # Identical work is already running: ride on its result
+                # instead of occupying a second worker.
+                inflight[1].append(request)
+                self._metrics["coalesced"] += 1
+                return
+            self._inflight[key] = (request, [])
+        try:
+            self._dispatch(request, key)
+        except Exception:
+            # Lane creation / submission failed: release the in-flight slot
+            # (no follower can have attached yet — only this thread appends)
+            # and let the scheduler loop turn the error into a failure result.
+            with self._lock:
+                self._inflight.pop(key, None)
+            raise
+
+    def _lane_for(self, backend: CompilerBackend) -> _Lane:
+        # Lane creation happens on the scheduler thread *and* (for coalesced
+        # retries) on executor callback threads, while stats() iterates the
+        # lane map — every touch of self._lanes stays under the lock.
+        with self._lock:
+            lane = self._lanes.get(backend.name)
+        if lane is not None:
+            return lane
+        kind = "process" if backend.name in self._process_backends else "thread"
+        if kind == "process":
+            try:
+                pickle.dumps(backend)
+            except Exception as exc:
+                raise ValueError(
+                    f"backend {backend.name!r} cannot be pickled for its "
+                    f"process lane ({exc}); remove it from process_backends"
+                ) from exc
+        workers = self._lane_workers.get(backend.name, self._max_workers)
+        lane = _Lane(backend.name, kind, workers)
+        with self._lock:
+            # Another thread may have created the lane meanwhile: keep the
+            # registered one and drop ours.
+            existing = self._lanes.get(backend.name)
+            if existing is not None:
+                drop, lane = lane, existing
+            else:
+                self._lanes[backend.name] = lane
+                drop = None
+        if drop is not None:
+            drop.executor.shutdown(wait=False)
+        return lane
+
+    def _dispatch(self, request: CompileRequest, key: tuple) -> None:
+        lane = self._lane_for(request.backend)
+        store = self._shared_store if lane.kind == "process" else None
+        payload = (
+            request.circuit,
+            request.backend,
+            request.device,
+            request.objective,
+            request.seed,
+            key,
+            store,
+        )
+        with self._lock:
+            lane.dispatched += 1
+        worker_future = lane.executor.submit(_service_compile_task, payload)
+        worker_future.add_done_callback(lambda fut: self._on_computed(request, key, fut))
+
+    def _on_computed(self, request: CompileRequest, key: tuple, worker_future: Future) -> None:
+        try:
+            result = worker_future.result()
+        except Exception as exc:  # noqa: BLE001 - pool-level failure (e.g. broken pool)
+            result = _failure_result(request.circuit, request.backend.name, request.objective, exc)
+        if result.succeeded:
+            self.cache.put(key, result)
+        with self._lock:
+            _owner, followers = self._inflight.pop(key, (request, []))
+        self._finish(request, result)
+        for follower in followers:
+            if result.succeeded:
+                shared = result.with_objective(follower.objective)
+                shared.metadata = {**shared.metadata, "cached": True}
+                self._finish(follower, shared)
+            else:
+                # The owner failed (failures are never cached or shared):
+                # give each coalesced request its own attempt, matching
+                # compile_batch's duplicate handling.  No in-flight entry is
+                # registered, so the retries run independently.  This runs in
+                # an executor callback, where an escaping exception would be
+                # swallowed and the follower's future never resolved — e.g. a
+                # broken process pool failing the re-submit — so dispatch
+                # failures become failure results here.
+                try:
+                    self._dispatch(follower, key)
+                except Exception as exc:  # noqa: BLE001 - must resolve the future
+                    self._finish(
+                        follower,
+                        _failure_result(
+                            follower.circuit, follower.backend.name, follower.objective, exc
+                        ),
+                    )
+
+    def _finish(self, request: CompileRequest, result: CompilationResult) -> None:
+        try:
+            request.future.set_result(result)
+        except InvalidStateError:  # already failed by a drain=False shutdown
+            return
+        latency = perf_counter() - request.submitted_at if request.submitted_at else 0.0
+        with self._lock:
+            self._metrics["completed"] += 1
+            if not result.succeeded:
+                self._metrics["failed"] += 1
+            self._metrics["latency_total"] += latency
+            self._metrics["latency_max"] = max(self._metrics["latency_max"], latency)
+            self._unfinished -= 1
+            self._idle.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"CompileService({self.name!r}, lanes={sorted(self._lanes)}, {state})"

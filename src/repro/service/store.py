@@ -1,0 +1,153 @@
+"""Server-backed shared cache: one entry set visible from many processes.
+
+The in-process caches (:class:`~repro.pipeline.TransformCache`, the batch
+service's ``CompilationCache``) keep their entries in a private
+:class:`~repro.pipeline.DictStore` — invisible to worker processes, so a
+``ProcessPoolExecutor`` lane or an ``AsyncVectorEnv`` fleet recomputes what a
+sibling process already produced.  This module closes that gap:
+
+* :class:`CacheServer` hosts one :class:`~repro.pipeline.DictStore` in a
+  dedicated manager process and hands out connection credentials;
+* :class:`SharedCacheStore` is a picklable client implementing the
+  :class:`~repro.pipeline.CacheStore` protocol over that server.  Any cache
+  built with ``store=shared_store`` — in the parent, in a pool worker, in a
+  vec-env member process — reads and writes the *same* entries, and the
+  hit/miss/eviction counters aggregate across all of them (which is how the
+  service's cross-worker-hit metrics are measured).
+
+Every ``get``/``put`` is one round trip to the server, so the shared store
+only pays off for values that are expensive to recompute — compiled circuits
+and compilation results, not micro-analyses.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing.managers import BaseManager
+from typing import Any
+
+from ..pipeline.properties import CacheStore, DictStore
+
+__all__ = ["CacheServer", "SharedCacheStore"]
+
+#: DictStore methods exposed through the manager proxy
+_STORE_METHODS = ("get", "put", "stats", "clear")
+
+#: the one store instance served by a cache-server process (set by the
+#: manager-process initializer, resolved by the registered ``store`` callable)
+_SERVER_STORE: DictStore | None = None
+
+
+def _init_server_store(maxsize: int) -> None:
+    global _SERVER_STORE
+    _SERVER_STORE = DictStore(maxsize)
+
+
+def _get_server_store() -> DictStore:
+    assert _SERVER_STORE is not None, "cache-server process not initialised"
+    return _SERVER_STORE
+
+
+class _StoreManager(BaseManager):
+    """Manager serving exactly one shared :class:`DictStore`."""
+
+
+_StoreManager.register("store", callable=_get_server_store, exposed=_STORE_METHODS)
+
+
+class SharedCacheStore(CacheStore):
+    """Picklable :class:`CacheStore` client of a :class:`CacheServer`.
+
+    Connects lazily (and per process — the proxy is dropped on pickling and
+    re-established on first use), so instances can be shipped to pool workers
+    and ``AsyncVectorEnv`` member processes as plain constructor arguments.
+    One instance is safe to use from multiple threads: manager proxies keep
+    one connection per thread.
+    """
+
+    def __init__(self, address: tuple, authkey: bytes):
+        self.address = tuple(address)
+        self.authkey = bytes(authkey)
+        self._proxy = None
+
+    def _store(self):
+        if self._proxy is None:
+            manager = _StoreManager(address=self.address, authkey=self.authkey)
+            manager.connect()
+            self._proxy = manager.store()
+        return self._proxy
+
+    def get(self, key) -> Any:
+        return self._store().get(key)
+
+    def put(self, key, value) -> None:
+        self._store().put(key, value)
+
+    def stats(self) -> dict[str, float]:
+        return self._store().stats()
+
+    def clear(self) -> None:
+        self._store().clear()
+
+    # -- pickling: ship credentials, reconnect on the other side ---------------------
+
+    def __getstate__(self) -> dict:
+        return {"address": self.address, "authkey": self.authkey}
+
+    def __setstate__(self, state: dict) -> None:
+        self.address = state["address"]
+        self.authkey = state["authkey"]
+        self._proxy = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedCacheStore(address={self.address!r})"
+
+
+class CacheServer:
+    """A cache server process hosting one shared LRU store.
+
+    Starts a manager process owning a :class:`~repro.pipeline.DictStore` and
+    hands out :class:`SharedCacheStore` clients::
+
+        with CacheServer(maxsize=4096) as server:
+            cache = CompilationCache(store=server.store())
+            ...  # every process holding a store client shares the entries
+
+    The server lives until :meth:`shutdown` (or context-manager exit); client
+    stores created from it keep working across ``fork``/``spawn`` because
+    they carry only the address and authkey.
+    """
+
+    def __init__(self, maxsize: int = 4096, *, address: tuple = ("127.0.0.1", 0)):
+        self._authkey = os.urandom(16)
+        self._manager = _StoreManager(address=address, authkey=self._authkey)
+        self._manager.start(initializer=_init_server_store, initargs=(maxsize,))
+        self.address = self._manager.address
+        self.maxsize = maxsize
+        self._running = True
+
+    def store(self) -> SharedCacheStore:
+        """A new picklable client of this server's store."""
+        if not self._running:
+            raise RuntimeError("CacheServer is shut down")
+        return SharedCacheStore(self.address, self._authkey)
+
+    def stats(self) -> dict[str, float]:
+        """The server-side counters (aggregated over every client)."""
+        return self.store().stats()
+
+    def shutdown(self) -> None:
+        """Stop the server process (idempotent)."""
+        if self._running:
+            self._running = False
+            self._manager.shutdown()
+
+    def __enter__(self) -> "CacheServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self._running else "stopped"
+        return f"CacheServer(address={self.address!r}, {state})"
