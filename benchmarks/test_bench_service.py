@@ -14,6 +14,10 @@ numbers to ``benchmarks/results/BENCH_service.json``:
   workload (served almost entirely from the shared cache).  The ratio is
   the headline number: it is what a compile-once/reuse-everywhere
   deployment gains from the shared cache.
+* **Priority latency** — a saturated single-worker lane fed a mix of
+  interactive (priority 5) and batch (priority 0) requests; per-class
+  p50/p95 latency quantifies what the QoS scheduler buys an interactive
+  caller over FIFO.
 
 ``REPRO_BENCH_SMOKE=1`` shrinks the workload so CI keeps the artifact fresh
 without burning minutes.
@@ -26,6 +30,8 @@ import os
 import threading
 import time
 from pathlib import Path
+
+import numpy as np
 
 from repro.bench import benchmark_circuit
 from repro.service import CompileService, ServiceClient
@@ -136,3 +142,75 @@ def test_service_throughput_cold_vs_warm():
                 f"warm shared cache delivered only x{entry['warm_over_cold']:.2f} "
                 f"over cold compilation at {n_clients} clients"
             )
+
+
+def test_priority_latency_series():
+    """Per-priority-class latency (p50/p95) under a saturated one-worker lane.
+
+    Interleaves batch (priority 0) and interactive (priority 5) requests —
+    distinct seeds, so nothing is served by the cache or coalescing — against
+    a lane pinned at one worker, and records how much queue-jumping buys the
+    interactive class.
+    """
+    n_per_class = 12 if SMOKE else 40
+    circuit = benchmark_circuit("ghz", 4 if SMOKE else 6)
+    classes = {"batch": 0, "interactive": 5}
+    latencies: dict[str, list[float]] = {name: [] for name in classes}
+    lock = threading.Lock()
+
+    with CompileService(max_workers=1, autoscale=False) as service:
+
+        def record(name: str, submitted: float):
+            def callback(_future) -> None:
+                with lock:
+                    latencies[name].append(time.perf_counter() - submitted)
+
+            return callback
+
+        futures = []
+        for index in range(n_per_class):
+            # Interleave the classes so neither gets a submission-order edge.
+            for name, priority in classes.items():
+                seed = index * len(classes) + priority  # unique per request
+                submitted = time.perf_counter()
+                future = service.submit(
+                    circuit,
+                    "qiskit-o1",
+                    device="ibmq_washington",
+                    seed=seed,
+                    priority=priority,
+                )
+                future.add_done_callback(record(name, submitted))
+                futures.append(future)
+        for future in futures:
+            assert future.result(timeout=600).succeeded
+        stats = service.stats()
+
+    series = {}
+    for name in classes:
+        samples = np.asarray(latencies[name])
+        series[name] = {
+            "priority": classes[name],
+            "requests": len(samples),
+            "p50_seconds": round(float(np.percentile(samples, 50)), 4),
+            "p95_seconds": round(float(np.percentile(samples, 95)), 4),
+            "mean_seconds": round(float(samples.mean()), 4),
+        }
+    series["interactive_speedup_p50"] = round(
+        series["batch"]["p50_seconds"] / max(series["interactive"]["p50_seconds"], 1e-9), 2
+    )
+    _write_results({"priority_latency": series})
+    report(
+        f"\npriority latency (1-worker lane): interactive p50 "
+        f"{series['interactive']['p50_seconds']:.3f}s vs batch p50 "
+        f"{series['batch']['p50_seconds']:.3f}s "
+        f"(x{series['interactive_speedup_p50']:.1f})"
+    )
+
+    assert len(latencies["batch"]) == len(latencies["interactive"]) == n_per_class
+    assert stats["deadline_exceeded"] == 0
+    # The whole point of the priority queue: the interactive class must not
+    # wait behind the batch class on a saturated lane.
+    assert (
+        series["interactive"]["p50_seconds"] <= series["batch"]["p50_seconds"]
+    ), "priority scheduling gave interactive requests no latency edge"

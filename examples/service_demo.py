@@ -7,7 +7,8 @@ Run with::
 Starts an in-process :class:`repro.service.CompileService`, has three
 concurrent clients submit overlapping work, and prints the service metrics —
 the overlap is served by the shared cache and in-flight coalescing instead of
-being recompiled.  The second half shows the server-backed shared cache: two
+being recompiled.  The second half shows the QoS surface (priorities,
+deadlines, autoscale events) and the server-backed shared cache: two
 *separate* services (as two processes would) share compilation results
 through one :class:`repro.service.CacheServer`.
 
@@ -66,7 +67,36 @@ def main() -> None:
         print(f"  lanes: {stats['lanes']}")
         print(f"  cache: {stats['cache']}")
 
-    print("\n2. Two services sharing one cache server (as two processes would):")
+    print("\n2. Quality of service — priorities, deadlines, autoscaling:")
+    with CompileService(max_workers=4, autoscale_interval=0.05) as service:
+        client = ServiceClient(service)
+        batch = client.submit_many(
+            circuits, backend="qiskit-o3", device="ibmq_washington", priority=0
+        )
+        urgent = client.submit(
+            circuits[-1], "tket-o2", device="ibmq_washington", priority=10
+        )
+        cached_only = client.submit(
+            circuits[0], "qiskit-o3-iter", device="ibmq_washington", deadline=0
+        )
+        expired = cached_only.result()
+        print(
+            f"  deadline=0 request expired without compiling: "
+            f"succeeded={expired.succeeded}, "
+            f"deadline_exceeded={expired.metadata.get('deadline_exceeded', False)}"
+        )
+        print(f"  urgent (priority 10) reward: {urgent.result().reward:.4f}")
+        for future in batch:
+            future.result()
+        stats = service.stats()
+        scaler = stats["autoscaler"]
+        print(
+            f"  autoscaler: {scaler['scale_ups']} scale-ups, "
+            f"{scaler['scale_downs']} scale-downs, "
+            f"{stats['deadline_exceeded']} deadline expiries"
+        )
+
+    print("\n3. Two services sharing one cache server (as two processes would):")
     with CacheServer(maxsize=1024) as server:
         with CompileService(store=server.store()) as first:
             first.submit(circuits[0], "qiskit-o3", device="ibmq_washington").result()

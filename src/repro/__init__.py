@@ -58,6 +58,7 @@ from .devices import Device, get_device, list_devices
 from .pipeline import (
     AnalysisCache,
     CacheStore,
+    CostAwareStore,
     DictStore,
     LruCache,
     PassManager,
@@ -67,7 +68,14 @@ from .pipeline import (
 )
 from .reward import combined_reward, critical_depth_reward, expected_fidelity
 from .rl import AsyncVectorEnv, SyncVectorEnv, VectorEnv, make_compilation_vec_env
-from .service import CacheServer, CompileService, ServiceClient, SharedCacheStore
+from .service import (
+    CacheServer,
+    CompileService,
+    DeadlineExceeded,
+    ServiceClient,
+    ServiceTimeout,
+    SharedCacheStore,
+)
 
 __all__ = [
     "__version__",
@@ -101,6 +109,7 @@ __all__ = [
     "AnalysisCache",
     "TransformCache",
     "CacheStore",
+    "CostAwareStore",
     "DictStore",
     "LruCache",
     "preset_pass_manager",
@@ -109,6 +118,8 @@ __all__ = [
     "ServiceClient",
     "CacheServer",
     "SharedCacheStore",
+    "DeadlineExceeded",
+    "ServiceTimeout",
     # vectorised environment fleets (rollout collection at fleet throughput)
     "VectorEnv",
     "SyncVectorEnv",

@@ -237,6 +237,8 @@ def compile_batch(
     executor: str = "thread",
     cache: CompilationCache | None = _DEFAULT_CACHE,
     service=None,
+    priority: int = 0,
+    deadline: float | None = None,
 ) -> BatchResult:
     """Compile every circuit with every backend, with caching and error capture.
 
@@ -268,6 +270,11 @@ def compile_batch(
         ``executor="service"``; when omitted, a temporary service is started
         for the sweep and drained afterwards.  Only valid with
         ``executor="service"``.
+    priority, deadline:
+        QoS fields forwarded to every service submission (higher priority
+        runs first; a request that waits past ``deadline`` seconds resolves
+        to a ``DeadlineExceeded`` failure result).  Only valid with
+        ``executor="service"``.
 
     Returns a :class:`BatchResult` in circuit-major order: for circuits
     ``[c0, c1]`` and backends ``[a, b]`` the results are
@@ -279,6 +286,8 @@ def compile_batch(
         )
     if service is not None and executor != "service":
         raise ValueError("the `service` argument requires executor='service'")
+    if (priority != 0 or deadline is not None) and executor != "service":
+        raise ValueError("priority/deadline require executor='service'")
     circuit_list = list(circuits)
     specs = list(backends)
     if not specs:
@@ -300,7 +309,11 @@ def compile_batch(
     # Serve cache hits up front (always in the parent process), then fan the
     # misses out over the chosen worker pool.  Duplicate (circuit, backend)
     # pairs inside one sweep compile once; the copies are served like cache
-    # hits after the owner's result lands.
+    # hits after the owner's result lands.  The service executor skips the
+    # parent-side dedup entirely: the service's own in-flight coalescing does
+    # the same job while keeping the QoS semantics (a duplicate whose owner
+    # expired gets its own deadline verdict, not a synchronous parent-thread
+    # recompile with no deadline at all).
     results: list[CompilationResult | None] = [None] * len(tasks)
     pending: list[int] = []
     key_owner: dict[tuple, int] = {}
@@ -314,11 +327,12 @@ def compile_batch(
                 result.metadata = {**result.metadata, "cached": True}
                 results[position] = result
                 continue
-        owner = key_owner.get(key)
-        if owner is not None:
-            duplicates.append((position, owner))
-            continue
-        key_owner[key] = position
+        if executor != "service":
+            owner = key_owner.get(key)
+            if owner is not None:
+                duplicates.append((position, owner))
+                continue
+            key_owner[key] = position
         pending.append(position)
 
     payloads = [
@@ -341,6 +355,8 @@ def compile_batch(
                     device=target,
                     objective=objective,
                     seed=seed,
+                    priority=priority,
+                    deadline=deadline,
                 )
                 for position in pending
             ]
@@ -369,7 +385,7 @@ def compile_batch(
         results[position] = result
         _ci, circuit, backend = tasks[position]
         if cache is not None and result.succeeded:
-            cache.put(cache_key(circuit, backend), result)
+            cache.put(cache_key(circuit, backend), result, result.wall_time or None)
     for position, owner in duplicates:
         owned = results[owner]
         if owned is not None and owned.succeeded:

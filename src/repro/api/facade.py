@@ -51,6 +51,8 @@ def compile(  # noqa: A001 - deliberate: the facade mirrors the paper's `compile
     objective: str = "fidelity",
     seed: int = 0,
     service=None,
+    priority: int = 0,
+    deadline: float | None = None,
 ) -> CompilationResult:
     """Compile ``circuit`` with ``backend`` and return the unified result.
 
@@ -77,12 +79,27 @@ def compile(  # noqa: A001 - deliberate: the facade mirrors the paper's `compile
         the service (serving from its shared cache, scheduling onto its
         worker pools) and this call blocks on the result.  ``None`` (the
         default) compiles in the calling thread.
+    priority:
+        Service-queue priority (higher runs first); only meaningful with
+        ``service``.
+    deadline:
+        Seconds the request may wait in the service queues before it is
+        expired into a ``DeadlineExceeded`` failure result; only meaningful
+        with ``service``.
     """
     if service is not None:
         future = service.submit(
-            circuit, backend, device=device, objective=objective, seed=seed
+            circuit,
+            backend,
+            device=device,
+            objective=objective,
+            seed=seed,
+            priority=priority,
+            deadline=deadline,
         )
         return future.result()
+    if priority != 0 or deadline is not None:
+        raise ValueError("priority/deadline require the `service` argument")
     resolved = resolve_backend(backend)
     target = get_device(device) if isinstance(device, str) else device
     start = perf_counter()

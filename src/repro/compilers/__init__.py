@@ -15,6 +15,7 @@ from .presets import (
     compile_tket_style,
     preset_pass_manager,
     qiskit_pipeline,
+    run_preset_manager,
     tket_pipeline,
 )
 
@@ -26,5 +27,6 @@ __all__ = [
     "compile_tket_style",
     "preset_pass_manager",
     "qiskit_pipeline",
+    "run_preset_manager",
     "tket_pipeline",
 ]

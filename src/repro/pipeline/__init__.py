@@ -15,6 +15,7 @@ from .properties import (
     AnalysisCache,
     AnalysisPass,
     CacheStore,
+    CostAwareStore,
     DagAnalysis,
     DictStore,
     FeatureVectorAnalysis,
@@ -33,6 +34,7 @@ __all__ = [
     "Stage",
     "AnalysisCache",
     "CacheStore",
+    "CostAwareStore",
     "DictStore",
     "LruCache",
     "TransformCache",

@@ -39,6 +39,7 @@ __all__ = [
     "PropertySet",
     "AnalysisCache",
     "CacheStore",
+    "CostAwareStore",
     "DictStore",
     "LruCache",
     "TransformCache",
@@ -306,8 +307,15 @@ class CacheStore(ABC):
         """The cached value for ``key``, or ``None`` (counted as hit/miss)."""
 
     @abstractmethod
-    def put(self, key, value) -> None:
-        """Insert ``key`` → ``value``, evicting per the store's policy."""
+    def put(self, key, value, cost: float | None = None) -> None:
+        """Insert ``key`` → ``value``, evicting per the store's policy.
+
+        ``cost`` is the observed price of recomputing the value (compile
+        wall-time in seconds for compilation results).  Stores whose eviction
+        policy is cost-blind (:class:`DictStore`) ignore it;
+        :class:`CostAwareStore` uses it to evict cheap-to-recompute entries
+        first.
+        """
 
     @abstractmethod
     def stats(self) -> dict[str, float]:
@@ -342,7 +350,7 @@ class DictStore(CacheStore):
             self.hits += 1
             return result
 
-    def put(self, key, value) -> None:
+    def put(self, key, value, cost: float | None = None) -> None:
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
@@ -371,6 +379,158 @@ class DictStore(CacheStore):
             return len(self._entries)
 
 
+class CostAwareStore(CacheStore):
+    """Thread-safe store that evicts cheap-to-recompute entries first.
+
+    Pure LRU treats a 2-second ``best-of`` compilation and a 2-millisecond
+    ``qiskit-o0`` one as equally worth keeping; under capacity pressure that
+    throws away exactly the entries that hurt most to lose.  This store keeps,
+    per entry, the observed cost of recomputing it (compile wall-time in
+    seconds, taken from ``cost=`` or inferred from the value's ``wall_time``
+    attribute) and a last-touched tick, and scores residents as::
+
+        score = cost / (1 + age_in_accesses)
+
+    On overflow the lowest-scoring entry is evicted — a cheap stale entry goes
+    long before an expensive one — with one guarantee on top of the scoring:
+    the most recently touched entry of the highest cost tier is never evicted,
+    so the most expensive resident always survives an eviction no matter how
+    the scores fall.  (Only that one representative is protected: stale
+    entries that merely *tie* the maximum cost age out like everything else.)
+
+    Drop-in for :class:`DictStore` anywhere a :class:`CacheStore` is accepted:
+    ``CompilationCache(store=CostAwareStore(...))``,
+    ``TransformCache(store=...)``, or server-side behind a
+    :class:`repro.service.CacheServer` (``policy="cost"``).
+    """
+
+    def __init__(self, maxsize: int = 2048, *, default_cost: float = 1.0):
+        self.maxsize = maxsize
+        self.default_cost = default_cost
+        self._lock = threading.Lock()
+        #: key -> [value, cost, last_touched_tick]
+        self._entries: dict[Any, list] = {}
+        self._tick = 0
+        # The max-cost tier is tracked incrementally so an eviction is a
+        # single scan and puts below capacity stay O(1).  Max-cost entries
+        # only leave through overwrites, the all-tie fallback, or clear() —
+        # never through scored eviction — which keeps the counters exact.
+        self._max_cost = 0.0
+        self._max_count = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.cost_evicted = 0.0
+
+    def _score(self, entry: list) -> float:
+        return entry[1] / (1 + (self._tick - entry[2]))
+
+    def get(self, key):
+        with self._lock:
+            entry = self._entries.get(key)
+            self._tick += 1
+            if entry is None:
+                self.misses += 1
+                return None
+            entry[2] = self._tick
+            self.hits += 1
+            return entry[0]
+
+    def put(self, key, value, cost: float | None = None) -> None:
+        if cost is None:
+            cost = getattr(value, "wall_time", None) or self.default_cost
+        cost = float(cost)
+        with self._lock:
+            self._tick += 1
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                # Settle the old entry's tier accounting with the entry fully
+                # removed, so a recompute never sees old and new at once.
+                self._drop_from_max_tier(previous[1])
+            self._entries[key] = [value, cost, self._tick]
+            if cost > self._max_cost:
+                self._max_cost = cost
+                self._max_count = 1
+            elif cost == self._max_cost:
+                self._max_count += 1
+            while len(self._entries) > self.maxsize:
+                self._evict_one()
+
+    def _drop_from_max_tier(self, cost: float) -> None:
+        """Account for a max-tier entry leaving (overwrite or tie-fallback evict)."""
+        if cost == self._max_cost:
+            self._max_count -= 1
+            if self._max_count == 0:
+                self._max_cost = max(
+                    (entry[1] for entry in self._entries.values()), default=0.0
+                )
+                self._max_count = sum(
+                    1 for entry in self._entries.values() if entry[1] == self._max_cost
+                )
+
+    def _evict_one(self) -> None:
+        """Evict the lowest-scoring entry, sparing the most expensive resident.
+
+        Exactly one max-cost entry — the most recently touched — is off
+        limits, so "the most expensive entry" always survives an eviction.
+        Protecting only one representative (not the whole tie tier) matters:
+        stale expensive ties age out normally, and a cheap newcomer facing a
+        store full of expensive entries is only rejected until their scores
+        decay below its own, never permanently.
+        """
+        protected = None
+        protected_tick = -1
+        for key, entry in self._entries.items():
+            if entry[1] == self._max_cost and entry[2] > protected_tick:
+                protected, protected_tick = key, entry[2]
+        candidates = [key for key in self._entries if key != protected]
+        if candidates:
+            victim = min(candidates, key=lambda key: self._score(self._entries[key]))
+        else:
+            # The protected entry is the only resident (maxsize 0, or an
+            # overflow of a 0-capacity store): there is nothing else to give.
+            victim = protected
+        entry = self._entries.pop(victim)
+        self._drop_from_max_tier(entry[1])
+        self.cost_evicted += entry[1]
+        self.evictions += 1
+
+    def snapshot(self) -> dict[Any, tuple[float, int]]:
+        """``{key: (cost, last_touched_tick)}`` for the current residents.
+
+        Introspection for monitoring and the property-test suite; does not
+        touch recency or the hit/miss counters.
+        """
+        with self._lock:
+            return {key: (entry[1], entry[2]) for key, entry in self._entries.items()}
+
+    def stats(self) -> dict[str, float]:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / total if total else 0.0,
+                "cost_evicted": self.cost_evicted,
+                "resident_cost": sum(entry[1] for entry in self._entries.values()),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._tick = 0
+            self._max_cost = 0.0
+            self._max_count = 0
+            self.hits = self.misses = self.evictions = 0
+            self.cost_evicted = 0.0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
 class LruCache:
     """Key/value cache with hit/miss/eviction bookkeeping and pluggable storage.
 
@@ -392,8 +552,8 @@ class LruCache:
     def get(self, key):
         return self.store.get(key)
 
-    def put(self, key, value) -> None:
-        self.store.put(key, value)
+    def put(self, key, value, cost: float | None = None) -> None:
+        self.store.put(key, value, cost)
 
     @property
     def hits(self) -> int:

@@ -3,10 +3,14 @@
 This package turns the one-shot compilation facilities (``repro.compile``,
 ``repro.compile_batch``) into a long-lived server:
 
-* :class:`CompileService` — request queue, scheduler, per-backend worker
-  pools (thread lanes for in-process backends, process lanes reusing the
-  batch executor's pickled-task machinery), request coalescing, and
-  hit/miss/queue-depth/latency metrics via :meth:`CompileService.stats`.
+* :class:`CompileService` — QoS request queue (per-request ``priority`` and
+  ``deadline``; expired requests resolve to structured
+  :class:`DeadlineExceeded` failure results without occupying a worker),
+  scheduler, autoscaled per-backend worker lanes (thread lanes for
+  in-process backends, process lanes reusing the batch executor's
+  pickled-task machinery), request coalescing, and
+  hit/miss/queue-depth/latency/autoscale metrics via
+  :meth:`CompileService.stats`.
 * :class:`CacheServer` / :class:`SharedCacheStore` — a cache server process
   plus picklable store clients, so pool workers, other services and
   ``AsyncVectorEnv`` members share ``CompilationCache`` / ``TransformCache``
@@ -28,15 +32,17 @@ Quickstart::
 
 from __future__ import annotations
 
-from .client import ServiceClient, ServiceManager
-from .service import CompileRequest, CompileService
+from .client import ServiceClient, ServiceManager, ServiceTimeout
+from .service import CompileRequest, CompileService, DeadlineExceeded
 from .store import CacheServer, SharedCacheStore
 
 __all__ = [
     "CacheServer",
     "CompileRequest",
     "CompileService",
+    "DeadlineExceeded",
     "ServiceClient",
     "ServiceManager",
+    "ServiceTimeout",
     "SharedCacheStore",
 ]

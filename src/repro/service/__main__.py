@@ -40,7 +40,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="hex-encoded shared secret (default: freshly generated and printed)",
     )
     parser.add_argument(
-        "--max-workers", type=int, default=2, help="worker threads/processes per backend lane"
+        "--max-workers",
+        type=int,
+        default=2,
+        help="upper worker bound per backend lane (the autoscaler grows lanes "
+        "toward it under load)",
+    )
+    parser.add_argument(
+        "--min-workers",
+        type=int,
+        default=1,
+        help="lower worker bound per backend lane (idle lanes shrink back to it)",
+    )
+    parser.add_argument(
+        "--no-autoscale",
+        action="store_true",
+        help="pin every lane at --max-workers instead of autoscaling",
+    )
+    parser.add_argument(
+        "--autoscale-interval",
+        type=float,
+        default=0.25,
+        help="seconds between lane-supervisor sweeps",
     )
     parser.add_argument(
         "--process-backends",
@@ -49,6 +70,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--cache-size", type=int, default=4096, help="capacity of the shared result cache"
+    )
+    parser.add_argument(
+        "--cache-policy",
+        choices=("lru", "cost"),
+        default="lru",
+        help="result-cache eviction policy: pure LRU, or cost-aware (keeps "
+        "expensive compilations resident, evicts cheap-to-recompute entries first)",
     )
     parser.add_argument(
         "--shared-cache",
@@ -66,11 +94,21 @@ def main(argv: list[str] | None = None) -> int:
         name.strip() for name in args.process_backends.split(",") if name.strip()
     )
 
-    cache_server = CacheServer(args.cache_size) if args.shared_cache else None
+    cache_server = (
+        CacheServer(args.cache_size, policy=args.cache_policy) if args.shared_cache else None
+    )
+    store = cache_server.store() if cache_server else None
+    if store is None and args.cache_policy == "cost":
+        from ..pipeline.properties import CostAwareStore
+
+        store = CostAwareStore(args.cache_size)
     service = CompileService(
-        store=cache_server.store() if cache_server else None,
+        store=store,
         process_backends=process_backends,
         max_workers=args.max_workers,
+        min_workers=args.min_workers,
+        autoscale=not args.no_autoscale,
+        autoscale_interval=args.autoscale_interval,
         cache_size=args.cache_size,
     )
 

@@ -19,7 +19,9 @@ One client class covers both deployment shapes:
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from multiprocessing.managers import BaseManager
 from typing import TYPE_CHECKING
 
@@ -30,7 +32,34 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..circuit.circuit import QuantumCircuit
     from ..devices.device import Device
 
-__all__ = ["ServiceClient", "ServiceManager"]
+__all__ = ["ServiceClient", "ServiceManager", "ServiceTimeout"]
+
+# On 3.11+ concurrent.futures.TimeoutError *is* the builtin TimeoutError; on
+# 3.10 they are distinct classes, and existing callers may catch either one.
+_TIMEOUT_BASES = (
+    (TimeoutError,)
+    if FutureTimeoutError is TimeoutError
+    else (TimeoutError, FutureTimeoutError)
+)
+
+
+class ServiceTimeout(*_TIMEOUT_BASES):
+    """A :meth:`ServiceClient.result` wait elapsed before the request resolved.
+
+    Unlike the bare ``concurrent.futures.TimeoutError`` it replaces, the
+    exception records the service state at expiry: :attr:`queue_depth` (how
+    many requests were still waiting, ``None`` if the service was
+    unreachable) tells the caller whether the service is backlogged or the
+    single request is slow.
+    """
+
+    def __init__(self, timeout: float, queue_depth: int | None):
+        self.timeout = timeout
+        self.queue_depth = queue_depth
+        depth = "unknown" if queue_depth is None else str(queue_depth)
+        super().__init__(
+            f"no result within {timeout:g}s (queue depth {depth} at expiry)"
+        )
 
 
 class ServiceManager(BaseManager):
@@ -77,18 +106,33 @@ class ServiceClient:
         device: "Device | str | None" = None,
         objective: str = "fidelity",
         seed: int = 0,
+        priority: int = 0,
+        deadline: float | None = None,
     ) -> Future:
-        """Submit one compilation; returns a future of its ``CompilationResult``."""
+        """Submit one compilation; returns a future of its ``CompilationResult``.
+
+        ``priority`` (higher first) and ``deadline`` (seconds; expired
+        requests resolve to a ``DeadlineExceeded`` failure result) ride along
+        to the service — the semantics are identical in-process and remote.
+        """
         if self._service is not None:
             return self._service.submit(
-                circuit, backend, device=device, objective=objective, seed=seed
+                circuit,
+                backend,
+                device=device,
+                objective=objective,
+                seed=seed,
+                priority=priority,
+                deadline=deadline,
             )
         if not isinstance(backend, str):
             # Remote services resolve names against their own registry;
             # instances generally do not round-trip.
             backend = getattr(backend, "name", backend)
         device_name = device if isinstance(device, str) or device is None else device.name
-        ticket = self._proxy.submit_request(circuit, backend, device_name, objective, seed)
+        ticket = self._proxy.submit_request(
+            circuit, backend, device_name, objective, seed, priority, deadline
+        )
         assert self._waiters is not None
         return self._waiters.submit(self._proxy.wait_result, ticket)
 
@@ -100,16 +144,59 @@ class ServiceClient:
         device: "Device | str | None" = None,
         objective: str = "fidelity",
         seed: int = 0,
+        priority: int = 0,
+        deadline: float | None = None,
     ) -> list[Future]:
         """One future per circuit, in input order."""
         return [
-            self.submit(circuit, backend, device=device, objective=objective, seed=seed)
+            self.submit(
+                circuit,
+                backend,
+                device=device,
+                objective=objective,
+                seed=seed,
+                priority=priority,
+                deadline=deadline,
+            )
             for circuit in circuits
         ]
 
     def result(self, future: Future, timeout: float | None = None):
-        """Convenience: block on one future from :meth:`submit`/:meth:`submit_many`."""
-        return future.result(timeout)
+        """Block on one future from :meth:`submit`/:meth:`submit_many`.
+
+        A wait that outlives ``timeout`` raises :class:`ServiceTimeout`
+        carrying the service's queue depth at expiry, so callers can tell a
+        backlogged service from one slow request.
+        """
+        try:
+            return future.result(timeout)
+        except FutureTimeoutError:
+            raise ServiceTimeout(timeout, self._probe_queue_depth()) from None
+
+    def _probe_queue_depth(self) -> int | None:
+        """Best-effort queue depth for timeout diagnostics.
+
+        Remote stats are fetched on a throwaway daemon thread with a bounded
+        join: a wedged server must not turn a bounded ``result(timeout=...)``
+        into an unbounded hang while we gather the error message.
+        """
+        if self._service is not None:
+            try:
+                return self._service.stats()["queue_depth"]
+            except Exception:  # noqa: BLE001 - depth is best-effort diagnostics
+                return None
+        box: list = []
+
+        def probe() -> None:
+            try:
+                box.append(self._proxy.stats()["queue_depth"])
+            except Exception:  # noqa: BLE001 - depth is best-effort diagnostics
+                pass
+
+        thread = threading.Thread(target=probe, daemon=True)
+        thread.start()
+        thread.join(timeout=1.0)
+        return box[0] if box else None
 
     def stats(self) -> dict:
         """The service's metrics (queue depth, cache counters, lanes, latency)."""

@@ -1,30 +1,42 @@
-"""The compile server: request queue, per-backend worker pools, shared cache.
+"""The compile server: QoS request queue, autoscaled worker lanes, shared cache.
 
 ``compile_batch`` fans one sweep out over one pool and returns when the sweep
 is done; a *service* accepts requests from many concurrent clients, keeps its
 pools warm between them, and shares one result cache across everything it
 compiles.  :class:`CompileService` is that subsystem:
 
-* **Request queue + scheduler** — every ``submit()`` enqueues a
-  :class:`CompileRequest`; a scheduler thread pops requests, serves cache
-  hits immediately, coalesces requests for work that is already in flight,
-  and dispatches the rest to per-backend worker pools.
-* **Per-backend lanes** — each backend gets its own worker pool, so a slow
-  backend (``best-of``, an RL predictor) cannot starve the cheap preset
-  lanes.  In-process backends run on a ``ThreadPoolExecutor``; backends
-  listed in ``process_backends`` run on a ``ProcessPoolExecutor`` lane that
-  reuses the pickled-task machinery of ``compile_batch(executor="process")``.
+* **Priority request queue + scheduler** — every ``submit()`` enqueues a
+  :class:`CompileRequest` carrying a ``priority`` (higher runs first) and an
+  optional ``deadline`` (seconds; a request that cannot start in time is
+  expired into a structured :class:`DeadlineExceeded` failure result instead
+  of compiling).  A scheduler thread pops requests in priority order, serves
+  cache hits immediately, coalesces requests for work that is already in
+  flight, and dispatches the rest to per-backend worker lanes.
+* **Autoscaled per-backend lanes** — each backend gets its own lane: a
+  priority queue drained by worker threads, so a slow backend (``best-of``,
+  an RL predictor) cannot starve the cheap preset lanes and a high-priority
+  request overtakes queued low-priority ones even inside a saturated lane.
+  A supervisor watches queue depth and busy workers and grows/shrinks each
+  lane between ``min_workers`` and ``max_workers``; scale events are
+  surfaced in ``stats()["autoscaler"]``.  In-process backends compile on the
+  worker thread; backends listed in ``process_backends`` are forwarded to a
+  ``ProcessPoolExecutor`` that reuses the pickled-task machinery of
+  ``compile_batch(executor="process")``.
 * **Server-backed shared cache** — pass ``store=CacheServer().store()`` and
   the service cache lives behind a cache server: process-lane workers check
   and fill it from inside their worker processes, and anything else holding
   a client of the same server (another service, an ``AsyncVectorEnv``
-  fleet) shares the entries too.
+  fleet) shares the entries too.  A cost-aware store
+  (:class:`~repro.pipeline.CostAwareStore`) keeps expensive compilations
+  resident and evicts cheap-to-recompute entries first.
 * **Metrics** — ``stats()`` reports queue depth, in-flight count,
-  hit/miss/eviction counters, coalescing, per-lane dispatch counts, and
-  request latency, so benchmarks can measure the service instead of guessing.
+  hit/miss/eviction counters, coalescing, deadline expiries, per-lane worker
+  and dispatch counts, autoscale events, and request latency, so benchmarks
+  can measure the service instead of guessing.
 
 The service runs in-process; ``python -m repro.service`` exposes one over a
-``multiprocessing`` manager for remote :class:`~repro.service.ServiceClient`\\ s.
+``multiprocessing`` manager for remote :class:`~repro.service.ServiceClient`\\ s
+with identical priority/deadline semantics.
 """
 
 from __future__ import annotations
@@ -33,7 +45,7 @@ import itertools
 import pickle
 import threading
 import queue as queue_module
-from concurrent.futures import Future, InvalidStateError, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, InvalidStateError, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import TYPE_CHECKING
@@ -51,13 +63,43 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..devices.device import Device
     from ..pipeline.properties import CacheStore
 
-__all__ = ["CompileRequest", "CompileService", "SERVICE_RPC_METHODS"]
+__all__ = ["CompileRequest", "CompileService", "DeadlineExceeded", "SERVICE_RPC_METHODS"]
 
 #: CompileService methods exposed to remote clients through the manager
 SERVICE_RPC_METHODS = ("submit_request", "wait_result", "stats", "ping")
 
 #: scheduler-queue sentinel that stops the scheduler thread
 _STOP = object()
+
+#: lane-queue sentinel that retires exactly one lane worker
+_STOP_WORKER = object()
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request's deadline elapsed before a worker could start compiling it.
+
+    Never raised out of ``Future.result()`` — the service resolves the future
+    to a structured failure :class:`~repro.CompilationResult` whose ``error``
+    carries this exception's text and whose
+    ``metadata["deadline_exceeded"]`` is ``True``, matching how compilation
+    failures are captured.
+    """
+
+
+def _deadline_result(request: "CompileRequest") -> CompilationResult:
+    """The structured failure result for an expired request."""
+    waited = perf_counter() - request.submitted_at
+    result = _failure_result(
+        request.circuit,
+        request.backend.name,
+        request.objective,
+        DeadlineExceeded(
+            f"deadline of {request.deadline:.3f}s expired after {waited:.3f}s "
+            "before a worker picked the request up"
+        ),
+    )
+    result.metadata = {**result.metadata, "deadline_exceeded": True}
+    return result
 
 
 def _service_compile_task(payload: tuple) -> CompilationResult:
@@ -81,7 +123,7 @@ def _service_compile_task(payload: tuple) -> CompilationResult:
             return result
     result = _compile_task((circuit, backend, device, objective, seed))
     if store is not None and result.succeeded:
-        store.put(key, result)
+        store.put(key, result, result.wall_time or None)
     return result
 
 
@@ -94,60 +136,233 @@ class CompileRequest:
     device: "Device | None"
     objective: str
     seed: int
+    #: higher priorities are scheduled first; ties run in submission order
+    priority: int = 0
+    #: seconds the request may wait before it is expired (``None`` = forever)
+    deadline: float | None = None
     future: Future = field(default_factory=Future)
     submitted_at: float = 0.0
+    #: absolute ``perf_counter`` time at which the request expires
+    deadline_at: float | None = None
+    #: service-wide submission sequence number (priority-queue tie-breaker)
+    seq: int = 0
+    #: the priority the request is queued under (raised when a higher-priority
+    #: request coalesces onto it)
+    effective_priority: int = 0
+    #: set once a worker has claimed the request (guards boost duplicates)
+    started: bool = False
+    #: the lane the request was dispatched to (set by the scheduler)
+    lane: "object | None" = None
 
     def key(self) -> tuple:
         """The shared-cache key (the one scheme shared with ``compile_batch``)."""
         device_name = self.device.name if self.device is not None else None
         return result_cache_key(self.circuit, self.backend, device_name, self.seed)
 
+    def expired(self) -> bool:
+        return self.deadline_at is not None and perf_counter() >= self.deadline_at
+
+    def sort_key(self, seq: int | None = None) -> tuple:
+        return (-self.effective_priority, self.seq if seq is None else seq)
+
 
 class _Lane:
-    """One backend's worker pool plus its dispatch counter."""
+    """One backend's worker lane: a priority queue drained by its own threads.
 
-    def __init__(self, backend_name: str, kind: str, max_workers: int):
+    Workers pull ``(request, key)`` entries in priority order and compile
+    in-thread (``kind="thread"``) or forward the payload to the shared
+    ``ProcessPoolExecutor`` (``kind="process"``).  The lane scales between
+    ``min_workers`` and ``max_workers``: :meth:`set_target` spawns workers
+    immediately, while surplus workers retire themselves the next time they
+    poll an empty queue.
+    """
+
+    #: seconds an idle worker waits for work before re-checking its target
+    POLL_INTERVAL = 0.05
+
+    def __init__(
+        self,
+        service: "CompileService",
+        backend_name: str,
+        kind: str,
+        min_workers: int,
+        max_workers: int,
+    ):
+        self.service = service
         self.backend_name = backend_name
         self.kind = kind
+        self.min_workers = min_workers
         self.max_workers = max_workers
+        self.queue: queue_module.PriorityQueue = queue_module.PriorityQueue()
         self.dispatched = 0
-        if kind == "process":
-            self.executor: "ThreadPoolExecutor | ProcessPoolExecutor" = ProcessPoolExecutor(
-                max_workers=max_workers
-            )
-        else:
-            self.executor = ThreadPoolExecutor(
-                max_workers=max_workers, thread_name_prefix=f"svc-{backend_name}"
-            )
+        self.busy = 0
+        self.idle_ticks = 0
+        #: queue entries that are stale boost duplicates, not real work —
+        #: subtracted from the reported queue depth so stats() and the
+        #: autoscaler's backlog signal count each request once
+        self.phantom = 0
+        self._lock = threading.Lock()
+        self._alive = 0
+        self._target = 0
+        self._stopping = False
+        self._threads: list[threading.Thread] = []
+        self._stop_seq = itertools.count(1)
+        self.pool = (
+            ProcessPoolExecutor(max_workers=max_workers) if kind == "process" else None
+        )
+        self.set_target(min_workers)
+
+    # -- worker management -------------------------------------------------------------
+
+    def set_target(self, workers: int) -> int:
+        """Adjust the desired worker count (clamped to the lane's bounds).
+
+        Scaling up spawns threads immediately; scaling down lets surplus
+        workers retire on their next idle poll, so a busy lane never loses a
+        worker mid-compilation.  Returns the clamped target.
+        """
+        with self._lock:
+            workers = max(self.min_workers, min(self.max_workers, workers))
+            self._target = workers
+            # Retired workers leave their Thread objects behind: prune them so
+            # up/down cycles on a long-lived service don't accumulate forever.
+            self._threads = [t for t in self._threads if t.is_alive()]
+            while self._alive < workers and not self._stopping:
+                self._alive += 1
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"svc-{self.backend_name}-{len(self._threads)}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+            return workers
+
+    def counts(self) -> tuple[int, int, int]:
+        """``(alive, busy, target)`` under the lane lock."""
+        with self._lock:
+            return self._alive, self.busy, self._target
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                _key, item = self.queue.get(timeout=self.POLL_INTERVAL)
+            except queue_module.Empty:
+                with self._lock:
+                    if self._stopping or self._alive > self._target:
+                        self._alive -= 1
+                        return
+                continue
+            if item is _STOP_WORKER:
+                with self._lock:
+                    self._alive -= 1
+                return
+            request, key = item
+            with self._lock:
+                self.busy += 1
+            try:
+                self.service._execute(self, request, key)
+            except Exception as exc:  # noqa: BLE001 - a worker must never die
+                # Backstop: _execute resolves every expected failure itself;
+                # anything escaping here would otherwise kill the worker with
+                # _alive still counting it and the future unresolved.
+                if not request.future.done():
+                    self.service._finish(
+                        request,
+                        _failure_result(
+                            request.circuit, request.backend.name, request.objective, exc
+                        ),
+                    )
+            finally:
+                with self._lock:
+                    self.busy -= 1
+
+    # -- dispatch / teardown -----------------------------------------------------------
+
+    def enqueue(self, request: CompileRequest, key: tuple, *, seq: int | None = None) -> None:
+        self.queue.put((request.sort_key(seq), (request, key)))
+
+    def stop(self, *, wait: bool) -> None:
+        """Retire every worker (stop tokens jump the queue) and close the pool."""
+        with self._lock:
+            self._stopping = True
+            alive = self._alive
+        for _ in range(alive):
+            # Highest possible priority: workers stop before touching any
+            # request still queued behind the tokens.
+            self.queue.put(((float("-inf"), -next(self._stop_seq)), _STOP_WORKER))
+        for thread in self._threads:
+            thread.join(timeout=10)
+        if self.pool is not None:
+            self.pool.shutdown(wait=wait)
+
+    def drain_pending(self) -> list[tuple[CompileRequest, tuple]]:
+        """Pop every request the retired workers left behind (stale boosts excluded)."""
+        pending: list[tuple[CompileRequest, tuple]] = []
+        while True:
+            try:
+                _key, item = self.queue.get_nowait()
+            except queue_module.Empty:
+                return pending
+            if item is _STOP_WORKER:
+                continue
+            request, key = item
+            if not request.started and not request.future.done():
+                pending.append((request, key))
+
+    def queue_depth(self) -> int:
+        """Real pending requests: raw queue size minus stale boost duplicates."""
+        with self._lock:
+            return max(0, self.queue.qsize() - self.phantom)
 
     def stats(self) -> dict:
+        alive, busy, target = self.counts()
         return {
             "kind": self.kind,
+            "min_workers": self.min_workers,
             "max_workers": self.max_workers,
+            "workers": alive,
+            "target": target,
+            "busy": busy,
+            "queue_depth": self.queue_depth(),
             "dispatched": self.dispatched,
         }
 
 
 class CompileService:
-    """Concurrent compile server with a shared cache and per-backend pools.
+    """Concurrent compile server with QoS scheduling and a shared cache.
 
     Parameters
     ----------
     store:
         Optional :class:`~repro.pipeline.CacheStore` backing the service
         cache — pass :meth:`repro.service.CacheServer.store` to share entries
-        (and counters) across process boundaries.  Defaults to a private
-        in-process store.
+        (and counters) across process boundaries, or a
+        :class:`~repro.pipeline.CostAwareStore` to evict cheap-to-recompute
+        results first.  Defaults to a private in-process store.
     process_backends:
-        Backend names whose lane runs on a ``ProcessPoolExecutor`` (the
-        backend must be picklable; validated when the lane is created).
-        Everything else runs on a per-backend thread pool.
-    max_workers:
-        Worker count per lane (default 2).  ``lane_workers`` overrides it
-        per backend name.
+        Backend names whose lane forwards work to a ``ProcessPoolExecutor``
+        (the backend must be picklable; validated when the lane is created).
+        Everything else compiles on the lane's worker threads.
+    min_workers / max_workers:
+        Per-lane worker bounds.  Lanes start at ``min_workers``; the
+        autoscaler grows them toward ``max_workers`` under queue pressure and
+        shrinks them back when idle.  ``lane_workers`` overrides the *upper*
+        bound per backend name.
+    autoscale:
+        Run the lane supervisor (default).  With ``autoscale=False`` every
+        lane holds ``max_workers`` workers for its whole life (the pre-QoS
+        behaviour).
+    autoscale_interval:
+        Seconds between supervisor sweeps.
     cache_size:
         Capacity of the service cache when ``store`` is not given.
     """
+
+    #: idle supervisor sweeps before a lane is shrunk by one worker
+    SCALE_DOWN_AFTER = 2
+    #: bounded history of autoscale events surfaced in ``stats()``
+    MAX_SCALE_EVENTS = 256
 
     def __init__(
         self,
@@ -155,7 +370,10 @@ class CompileService:
         store: "CacheStore | None" = None,
         process_backends: tuple = (),
         max_workers: int = 2,
+        min_workers: int = 1,
         lane_workers: dict | None = None,
+        autoscale: bool = True,
+        autoscale_interval: float = 0.25,
         cache_size: int = 4096,
         name: str = "compile-service",
     ):
@@ -164,8 +382,11 @@ class CompileService:
         self._shared_store = store if isinstance(store, SharedCacheStore) else None
         self._process_backends = frozenset(process_backends)
         self._max_workers = max(1, max_workers)
+        self._min_workers = max(1, min(min_workers, self._max_workers))
         self._lane_workers = dict(lane_workers or {})
-        self._queue: queue_module.Queue = queue_module.Queue()
+        self.autoscale = autoscale
+        self.autoscale_interval = autoscale_interval
+        self._queue: queue_module.PriorityQueue = queue_module.PriorityQueue()
         self._lanes: dict[str, _Lane] = {}
         self._inflight: dict[tuple, tuple[CompileRequest, list[CompileRequest]]] = {}
         self._lock = threading.Lock()
@@ -178,15 +399,27 @@ class CompileService:
             "failed": 0,
             "cache_hits": 0,
             "coalesced": 0,
+            "deadline_exceeded": 0,
+            "scale_ups": 0,
+            "scale_downs": 0,
             "latency_total": 0.0,
             "latency_max": 0.0,
         }
+        self._scale_events: list[dict] = []
+        self._seq = itertools.count()
         self._request_ids = itertools.count(1)
         self._tickets: dict[str, Future] = {}
+        self._stop_event = threading.Event()
         self._scheduler = threading.Thread(
             target=self._scheduler_loop, name=f"{name}-scheduler", daemon=True
         )
         self._scheduler.start()
+        self._supervisor: threading.Thread | None = None
+        if autoscale:
+            self._supervisor = threading.Thread(
+                target=self._autoscale_loop, name=f"{name}-autoscaler", daemon=True
+            )
+            self._supervisor.start()
 
     # -- client API ------------------------------------------------------------------
 
@@ -198,39 +431,55 @@ class CompileService:
         device: "Device | str | None" = None,
         objective: str = "fidelity",
         seed: int = 0,
+        priority: int = 0,
+        deadline: float | None = None,
     ) -> Future:
         """Enqueue one compilation; the returned future resolves to its result.
 
-        Validation (unknown backend, unknown objective) happens here, in the
-        caller's thread, so bad requests fail fast instead of poisoning the
-        queue.  The future's result is always a
-        :class:`~repro.CompilationResult` — compilation failures are captured
-        as ``succeeded=False`` results, matching ``compile_batch``.
+        ``priority`` (higher first) decides the order requests leave the
+        queues; ``deadline`` (seconds from now) expires the request into a
+        :class:`DeadlineExceeded` failure result if no worker could start it
+        in time — ``deadline=0`` never reaches a worker at all.
+
+        Validation (unknown backend, unknown objective, negative deadline)
+        happens here, in the caller's thread, so bad requests fail fast
+        instead of poisoning the queue.  The future's result is always a
+        :class:`~repro.CompilationResult` — compilation failures and deadline
+        expiries are captured as ``succeeded=False`` results, matching
+        ``compile_batch``.
         """
-        with self._lock:
-            if self._closed:
-                raise RuntimeError(f"{self.name} is shut down")
-            self._unfinished += 1
-            self._metrics["submitted"] += 1
-        try:
-            resolved = resolve_backend(backend)
-            reward_function(objective)  # fail fast on unknown objectives
-            target = get_device(device) if isinstance(device, str) else device
-        except Exception:
-            with self._lock:
-                self._unfinished -= 1
-                self._metrics["submitted"] -= 1
-                self._idle.notify_all()
-            raise
+        if deadline is not None:
+            deadline = float(deadline)
+            if deadline < 0:
+                raise ValueError(f"deadline must be >= 0 seconds, got {deadline}")
+        priority = int(priority)
+        resolved = resolve_backend(backend)
+        reward_function(objective)  # fail fast on unknown objectives
+        target = get_device(device) if isinstance(device, str) else device
+        now = perf_counter()
         request = CompileRequest(
             circuit=circuit,
             backend=resolved,
             device=target,
             objective=objective,
             seed=seed,
-            submitted_at=perf_counter(),
+            priority=priority,
+            deadline=deadline,
+            effective_priority=priority,
+            submitted_at=now,
+            deadline_at=None if deadline is None else now + deadline,
+            seq=next(self._seq),
         )
-        self._queue.put(request)
+        # The closed-check and the enqueue share one critical section:
+        # shutdown() flips _closed under this lock *before* it drains the
+        # queue, so a request that passed the check is guaranteed to be
+        # visible to the drain loop — no future can slip through unresolved.
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"{self.name} is shut down")
+            self._unfinished += 1
+            self._metrics["submitted"] += 1
+            self._queue.put((request.sort_key(), request))
         return request.future
 
     def submit_many(
@@ -241,10 +490,20 @@ class CompileService:
         device: "Device | str | None" = None,
         objective: str = "fidelity",
         seed: int = 0,
+        priority: int = 0,
+        deadline: float | None = None,
     ) -> list[Future]:
         """Enqueue one request per circuit; futures come back in input order."""
         return [
-            self.submit(circuit, backend, device=device, objective=objective, seed=seed)
+            self.submit(
+                circuit,
+                backend,
+                device=device,
+                objective=objective,
+                seed=seed,
+                priority=priority,
+                deadline=deadline,
+            )
             for circuit in circuits
         ]
 
@@ -266,9 +525,8 @@ class CompileService:
         """Stop the service: refuse new work, optionally finish pending work.
 
         With ``drain=True`` (the default) every already-accepted request is
-        completed before the pools are torn down; with ``drain=False``
-        pending futures are cancelled/failed as the pools shut down.
-        Idempotent.
+        completed before the lanes are torn down; with ``drain=False``
+        pending futures are failed as the lanes shut down.  Idempotent.
         """
         with self._lock:
             if self._closed:
@@ -276,10 +534,15 @@ class CompileService:
             self._closed = True
         if drain:
             self.drain(timeout=timeout)
-        self._queue.put(_STOP)
+        self._stop_event.set()
+        self._queue.put(((float("-inf"), -1), _STOP))
         self._scheduler.join(timeout=10)
-        for lane in self._lanes.values():
-            lane.executor.shutdown(wait=drain)
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=5)
+        with self._lock:
+            lanes = list(self._lanes.values())
+        for lane in lanes:
+            lane.stop(wait=drain)
         # Fail any request that was still pending (drain=False teardown).
         with self._lock:
             pending = [owner for owner, _ in self._inflight.values()]
@@ -287,11 +550,13 @@ class CompileService:
             self._inflight.clear()
         while True:
             try:
-                item = self._queue.get_nowait()
+                _key, item = self._queue.get_nowait()
             except queue_module.Empty:
                 break
             if item is not _STOP:
                 pending.append(item)
+        for lane in lanes:
+            pending.extend(request for request, _key in lane.drain_pending())
         for request in pending + followers:
             if not request.future.done():
                 self._finish(
@@ -319,9 +584,23 @@ class CompileService:
         device: str | None = None,
         objective: str = "fidelity",
         seed: int = 0,
+        priority: int = 0,
+        deadline: float | None = None,
     ) -> str:
-        """``submit()`` for remote callers: returns a ticket id instead of a future."""
-        future = self.submit(circuit, backend, device=device, objective=objective, seed=seed)
+        """``submit()`` for remote callers: returns a ticket id instead of a future.
+
+        Carries the full QoS surface — remote clients get identical
+        priority/deadline semantics to in-process ones.
+        """
+        future = self.submit(
+            circuit,
+            backend,
+            device=device,
+            objective=objective,
+            seed=seed,
+            priority=priority,
+            deadline=deadline,
+        )
         ticket = f"req-{next(self._request_ids)}"
         with self._lock:
             self._tickets[ticket] = future
@@ -345,13 +624,17 @@ class CompileService:
     # -- metrics ---------------------------------------------------------------------
 
     def stats(self) -> dict:
-        """Queue/cache/lane/latency counters for monitoring and benchmarks."""
+        """Queue/cache/lane/latency/autoscaler counters for monitoring and benchmarks."""
         with self._lock:
             metrics = dict(self._metrics)
             in_flight = len(self._inflight)
             lanes = {name: lane.stats() for name, lane in self._lanes.items()}
             unfinished = self._unfinished
+            scale_events = list(self._scale_events)
         completed = metrics["completed"]
+        queue_depth = self._queue.qsize() + sum(
+            lane["queue_depth"] for lane in lanes.values()
+        )
         return {
             "name": self.name,
             "submitted": metrics["submitted"],
@@ -359,7 +642,8 @@ class CompileService:
             "failed": metrics["failed"],
             "cache_hits": metrics["cache_hits"],
             "coalesced": metrics["coalesced"],
-            "queue_depth": self._queue.qsize(),
+            "deadline_exceeded": metrics["deadline_exceeded"],
+            "queue_depth": queue_depth,
             "in_flight": in_flight,
             "unfinished": unfinished,
             "latency": {
@@ -367,6 +651,13 @@ class CompileService:
                 "max_seconds": metrics["latency_max"],
             },
             "lanes": lanes,
+            "autoscaler": {
+                "enabled": self.autoscale,
+                "interval_seconds": self.autoscale_interval,
+                "scale_ups": metrics["scale_ups"],
+                "scale_downs": metrics["scale_downs"],
+                "events": scale_events,
+            },
             "cache": self.cache.stats(),
             "shared_cache": self._shared_store is not None,
         }
@@ -375,7 +666,7 @@ class CompileService:
 
     def _scheduler_loop(self) -> None:
         while True:
-            item = self._queue.get()
+            _key, item = self._queue.get()
             if item is _STOP:
                 break
             try:
@@ -387,8 +678,14 @@ class CompileService:
                 )
 
     def _schedule(self, request: CompileRequest) -> None:
+        # The cache is consulted before the deadline: serving a hit occupies
+        # no worker, so even an already-expired request gets a free answer —
+        # that is what makes ``deadline=0`` the cache-or-nothing idiom.
         key = request.key()
-        hit = self.cache.get(key)
+        try:
+            hit = self.cache.get(key)
+        except Exception:  # noqa: BLE001 - a dead cache server degrades to a miss
+            hit = None
         if hit is not None:
             result = hit.with_objective(request.objective)
             result.metadata = {**result.metadata, "cached": True}
@@ -396,13 +693,34 @@ class CompileService:
                 self._metrics["cache_hits"] += 1
             self._finish(request, result)
             return
+        if request.expired():
+            # Expired with nothing cached (deadline=0 on a cold key lands
+            # here): the request never reaches a lane, let alone a worker.
+            self._expire(request)
+            return
         with self._lock:
             inflight = self._inflight.get(key)
             if inflight is not None:
                 # Identical work is already running: ride on its result
-                # instead of occupying a second worker.
-                inflight[1].append(request)
+                # instead of occupying a second worker.  A higher-priority
+                # follower must not wait at the owner's (lower) priority, so
+                # the owner is re-queued at the follower's priority — the
+                # ``started`` flag makes the original entry a no-op.
+                owner, followers = inflight
+                followers.append(request)
                 self._metrics["coalesced"] += 1
+                boost = (
+                    request.priority > owner.effective_priority
+                    and not owner.started
+                    and owner.lane is not None
+                )
+                if boost:
+                    owner.effective_priority = request.priority
+                    # The original entry becomes a stale duplicate once the
+                    # boosted copy (or it) is claimed: count one phantom.
+                    with owner.lane._lock:
+                        owner.lane.phantom += 1
+                    owner.lane.enqueue(owner, key, seq=next(self._seq))
                 return
             self._inflight[key] = (request, [])
         try:
@@ -417,8 +735,8 @@ class CompileService:
 
     def _lane_for(self, backend: CompilerBackend) -> _Lane:
         # Lane creation happens on the scheduler thread *and* (for coalesced
-        # retries) on executor callback threads, while stats() iterates the
-        # lane map — every touch of self._lanes stays under the lock.
+        # retries) on lane worker threads, while stats() iterates the lane
+        # map — every touch of self._lanes stays under the lock.
         with self._lock:
             lane = self._lanes.get(backend.name)
         if lane is not None:
@@ -432,8 +750,11 @@ class CompileService:
                     f"backend {backend.name!r} cannot be pickled for its "
                     f"process lane ({exc}); remove it from process_backends"
                 ) from exc
-        workers = self._lane_workers.get(backend.name, self._max_workers)
-        lane = _Lane(backend.name, kind, workers)
+        max_workers = self._lane_workers.get(backend.name, self._max_workers)
+        min_workers = min(self._min_workers, max_workers)
+        if not self.autoscale:
+            min_workers = max_workers
+        lane = _Lane(self, backend.name, kind, min_workers, max_workers)
         with self._lock:
             # Another thread may have created the lane meanwhile: keep the
             # registered one and drop ours.
@@ -444,11 +765,33 @@ class CompileService:
                 self._lanes[backend.name] = lane
                 drop = None
         if drop is not None:
-            drop.executor.shutdown(wait=False)
+            drop.stop(wait=False)
         return lane
 
     def _dispatch(self, request: CompileRequest, key: tuple) -> None:
         lane = self._lane_for(request.backend)
+        request.lane = lane
+        with self._lock:
+            lane.dispatched += 1
+        lane.enqueue(request, key)
+
+    # -- lane-worker side --------------------------------------------------------------
+
+    def _execute(self, lane: _Lane, request: CompileRequest, key: tuple) -> None:
+        """Run one claimed request on a lane worker thread."""
+        with self._lock:
+            stale = request.started or request.future.done()
+            if not stale:
+                request.started = True
+        if stale:
+            # A stale duplicate left behind by a priority boost: drop it and
+            # settle the phantom count it was responsible for.
+            with lane._lock:
+                lane.phantom = max(0, lane.phantom - 1)
+            return
+        if request.expired():
+            self._expire(request, key)
+            return
         store = self._shared_store if lane.kind == "process" else None
         payload = (
             request.circuit,
@@ -459,20 +802,49 @@ class CompileService:
             key,
             store,
         )
-        with self._lock:
-            lane.dispatched += 1
-        worker_future = lane.executor.submit(_service_compile_task, payload)
-        worker_future.add_done_callback(lambda fut: self._on_computed(request, key, fut))
-
-    def _on_computed(self, request: CompileRequest, key: tuple, worker_future: Future) -> None:
         try:
-            result = worker_future.result()
+            if lane.pool is not None:
+                result = lane.pool.submit(_service_compile_task, payload).result()
+            else:
+                result = _service_compile_task(payload)
         except Exception as exc:  # noqa: BLE001 - pool-level failure (e.g. broken pool)
             result = _failure_result(request.circuit, request.backend.name, request.objective, exc)
-        if result.succeeded:
-            self.cache.put(key, result)
+        self._complete(request, key, result)
+
+    def _expire(self, request: CompileRequest, key: tuple | None = None) -> None:
+        """Resolve an expired request (and re-route any coalesced followers)."""
         with self._lock:
-            _owner, followers = self._inflight.pop(key, (request, []))
+            self._metrics["deadline_exceeded"] += 1
+        followers = self._release_inflight(request, key) if key is not None else []
+        self._finish(request, _deadline_result(request))
+        # Followers carried their own deadlines: each gets an independent
+        # attempt (or its own expiry) — an expired owner must not take its
+        # coalesced riders down with it.
+        for follower in followers:
+            self._redispatch(follower, key)
+
+    def _release_inflight(self, request: CompileRequest, key: tuple) -> list[CompileRequest]:
+        """Pop ``key``'s in-flight entry — only if ``request`` still owns it.
+
+        A redispatched follower finishes with no entry of its own, and a
+        *newer* owner may have registered the same key meanwhile: popping
+        unconditionally would orphan that owner's followers and break
+        coalescing for it.
+        """
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is not None and entry[0] is request:
+                del self._inflight[key]
+                return entry[1]
+        return []
+
+    def _complete(self, request: CompileRequest, key: tuple, result: CompilationResult) -> None:
+        if result.succeeded:
+            try:
+                self.cache.put(key, result, result.wall_time or None)
+            except Exception:  # noqa: BLE001 - cache is best-effort; the result is not
+                pass
+        followers = self._release_inflight(request, key)
         self._finish(request, result)
         for follower in followers:
             if result.succeeded:
@@ -483,20 +855,30 @@ class CompileService:
                 # The owner failed (failures are never cached or shared):
                 # give each coalesced request its own attempt, matching
                 # compile_batch's duplicate handling.  No in-flight entry is
-                # registered, so the retries run independently.  This runs in
-                # an executor callback, where an escaping exception would be
-                # swallowed and the follower's future never resolved — e.g. a
-                # broken process pool failing the re-submit — so dispatch
-                # failures become failure results here.
-                try:
-                    self._dispatch(follower, key)
-                except Exception as exc:  # noqa: BLE001 - must resolve the future
-                    self._finish(
-                        follower,
-                        _failure_result(
-                            follower.circuit, follower.backend.name, follower.objective, exc
-                        ),
-                    )
+                # registered, so the retries run independently.
+                self._redispatch(follower, key)
+
+    def _redispatch(self, follower: CompileRequest, key: tuple | None) -> None:
+        """Re-route a coalesced follower after its owner failed or expired.
+
+        Runs on lane worker threads, where an escaping exception would kill
+        the worker and leave the follower's future unresolved — dispatch
+        failures become failure results here instead.
+        """
+        if follower.expired():
+            with self._lock:
+                self._metrics["deadline_exceeded"] += 1
+            self._finish(follower, _deadline_result(follower))
+            return
+        try:
+            self._dispatch(follower, key if key is not None else follower.key())
+        except Exception as exc:  # noqa: BLE001 - must resolve the future
+            self._finish(
+                follower,
+                _failure_result(
+                    follower.circuit, follower.backend.name, follower.objective, exc
+                ),
+            )
 
     def _finish(self, request: CompileRequest, result: CompilationResult) -> None:
         try:
@@ -512,6 +894,72 @@ class CompileService:
             self._metrics["latency_max"] = max(self._metrics["latency_max"], latency)
             self._unfinished -= 1
             self._idle.notify_all()
+
+    # -- autoscaler --------------------------------------------------------------------
+
+    def _autoscale_loop(self) -> None:
+        while not self._stop_event.wait(self.autoscale_interval):
+            try:
+                self.autoscale_once()
+            except Exception:  # pragma: no cover - supervisor must never die
+                pass
+
+    def autoscale_once(self) -> list[dict]:
+        """One supervisor sweep over every lane; returns the emitted scale events.
+
+        Grows a lane when requests are queued and capacity remains; shrinks it
+        after :data:`SCALE_DOWN_AFTER` consecutive idle sweeps.  Public so
+        operators (and the stress suite) can force a deterministic sweep.
+        """
+        events: list[dict] = []
+        with self._lock:
+            lanes = list(self._lanes.values())
+        now = perf_counter()
+        for lane in lanes:
+            depth = lane.queue_depth()
+            alive, busy, target = lane.counts()
+            if depth > 0 and target < lane.max_workers:
+                lane.idle_ticks = 0
+                # Grow proportionally to the backlog, one worker minimum.
+                new = lane.set_target(target + max(1, depth // 4))
+                if new > target:
+                    events.append(
+                        {
+                            "lane": lane.backend_name,
+                            "event": "scale_up",
+                            "from_workers": target,
+                            "to_workers": new,
+                            "queue_depth": depth,
+                            "time": now,
+                        }
+                    )
+            elif depth == 0 and busy == 0 and target > lane.min_workers:
+                lane.idle_ticks += 1
+                if lane.idle_ticks >= self.SCALE_DOWN_AFTER:
+                    lane.idle_ticks = 0
+                    new = lane.set_target(target - 1)
+                    if new < target:
+                        events.append(
+                            {
+                                "lane": lane.backend_name,
+                                "event": "scale_down",
+                                "from_workers": target,
+                                "to_workers": new,
+                                "queue_depth": depth,
+                                "time": now,
+                            }
+                        )
+            else:
+                lane.idle_ticks = 0
+        if events:
+            with self._lock:
+                for event in events:
+                    self._metrics[
+                        "scale_ups" if event["event"] == "scale_up" else "scale_downs"
+                    ] += 1
+                self._scale_events.extend(events)
+                del self._scale_events[: -self.MAX_SCALE_EVENTS]
+        return events
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else "open"

@@ -26,24 +26,27 @@ import os
 from multiprocessing.managers import BaseManager
 from typing import Any
 
-from ..pipeline.properties import CacheStore, DictStore
+from ..pipeline.properties import CacheStore, CostAwareStore, DictStore
 
 __all__ = ["CacheServer", "SharedCacheStore"]
 
-#: DictStore methods exposed through the manager proxy
+#: store methods exposed through the manager proxy
 _STORE_METHODS = ("get", "put", "stats", "clear")
+
+#: eviction policies a cache server can host
+_POLICIES = {"lru": DictStore, "cost": CostAwareStore}
 
 #: the one store instance served by a cache-server process (set by the
 #: manager-process initializer, resolved by the registered ``store`` callable)
-_SERVER_STORE: DictStore | None = None
+_SERVER_STORE: CacheStore | None = None
 
 
-def _init_server_store(maxsize: int) -> None:
+def _init_server_store(maxsize: int, policy: str = "lru") -> None:
     global _SERVER_STORE
-    _SERVER_STORE = DictStore(maxsize)
+    _SERVER_STORE = _POLICIES[policy](maxsize)
 
 
-def _get_server_store() -> DictStore:
+def _get_server_store() -> CacheStore:
     assert _SERVER_STORE is not None, "cache-server process not initialised"
     return _SERVER_STORE
 
@@ -80,8 +83,8 @@ class SharedCacheStore(CacheStore):
     def get(self, key) -> Any:
         return self._store().get(key)
 
-    def put(self, key, value) -> None:
-        self._store().put(key, value)
+    def put(self, key, value, cost: float | None = None) -> None:
+        self._store().put(key, value, cost)
 
     def stats(self) -> dict[str, float]:
         return self._store().stats()
@@ -104,26 +107,42 @@ class SharedCacheStore(CacheStore):
 
 
 class CacheServer:
-    """A cache server process hosting one shared LRU store.
+    """A cache server process hosting one shared store.
 
-    Starts a manager process owning a :class:`~repro.pipeline.DictStore` and
-    hands out :class:`SharedCacheStore` clients::
+    Starts a manager process owning a single store and hands out
+    :class:`SharedCacheStore` clients::
 
         with CacheServer(maxsize=4096) as server:
             cache = CompilationCache(store=server.store())
             ...  # every process holding a store client shares the entries
+
+    ``policy`` selects the server-side eviction policy: ``"lru"`` (a
+    :class:`~repro.pipeline.DictStore`, the default) or ``"cost"`` (a
+    :class:`~repro.pipeline.CostAwareStore`, which keeps expensive
+    compilations resident and evicts cheap-to-recompute entries first).
 
     The server lives until :meth:`shutdown` (or context-manager exit); client
     stores created from it keep working across ``fork``/``spawn`` because
     they carry only the address and authkey.
     """
 
-    def __init__(self, maxsize: int = 4096, *, address: tuple = ("127.0.0.1", 0)):
+    def __init__(
+        self,
+        maxsize: int = 4096,
+        *,
+        policy: str = "lru",
+        address: tuple = ("127.0.0.1", 0),
+    ):
+        if policy not in _POLICIES:
+            raise ValueError(
+                f"unknown cache policy {policy!r}; expected one of {sorted(_POLICIES)}"
+            )
         self._authkey = os.urandom(16)
         self._manager = _StoreManager(address=address, authkey=self._authkey)
-        self._manager.start(initializer=_init_server_store, initargs=(maxsize,))
+        self._manager.start(initializer=_init_server_store, initargs=(maxsize, policy))
         self.address = self._manager.address
         self.maxsize = maxsize
+        self.policy = policy
         self._running = True
 
     def store(self) -> SharedCacheStore:

@@ -8,7 +8,12 @@ from pathlib import Path
 import pytest
 
 from repro.bench import benchmark_circuit
-from repro.compilers import compile_qiskit_style, compile_tket_style, qiskit_pipeline, tket_pipeline
+from repro.compilers import (
+    compile_qiskit_style,
+    compile_tket_style,
+    preset_pass_manager,
+    run_preset_manager,
+)
 from repro.devices import get_device, list_devices
 from repro.reward import expected_fidelity
 
@@ -81,26 +86,31 @@ def _golden_cases() -> list[dict]:
     return json.loads(_GOLDEN_PATH.read_text())
 
 
-class TestGoldenTraces:
-    """Pin the preset flows to their pre-pipeline-refactor behaviour.
+def _case_id(case: dict) -> str:
+    suffix = "-iter" if case.get("iterate") else ""
+    return f"{case['style']}-o{case['level']}{suffix}-{case['circuit']}-{case['device']}"
 
-    The golden file was generated from the hand-rolled pipeline loops before
-    they were replaced by declarative ``PassManager`` schedules; every
+
+class TestGoldenTraces:
+    """Pin the preset flows (base and ``-iter`` levels) to golden behaviour.
+
+    The base-level entries were generated from the hand-rolled pipeline loops
+    before they were replaced by declarative ``PassManager`` schedules; the
+    ``iterate: true`` entries pin the experimental fixed-point levels
+    (``qiskit-o3-iter`` / ``tket-o2-iter``) the same way.  Every
     (circuit, device, level, seed) combination must still produce the exact
     same pass trace and the exact same compiled circuit.
     """
 
-    @pytest.mark.parametrize(
-        "case",
-        _golden_cases(),
-        ids=lambda c: f"{c['style']}-o{c['level']}-{c['circuit']}-{c['device']}",
-    )
+    @pytest.mark.parametrize("case", _golden_cases(), ids=_case_id)
     def test_trace_and_circuit_match_golden(self, case):
         family, width = case["circuit"].rsplit("_", 1)
         circuit = benchmark_circuit(family, int(width))
         device = get_device(case["device"])
-        pipeline = qiskit_pipeline if case["style"] == "qiskit" else tket_pipeline
-        compiled, trace = pipeline(circuit, device, case["level"], seed=case["seed"])
+        manager = preset_pass_manager(
+            case["style"], case["level"], iterate=case.get("iterate", False)
+        )
+        compiled, trace = run_preset_manager(manager, circuit, device, seed=case["seed"])
         assert trace == case["trace"]
         assert compiled.fingerprint() == case["fingerprint"]
         assert dict(sorted(compiled.count_ops().items())) == case["ops"]

@@ -15,7 +15,7 @@ import pytest
 import repro
 from repro.api.batch import compile_batch
 from repro.bench import benchmark_circuit
-from repro.pipeline import DictStore, LruCache, TransformCache
+from repro.pipeline import CostAwareStore, DictStore, LruCache, TransformCache
 from repro.service import CacheServer, CompileService, ServiceClient, SharedCacheStore
 
 
@@ -317,6 +317,74 @@ class TestCompileService:
             assert via_service.reward == pytest.approx(direct.reward)
             assert service.stats()["submitted"] == 1
 
+    def test_facade_qos_fields_require_service(self, small_circuits):
+        with pytest.raises(ValueError, match="service"):
+            repro.compile(small_circuits[0], "qiskit-o0", priority=1)
+        with pytest.raises(ValueError, match="service"):
+            repro.compile(small_circuits[0], "qiskit-o0", deadline=5.0)
+        with CompileService() as service:
+            result = repro.compile(
+                small_circuits[0],
+                "qiskit-o0",
+                device="ibmq_washington",
+                service=service,
+                priority=3,
+                deadline=120.0,
+            )
+            assert result.succeeded
+
+    def test_compile_batch_qos_fields(self, small_circuits):
+        with pytest.raises(ValueError, match="executor='service'"):
+            compile_batch(small_circuits, ["qiskit-o0"], priority=1)
+        with pytest.raises(ValueError, match="executor='service'"):
+            compile_batch(small_circuits, ["qiskit-o0"], deadline=1.0)
+        with CompileService() as service:
+            batch = compile_batch(
+                small_circuits,
+                ["qiskit-o0"],
+                device="ibmq_washington",
+                cache=None,
+                executor="service",
+                service=service,
+                priority=2,
+                deadline=300.0,
+            )
+        assert not batch.failures
+
+    def test_compile_batch_service_duplicates_keep_qos_semantics(self, small_circuits):
+        """Duplicate (circuit, backend) entries must get identical QoS verdicts
+        through the service — a deadline=0 sweep expires *every* copy instead
+        of recompiling duplicates synchronously without a deadline."""
+        with CompileService() as service:
+            batch = compile_batch(
+                [small_circuits[0], small_circuits[0]],
+                ["qiskit-o1"],
+                device="ibmq_washington",
+                cache=None,
+                executor="service",
+                service=service,
+                deadline=0,
+            )
+        assert len(batch.results) == 2
+        for result in batch.results:
+            assert not result.succeeded
+            assert result.metadata.get("deadline_exceeded") is True
+
+    def test_cost_aware_store_backs_the_service_cache(self, small_circuits):
+        store = CostAwareStore(maxsize=64)
+        with CompileService(store=store) as service:
+            first = service.submit(
+                small_circuits[0], "qiskit-o0", device="ibmq_washington"
+            ).result(timeout=120)
+            again = service.submit(
+                small_circuits[0], "qiskit-o0", device="ibmq_washington"
+            ).result(timeout=120)
+        assert first.succeeded and again.metadata.get("cached") is True
+        stats = store.stats()
+        assert stats["entries"] == 1 and stats["hits"] >= 1
+        # The entry's cost was taken from the observed compile wall-time.
+        assert stats["resident_cost"] == pytest.approx(first.wall_time)
+
     def test_compile_batch_service_executor(self, small_circuits):
         threaded = compile_batch(
             small_circuits, ["qiskit-o1", "tket-o0"], device="ibmq_washington", cache=None
@@ -386,6 +454,22 @@ class TestRemoteService:
                 assert all(reward > 0 for reward in rewards)
                 stats = client.stats()
                 assert stats["completed"] == len(small_circuits)
+                # QoS parity: priority and deadline ride the RPC protocol, so
+                # remote semantics match in-process ones exactly.
+                urgent = client.submit(
+                    small_circuits[0],
+                    backend="tket-o0",
+                    device="ibmq_washington",
+                    priority=5,
+                ).result(timeout=180)
+                assert urgent.succeeded
+                expired = client.submit(
+                    small_circuits[1], backend="qiskit-o1", deadline=0
+                ).result(timeout=180)
+                assert not expired.succeeded
+                assert expired.metadata.get("deadline_exceeded") is True
+                assert "DeadlineExceeded" in expired.error
+                assert client.stats()["deadline_exceeded"] == 1
         finally:
             proc.terminate()
             try:

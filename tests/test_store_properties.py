@@ -1,0 +1,283 @@
+"""Seeded randomized property tests for every :class:`CacheStore` implementation.
+
+Each store (:class:`DictStore`, :class:`CostAwareStore`, and a
+:class:`SharedCacheStore` client of a live :class:`CacheServer` under both
+eviction policies) is driven through long seeded sequences of random
+put/get/clear operations against a reference model, checking after every
+operation that:
+
+* capacity is never exceeded;
+* ``hits + misses`` always equals the number of lookups performed;
+* a ``get`` returns exactly the value last ``put`` for that key, or ``None``
+  for keys never inserted or already evicted;
+* eviction counters reconcile with the number of insertions and residents;
+* :class:`CostAwareStore` never evicts the most expensive resident while a
+  cheaper entry is available, and prefers evicting cheap/stale entries.
+
+The sequences are deterministic (``numpy`` RNG seeded per case), so a failure
+reproduces exactly.  Run alongside the service stress tests with
+``pytest -m stress``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import numpy as np
+
+from repro.pipeline import CacheStore, CostAwareStore, DictStore, LruCache
+from repro.service import CacheServer
+
+pytestmark = pytest.mark.stress
+
+MAXSIZE = 8
+KEY_SPACE = 24  # 3x capacity: every sequence forces plenty of evictions
+N_OPS = 400
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def lru_server():
+    with CacheServer(maxsize=MAXSIZE, policy="lru") as server:
+        yield server
+
+
+@pytest.fixture(scope="module")
+def cost_server():
+    with CacheServer(maxsize=MAXSIZE, policy="cost") as server:
+        yield server
+
+
+def _store_factories(request) -> dict:
+    return {
+        "dict": lambda: DictStore(MAXSIZE),
+        "cost": lambda: CostAwareStore(MAXSIZE),
+        "shared-lru": lambda: request.getfixturevalue("lru_server").store(),
+        "shared-cost": lambda: request.getfixturevalue("cost_server").store(),
+    }
+
+
+@pytest.fixture(params=["dict", "cost", "shared-lru", "shared-cost"])
+def store(request) -> CacheStore:
+    built = _store_factories(request)[request.param]()
+    built.clear()  # shared stores are module-scoped servers: start clean
+    return built
+
+
+class TestStoreInvariants:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_ops_hold_invariants(self, store, seed):
+        rng = np.random.default_rng(seed)
+        model: dict[str, int] = {}  # key -> value we expect get() to return
+        lookups = 0
+        prev = store.stats()
+
+        for step in range(N_OPS):
+            key = f"k{int(rng.integers(0, KEY_SPACE))}"
+            op = rng.random()
+            if op < 0.45:  # put
+                value = step
+                cost = float(rng.integers(1, 100))
+                store.put(key, value, cost)
+                model[key] = value
+                stats = store.stats()
+                # One put changes residency by at most one entry: either the
+                # key was already resident (nothing moves), or it was added
+                # below capacity (+1 entry), or it displaced exactly one
+                # entry (eviction at capacity).
+                delta = (
+                    stats["entries"] - prev["entries"],
+                    stats["evictions"] - prev["evictions"],
+                )
+                assert delta in ((0, 0), (1, 0), (0, 1)), f"step {step}: put moved {delta}"
+                if delta == (0, 1):
+                    assert stats["entries"] == MAXSIZE, (
+                        f"step {step}: eviction while below capacity"
+                    )
+            elif op < 0.98:  # get
+                value = store.get(key)
+                lookups += 1
+                stats = store.stats()
+                if value is not None:
+                    # Never a stale or foreign value: exactly the last put.
+                    assert value == model[key], f"step {step}: wrong value for {key}"
+                else:
+                    # A miss is only legal for keys never put or evicted.
+                    if key in model:
+                        del model[key]  # evicted by the store: drop our copy
+            else:  # rare full clear
+                store.clear()
+                model.clear()
+                lookups = 0
+                stats = store.stats()
+                assert stats["entries"] == 0, f"step {step}: clear left entries"
+                assert stats["hits"] == stats["misses"] == stats["evictions"] == 0, (
+                    f"step {step}: clear left counters behind"
+                )
+
+            assert stats["entries"] <= MAXSIZE, f"step {step}: capacity exceeded"
+            assert stats["hits"] + stats["misses"] == lookups, (
+                f"step {step}: hit+miss counters drifted from lookup count"
+            )
+            assert 0.0 <= stats["hit_rate"] <= 1.0
+            prev = stats
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_eviction_is_lossy_but_never_corrupting(self, store, seed):
+        """Overfill by 4x: survivors return their exact values, the rest None."""
+        rng = np.random.default_rng(seed)
+        values = {f"k{i}": int(rng.integers(0, 10_000)) for i in range(4 * MAXSIZE)}
+        for key, value in values.items():
+            store.put(key, value, float(rng.integers(1, 50)))
+        stats = store.stats()
+        assert stats["entries"] == MAXSIZE
+        assert stats["evictions"] == len(values) - MAXSIZE
+        survivors = 0
+        for key, value in values.items():
+            got = store.get(key)
+            if got is not None:
+                assert got == value
+                survivors += 1
+        assert survivors == MAXSIZE
+
+
+class TestCostAwareEviction:
+    def test_most_expensive_entry_never_evicted_first(self):
+        """Randomized: an eviction must never wipe out the most expensive
+        cost tier — the costliest resident at decision time always survives."""
+        rng = np.random.default_rng(7)
+        store = CostAwareStore(MAXSIZE)
+        for step in range(300):
+            before = store.snapshot()
+            key = f"k{step}"
+            cost = float(rng.integers(1, 1000))
+            store.put(key, step, cost)
+            after = store.snapshot()
+            evicted = set(before) - set(after)
+            if evicted and before:
+                # Residents at decision time = everything in `before` plus the
+                # entry being inserted; the max of their costs must still be
+                # resident after the eviction.
+                decision_costs = [c for c, _tick in before.values()] + [cost]
+                max_cost = max(decision_costs)
+                surviving_costs = [c for c, _tick in after.values()]
+                assert max(surviving_costs) == max_cost, (
+                    f"step {step}: eviction removed the entire max-cost tier "
+                    f"({max_cost}); survivors {surviving_costs}"
+                )
+            # Touch a random resident so recency varies between steps.
+            residents = list(after)
+            if residents:
+                store.get(residents[int(rng.integers(0, len(residents)))])
+
+    def test_cheap_entry_eventually_admitted_into_expensive_store(self):
+        """A store saturated with expensive ties must not refuse a cheap key
+        forever: the stale expensive entries age out and it gets admitted."""
+        store = CostAwareStore(2)
+        store.put("a", 1, 5.0)
+        store.put("b", 2, 5.0)
+        for attempt in range(50):
+            store.put("cheap", attempt, 1.0)
+            if store.get("cheap") is not None:
+                break
+        else:
+            pytest.fail("cheap entry was never admitted")
+        # The freshest expensive entry survived throughout.
+        assert 5.0 in [cost for cost, _tick in store.snapshot().values()]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_max_tier_tracking_survives_overwrites(self, seed):
+        """The incrementally-tracked max-cost tier must match reality after any
+        mix of inserts, overwrites (raising or lowering a key's cost), and
+        evictions — overwriting the most expensive key is the tricky path."""
+        rng = np.random.default_rng(seed)
+        store = CostAwareStore(MAXSIZE)
+        for step in range(300):
+            key = f"k{int(rng.integers(0, MAXSIZE + 4))}"  # small space: overwrites
+            store.put(key, step, float(rng.integers(1, 20)))  # narrow range: cost ties
+            snapshot = store.snapshot()
+            costs = [cost for cost, _tick in snapshot.values()]
+            assert store._max_cost == max(costs), f"step {step}: stale max cost"
+            assert store._max_count == costs.count(max(costs)), (
+                f"step {step}: stale max-tier count"
+            )
+
+    def test_cheap_stale_evicted_before_expensive_stale(self):
+        store = CostAwareStore(4)
+        store.put("cheap", 1, 1.0)
+        store.put("pricey", 2, 50.0)
+        store.put("mid-a", 3, 10.0)
+        store.put("mid-b", 4, 10.0)
+        store.put("new", 5, 5.0)  # overflow: "cheap" is the lowest-scoring
+        assert store.get("cheap") is None
+        assert store.get("pricey") == 2
+        assert store.stats()["evictions"] == 1
+        assert store.stats()["cost_evicted"] == 1.0
+
+    def test_cost_inferred_from_wall_time(self):
+        class FakeResult:
+            def __init__(self, wall_time):
+                self.wall_time = wall_time
+
+        store = CostAwareStore(2)
+        store.put("slow", FakeResult(9.0))
+        store.put("fast", FakeResult(0.001))
+        store.put("other", FakeResult(0.5))  # overflow: "fast" goes first
+        assert store.get("fast") is None
+        assert store.get("slow") is not None
+
+    def test_recency_orders_equal_costs(self):
+        store = CostAwareStore(3)
+        store.put("a", 1, 5.0)
+        store.put("b", 2, 5.0)
+        store.put("c", 3, 5.0)
+        assert store.get("a") == 1  # refresh "a": "b" is now the stalest
+        store.put("d", 4, 5.0)
+        assert store.get("b") is None
+        assert store.get("a") == 1 and store.get("c") == 3 and store.get("d") == 4
+
+    def test_plugs_into_lru_cache_front(self):
+        cache = LruCache(maxsize=4, store=CostAwareStore(4))
+        cache.put("k", "v", 2.5)
+        assert cache.get("k") == "v"
+        assert cache.hits == 1 and cache.misses == 0
+        stats = cache.stats()
+        assert stats["resident_cost"] == 2.5
+
+    def test_zero_capacity_store_is_harmless(self):
+        """maxsize=0 (caching disabled) must not crash puts, matching DictStore."""
+        store = CostAwareStore(0)
+        store.put("k", 1, 2.0)
+        assert len(store) == 0
+        assert store.get("k") is None
+        assert store.stats()["evictions"] == 1
+
+    def test_snapshot_does_not_touch_counters(self):
+        store = CostAwareStore(4)
+        store.put("k", 1, 3.0)
+        before = store.stats()
+        snap = store.snapshot()
+        assert snap["k"][0] == 3.0
+        assert store.stats() == before
+
+
+class TestSharedStoreParity:
+    """The server-backed stores must behave like their in-process twins."""
+
+    @pytest.mark.parametrize("policy", ["lru", "cost"])
+    def test_policy_reaches_the_server(self, request, policy):
+        server = request.getfixturevalue(f"{'lru' if policy == 'lru' else 'cost'}_server")
+        store = server.store()
+        store.clear()
+        store.put("probe", 42, 7.0)
+        stats = store.stats()
+        assert stats["entries"] == 1
+        if policy == "cost":
+            # cost-aware counters only exist on the cost policy
+            assert stats["resident_cost"] == 7.0
+        else:
+            assert "resident_cost" not in stats
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown cache policy"):
+            CacheServer(maxsize=4, policy="random")
