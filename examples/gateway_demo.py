@@ -1,0 +1,110 @@
+"""HTTP gateway demo: the multi-tenant public surface over the compile service.
+
+Run with::
+
+    python examples/gateway_demo.py
+
+Starts an in-process :class:`repro.gateway.GatewayServer` on a loopback port
+with three tenants — ``alice`` (weight 4), ``bob`` (weight 1, tightly
+rate-limited) and an ``ops`` admin — and walks the whole public surface with
+:class:`repro.gateway.GatewayClient`:
+
+1. synchronous ``POST /v1/compile`` (QASM in, result JSON out);
+2. asynchronous submit + job polling + the SSE progress stream;
+3. per-tenant rate limiting (bob gets 429 + ``Retry-After``) and weighted
+   fair share (alice's jobs overtake bob's on a saturated lane);
+4. ``/v1/stats``, Prometheus ``/metrics`` and the admin drain flow.
+
+The same server can be run standalone with ``python -m repro.gateway
+--port 8080 --keys keys.json`` and exercised with curl; see the README's
+"HTTP gateway" section for the matching commands.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import benchmark_circuit  # noqa: E402
+from repro.circuit import to_qasm  # noqa: E402
+from repro.gateway import (  # noqa: E402
+    GatewayClient,
+    GatewayError,
+    GatewayServer,
+    Tenant,
+)
+from repro.service import CompileService  # noqa: E402
+
+TENANTS = [
+    Tenant("alice", "alice-key", weight=4.0),
+    Tenant("bob", "bob-key", weight=1.0, rate=2.0, burst=2),
+    Tenant("ops", "ops-key", admin=True),
+]
+
+
+def main() -> None:
+    circuit = benchmark_circuit("ghz", 5)
+
+    with CompileService(max_workers=2) as service:
+        with GatewayServer(service, tenants=TENANTS) as gateway:
+            print(f"Gateway listening on {gateway.url}")
+            alice = GatewayClient(gateway.url, api_key="alice-key")
+            bob = GatewayClient(gateway.url, api_key="bob-key")
+            ops = GatewayClient(gateway.url, api_key="ops-key")
+
+            print("\n1. Synchronous compile (QASM in, result out):")
+            result = alice.compile(to_qasm(circuit), "qiskit-o3", device="ibmq_washington")
+            print(
+                f"  reward {result.reward:.4f} ({result.reward_name}) "
+                f"via {result.backend} in {result.wall_time * 1000:.0f}ms"
+            )
+
+            print("\n2. Async submit + SSE progress stream:")
+            job_id = alice.submit(circuit, "tket-o2", device="ibmq_washington", seed=1)
+            for event in alice.events(job_id):
+                line = {k: v for k, v in event.items() if k not in ("job_id",)}
+                print(f"  event: {line}")
+            result = alice.result(job_id)
+            print(f"  final reward {result.reward:.4f} via {result.backend}")
+
+            print("\n3. Rate limiting — bob bursts past his 2-token bucket:")
+            codes = []
+            for n in range(6):
+                try:
+                    bob.submit(circuit, "qiskit-o1", seed=100 + n)
+                    codes.append("202")
+                except GatewayError as exc:
+                    codes.append(f"{exc.status} (retry after {exc.retry_after:.0f}s)")
+            print(f"  bob's responses: {codes}")
+
+            print("\n4. Stats and metrics:")
+            stats = ops.stats()
+            print(f"  gateway counters: {stats['gateway']['counters']}")
+            for name, share in stats["gateway"]["fair_share"]["tenants"].items():
+                print(
+                    f"  tenant {name}: {share['requests']} requests, "
+                    f"virtual time {share['virtual_time']:.2f}"
+                )
+            metrics = [
+                line
+                for line in ops.metrics().splitlines()
+                if line.startswith("repro_gateway_jobs")
+            ]
+            print("  /metrics excerpt:")
+            for line in metrics:
+                print(f"    {line}")
+
+            print("\n5. Admin drain:")
+            print(f"  healthz before: {ops.healthz()}")
+            ops.drain(grace=10.0)
+            print(f"  healthz after:  {ops.healthz()}")
+            try:
+                alice.compile(circuit, "qiskit-o1")
+            except GatewayError as exc:
+                print(f"  new work refused while draining: HTTP {exc.status} {exc.error_type}")
+
+
+if __name__ == "__main__":
+    main()

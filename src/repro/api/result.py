@@ -93,6 +93,71 @@ class CompilationResult:
             metadata=dict(self.metadata),
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable view of the result (the gateway's wire format).
+
+        The circuit travels as OpenQASM 2 text and the device as its registered
+        name, so the payload round-trips through ``json.dumps`` with no custom
+        encoder.  Structured failure information (``succeeded`` / ``error`` /
+        ``metadata`` — including the service's ``deadline_exceeded`` marker)
+        rides along unchanged.
+        """
+        from ..circuit.qasm import to_qasm
+
+        return {
+            "qasm": to_qasm(self.circuit),
+            "circuit_name": self.circuit.name,
+            "device": self.device.name if self.device is not None else None,
+            "reward": float(self.reward),
+            "reward_name": self.reward_name,
+            "actions": list(self.actions),
+            "reached_done": bool(self.reached_done),
+            "backend": self.backend,
+            "scores": {name: float(value) for name, value in self.scores.items()},
+            "wall_time": float(self.wall_time),
+            "succeeded": bool(self.succeeded),
+            "error": self.error,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CompilationResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. a gateway response).
+
+        Raises ``KeyError`` when mandatory fields (``qasm`` / ``reward_name``)
+        are missing and propagates :class:`~repro.circuit.QasmError` for a
+        circuit that does not parse; an unknown device name degrades to
+        ``device=None`` (recorded in ``metadata["unknown_device"]``) so results
+        from a server with a richer device library still deserialise.
+        """
+        from ..circuit.qasm import from_qasm
+        from ..devices.library import get_device
+
+        circuit = from_qasm(payload["qasm"])
+        circuit.name = payload.get("circuit_name") or circuit.name
+        metadata = dict(payload.get("metadata") or {})
+        device = None
+        device_name = payload.get("device")
+        if device_name is not None:
+            try:
+                device = get_device(device_name)
+            except KeyError:
+                metadata["unknown_device"] = device_name
+        return cls(
+            circuit=circuit,
+            device=device,
+            reward=float(payload.get("reward", 0.0)),
+            reward_name=payload["reward_name"],
+            actions=list(payload.get("actions") or []),
+            reached_done=bool(payload.get("reached_done", True)),
+            backend=payload.get("backend", ""),
+            scores={k: float(v) for k, v in (payload.get("scores") or {}).items()},
+            wall_time=float(payload.get("wall_time", 0.0)),
+            succeeded=bool(payload.get("succeeded", True)),
+            error=payload.get("error"),
+            metadata=metadata,
+        )
+
     def summary(self) -> str:
         device_name = self.device.name if self.device else "-"
         text = (

@@ -19,7 +19,7 @@ from .gates import (
     is_supported_gate,
     standard_gate_names,
 )
-from .qasm import from_qasm, to_qasm
+from .qasm import QasmError, from_qasm, to_qasm
 from .random_circuits import random_circuit, random_clifford_circuit
 
 __all__ = [
@@ -35,6 +35,7 @@ __all__ = [
     "gate_inverse",
     "is_supported_gate",
     "standard_gate_names",
+    "QasmError",
     "to_qasm",
     "from_qasm",
     "random_circuit",

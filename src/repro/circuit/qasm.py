@@ -1,8 +1,13 @@
 """Minimal OpenQASM 2 serialisation for :class:`QuantumCircuit`.
 
 Only the subset needed to round-trip circuits produced by this library is
-supported: a single quantum register ``q`` and classical register ``c``,
-the gates listed in :mod:`repro.circuit.gates`, barriers and measurements.
+supported: quantum/classical register declarations, the gates listed in
+:mod:`repro.circuit.gates`, barriers and measurements.
+
+``from_qasm`` sits on a trust boundary — the HTTP gateway feeds it text sent
+by arbitrary network clients — so every malformed input must surface as a
+:class:`QasmError` (a ``ValueError`` subclass) with the offending line, never
+as a bare ``KeyError``/``IndexError`` leaking parser internals.
 """
 
 from __future__ import annotations
@@ -13,13 +18,23 @@ import re
 from .circuit import QuantumCircuit
 from .gates import GATE_SPECS
 
-__all__ = ["to_qasm", "from_qasm"]
+__all__ = ["QasmError", "to_qasm", "from_qasm"]
 
 _HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
 
 # Gate names that differ between this library and qelib1.
 _TO_QASM_NAME = {"p": "u1", "xx_plus_yy": "xx_plus_yy"}
 _FROM_QASM_NAME = {"u1": "p", "cu1": "cp", "cu3": "cu3", "id": "id", "iden": "id"}
+
+
+class QasmError(ValueError):
+    """Malformed or unsupported OpenQASM 2 input.
+
+    Raised for every parse-level problem — syntax errors, undeclared or
+    duplicate registers, out-of-range qubit/clbit indices, unsupported gates,
+    bad parameter expressions — so callers at trust boundaries can catch one
+    exception type and turn it into a structured error response.
+    """
 
 
 def _format_param(value: float) -> str:
@@ -66,19 +81,95 @@ _TOKEN_RE = re.compile(
     r"(?P<args>[^;]*);"
 )
 
+_REG_DECL_RE = re.compile(r"^(?P<kind>qreg|creg)\s+(?P<name>\w+)\s*\[(?P<size>\d+)\]\s*;$")
+_ARG_RE = re.compile(r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*(?:\[(?P<index>\d+)\])?$")
+_MEASURE_RE = re.compile(
+    r"^measure\s+(?P<qreg>\w+)\s*\[(?P<qidx>\d+)\]\s*->\s*(?P<creg>\w+)\s*\[(?P<cidx>\d+)\]\s*;$"
+)
+
 
 def _eval_param(expr: str) -> float:
     """Evaluate a QASM parameter expression (numbers, pi, + - * /)."""
-    expr = expr.strip().replace("pi", repr(math.pi))
+    original = expr.strip()
+    expr = original.replace("pi", repr(math.pi))
     if not re.fullmatch(r"[0-9eE\.\+\-\*/\(\) ]+", expr):
-        raise ValueError(f"unsupported parameter expression: {expr!r}")
-    return float(eval(expr, {"__builtins__": {}}, {}))  # noqa: S307 - sanitised above
+        raise QasmError(f"unsupported parameter expression: {original!r}")
+    try:
+        return float(eval(expr, {"__builtins__": {}}, {}))  # noqa: S307 - sanitised above
+    except Exception as exc:
+        raise QasmError(f"invalid parameter expression {original!r}: {exc}") from None
+
+
+class _Registers:
+    """Declared registers of one kind (quantum or classical), with offsets."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.offsets: dict[str, tuple[int, int]] = {}  # name -> (offset, size)
+        self.total = 0
+
+    def declare(self, name: str, size: int, line: str) -> None:
+        if name in self.offsets:
+            raise QasmError(f"duplicate register name {name!r}: {line!r}")
+        self.offsets[name] = (self.total, size)
+        self.total += size
+
+    def resolve(self, name: str, index: int, line: str) -> int:
+        entry = self.offsets.get(name)
+        if entry is None:
+            raise QasmError(
+                f"undeclared {self.kind} register {name!r} "
+                f"(declared: {sorted(self.offsets) or 'none'}): {line!r}"
+            )
+        offset, size = entry
+        if not 0 <= index < size:
+            raise QasmError(
+                f"index {index} out of range for {self.kind} register "
+                f"{name}[{size}]: {line!r}"
+            )
+        return offset + index
+
+    def expand(self, name: str, line: str) -> list[int]:
+        """Every bit of one register, in order (used by bare-register barriers)."""
+        entry = self.offsets.get(name)
+        if entry is None:
+            raise QasmError(
+                f"undeclared {self.kind} register {name!r} "
+                f"(declared: {sorted(self.offsets) or 'none'}): {line!r}"
+            )
+        offset, size = entry
+        return list(range(offset, offset + size))
+
+
+def _parse_gate_args(args: str, qregs: _Registers, line: str) -> list[int]:
+    """Resolve comma-separated ``reg[idx]`` gate operands to flat qubit indices."""
+    qubits: list[int] = []
+    for arg in args.split(","):
+        arg = arg.strip()
+        if not arg:
+            raise QasmError(f"empty operand in QASM line: {line!r}")
+        match = _ARG_RE.match(arg)
+        if not match:
+            raise QasmError(f"cannot parse operand {arg!r}: {line!r}")
+        if match.group("index") is None:
+            raise QasmError(
+                f"register broadcast ({arg!r} without an index) is not "
+                f"supported here: {line!r}"
+            )
+        qubits.append(qregs.resolve(match.group("name"), int(match.group("index")), line))
+    return qubits
 
 
 def from_qasm(text: str) -> QuantumCircuit:
-    """Parse an OpenQASM 2 string produced by :func:`to_qasm`."""
-    num_qubits = 0
-    num_clbits = 0
+    """Parse an OpenQASM 2 string (the subset produced by :func:`to_qasm`).
+
+    Raises :class:`QasmError` on malformed input: undeclared or duplicate
+    registers, out-of-range indices, unknown gates, or unparseable lines.
+    """
+    if not isinstance(text, str):
+        raise QasmError(f"QASM input must be a string, got {type(text).__name__}")
+    qregs = _Registers("quantum")
+    cregs = _Registers("classical")
     body: list[str] = []
     for raw_line in text.splitlines():
         line = raw_line.split("//")[0].strip()
@@ -86,32 +177,53 @@ def from_qasm(text: str) -> QuantumCircuit:
             continue
         if line.startswith(("OPENQASM", "include")):
             continue
-        match = re.match(r"qreg\s+(\w+)\[(\d+)\];", line)
+        match = _REG_DECL_RE.match(line)
         if match:
-            num_qubits += int(match.group(2))
+            if body:
+                raise QasmError(f"register declared after first statement: {line!r}")
+            regs = qregs if match.group("kind") == "qreg" else cregs
+            # qreg and creg share the QASM identifier namespace: a creg named
+            # like an existing qreg (or vice versa) is a duplicate too.
+            other = cregs if regs is qregs else qregs
+            if match.group("name") in other.offsets:
+                raise QasmError(f"duplicate register name {match.group('name')!r}: {line!r}")
+            regs.declare(match.group("name"), int(match.group("size")), line)
             continue
-        match = re.match(r"creg\s+(\w+)\[(\d+)\];", line)
-        if match:
-            num_clbits += int(match.group(2))
-            continue
+        if line.startswith(("qreg", "creg")):
+            raise QasmError(f"cannot parse register declaration: {line!r}")
         body.append(line)
 
-    circuit = QuantumCircuit(num_qubits, num_clbits or None)
+    circuit = QuantumCircuit(qregs.total, cregs.total or None)
     for line in body:
         if line.startswith("measure"):
-            match = re.match(r"measure\s+\w+\[(\d+)\]\s*->\s*\w+\[(\d+)\];", line)
+            match = _MEASURE_RE.match(line)
             if not match:
-                raise ValueError(f"cannot parse measurement: {line!r}")
-            circuit.measure(int(match.group(1)), int(match.group(2)))
+                raise QasmError(f"cannot parse measurement: {line!r}")
+            qubit = qregs.resolve(match.group("qreg"), int(match.group("qidx")), line)
+            clbit = cregs.resolve(match.group("creg"), int(match.group("cidx")), line)
+            circuit.measure(qubit, clbit)
             continue
         match = _TOKEN_RE.match(line)
         if not match:
-            raise ValueError(f"cannot parse QASM line: {line!r}")
+            raise QasmError(f"cannot parse QASM line: {line!r}")
         name = match.group("name").lower()
         name = _FROM_QASM_NAME.get(name, name)
-        args = match.group("args") or ""
-        qubits = [int(m) for m in re.findall(r"\[(\d+)\]", args)]
+        args = (match.group("args") or "").strip()
         if name == "barrier":
+            qubits: list[int] = []
+            for arg in args.split(",") if args else []:
+                arg = arg.strip()
+                arg_match = _ARG_RE.match(arg)
+                if not arg_match:
+                    raise QasmError(f"cannot parse operand {arg!r}: {line!r}")
+                if arg_match.group("index") is None:
+                    qubits.extend(qregs.expand(arg_match.group("name"), line))
+                else:
+                    qubits.append(
+                        qregs.resolve(
+                            arg_match.group("name"), int(arg_match.group("index")), line
+                        )
+                    )
             circuit.barrier(*qubits)
             continue
         params_text = match.group("params")
@@ -121,6 +233,12 @@ def from_qasm(text: str) -> QuantumCircuit:
         if name == "cu3":
             name, params = "cu", params + [0.0]
         if name not in GATE_SPECS:
-            raise ValueError(f"unsupported gate in QASM input: {name!r}")
-        circuit.append(name, qubits, params)
+            raise QasmError(f"unsupported gate in QASM input: {name!r}")
+        if not args:
+            raise QasmError(f"gate {name!r} has no operands: {line!r}")
+        qubits = _parse_gate_args(args, qregs, line)
+        try:
+            circuit.append(name, qubits, params)
+        except ValueError as exc:
+            raise QasmError(f"{exc}: {line!r}") from None
     return circuit

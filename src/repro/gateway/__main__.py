@@ -1,0 +1,128 @@
+"""``python -m repro.gateway`` — serve the HTTP/JSON gateway.
+
+Runs a :class:`~repro.service.CompileService` and fronts it with a
+:class:`~repro.gateway.GatewayServer`::
+
+    $ python -m repro.gateway --port 8080 --keys tenants.json
+    repro gateway listening on http://127.0.0.1:8080
+    tenants: alice (weight 4), bob (weight 1), ops (admin)
+
+    $ curl -s -X POST http://127.0.0.1:8080/v1/compile \\
+        -H 'X-API-Key: alice-key' \\
+        -d '{"qasm": "OPENQASM 2.0;\\nqreg q[2];\\ncreg c[2];\\nh q[0];\\ncx q[0],q[1];\\n"}'
+
+Without ``--keys`` the gateway runs in **open mode** (no auth, one anonymous
+admin tenant) — development only.  Ctrl-C triggers a graceful drain bounded
+by ``--drain-grace`` before the process exits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..service.service import CompileService
+from .auth import TenantRegistry
+from .server import GatewayServer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gateway",
+        description="Serve repro compilations over a multi-tenant HTTP/JSON gateway.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: loopback)")
+    parser.add_argument("--port", type=int, default=8080, help="port (0 = OS-assigned)")
+    parser.add_argument(
+        "--keys",
+        default=None,
+        help="JSON keyfile of tenants (name/key/weight/rate/burst/admin); "
+        "omit for open mode (no auth — development only)",
+    )
+    parser.add_argument(
+        "--service-workers",
+        type=int,
+        default=2,
+        help="upper worker bound per backend lane of the embedded compile service",
+    )
+    parser.add_argument(
+        "--min-workers", type=int, default=1, help="lower worker bound per backend lane"
+    )
+    parser.add_argument(
+        "--process-backends",
+        default="",
+        help="comma-separated backend names to run on process lanes",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=4096, help="capacity of the service result cache"
+    )
+    parser.add_argument(
+        "--sync-timeout",
+        type=float,
+        default=60.0,
+        help="seconds a synchronous POST /v1/compile waits before returning 202",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=float,
+        default=1.0,
+        help="seconds between stats() ring-buffer samples (0 disables the sampler)",
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        help="seconds the shutdown drain waits for queued work before exiting anyway",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = _build_parser().parse_args(argv)
+    registry = TenantRegistry.from_file(args.keys) if args.keys else None
+    process_backends = tuple(
+        name.strip() for name in args.process_backends.split(",") if name.strip()
+    )
+    service = CompileService(
+        process_backends=process_backends,
+        max_workers=args.service_workers,
+        min_workers=args.min_workers,
+        cache_size=args.cache_size,
+    )
+    gateway = GatewayServer(
+        service,
+        tenants=registry,
+        host=args.host,
+        port=args.port,
+        sync_timeout=args.sync_timeout,
+        sample_interval=args.sample_interval,
+    )
+    print(f"repro gateway listening on {gateway.url}", flush=True)
+    if registry is None:
+        print("open mode: no API keys configured (development only)", flush=True)
+    else:
+        described = ", ".join(
+            f"{t.name} (weight {t.weight:g}{', admin' if t.admin else ''})"
+            for t in registry.tenants()
+        )
+        print(f"tenants: {described}", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("draining gateway ...", flush=True)
+        gateway.begin_drain(args.drain_grace)
+        deadline = time.monotonic() + args.drain_grace
+        while gateway.state == "draining" and time.monotonic() < deadline:
+            time.sleep(0.1)
+        gateway.close()
+        service.shutdown(drain=False)
+        print(f"gateway stopped ({gateway.state})", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

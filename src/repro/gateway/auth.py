@@ -1,0 +1,232 @@
+"""Tenancy for the HTTP gateway: API keys, per-tenant rate limits.
+
+A *tenant* is one paying (or at least accountable) consumer of the compile
+service: a name, an API key, a fair-share ``weight``, and a token-bucket rate
+limit.  The gateway authenticates every request against a
+:class:`TenantRegistry` loaded from a JSON keyfile::
+
+    {
+      "tenants": [
+        {"name": "alice", "key": "alice-key", "weight": 4, "rate": 50, "burst": 100},
+        {"name": "ops",   "key": "ops-key",   "admin": true}
+      ]
+    }
+
+``rate`` is requests/second refilled into a bucket of ``burst`` tokens;
+omitting it leaves the tenant unlimited.  ``admin: true`` unlocks the
+``/admin/*`` endpoints.  Everything here is stdlib-only and thread-safe —
+handler threads of a ``ThreadingHTTPServer`` call into it concurrently.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["AuthError", "RateLimited", "Tenant", "TenantRegistry", "TokenBucket"]
+
+
+class AuthError(Exception):
+    """The request carried no API key, or one that matches no tenant."""
+
+
+class RateLimited(Exception):
+    """The tenant's token bucket is empty; retry after :attr:`retry_after`."""
+
+    def __init__(self, tenant: str, retry_after: float):
+        self.tenant = tenant
+        #: seconds until the bucket holds a token again (ceiling for headers)
+        self.retry_after = max(retry_after, 0.001)
+        super().__init__(
+            f"tenant {tenant!r} is over its rate limit; "
+            f"retry in {self.retry_after:.3f}s"
+        )
+
+    def header_value(self) -> str:
+        """The ``Retry-After`` header (integer seconds, rounded up, >= 1)."""
+        return str(max(1, math.ceil(self.retry_after)))
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, capacity ``burst``.
+
+    ``acquire()`` takes one token and returns 0.0, or returns the seconds
+    until a token will be available (taking nothing).  ``rate=None`` means
+    unlimited.  Thread-safe; time source injectable for tests.
+    """
+
+    def __init__(self, rate: float | None, burst: int = 1, clock=time.monotonic):
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive or None, got {rate}")
+        self.rate = rate
+        self.burst = max(1, int(burst))
+        self._clock = clock
+        self._tokens = float(self.burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def acquire(self) -> float:
+        if self.rate is None:
+            return 0.0
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                float(self.burst), self._tokens + (now - self._updated) * self.rate
+            )
+            self._updated = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return 0.0
+            return (1.0 - self._tokens) / self.rate
+
+    def available(self) -> float:
+        """Tokens currently in the bucket (refreshed; for stats only)."""
+        if self.rate is None:
+            return float("inf")
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                float(self.burst), self._tokens + (now - self._updated) * self.rate
+            )
+            self._updated = now
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One authenticated consumer of the gateway."""
+
+    name: str
+    key: str
+    #: fair-share weight: a weight-4 tenant gets ~4x the slots of a weight-1
+    #: tenant when both keep the service saturated
+    weight: float = 1.0
+    #: token-bucket refill in requests/second (``None`` = unlimited)
+    rate: float | None = None
+    #: token-bucket capacity (ignored when ``rate`` is None)
+    burst: int = 10
+    #: admins may call ``/admin/*`` endpoints (drain for rolling restarts)
+    admin: bool = False
+    #: upper bound for the per-request ``priority`` hint a client may send
+    max_priority: int = 5
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if not self.key:
+            raise ValueError(f"tenant {self.name!r} needs a non-empty API key")
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name!r} weight must be positive")
+
+
+@dataclass
+class _TenantState:
+    tenant: Tenant
+    bucket: TokenBucket
+    #: request outcome counters (served/rate_limited), surfaced in stats
+    served: int = 0
+    rate_limited: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class TenantRegistry:
+    """API-key lookup plus per-tenant rate limiting and counters."""
+
+    def __init__(self, tenants: "list[Tenant] | None" = None):
+        self._states: dict[str, _TenantState] = {}
+        self._by_key: dict[str, str] = {}
+        for tenant in tenants or []:
+            self.add(tenant)
+
+    def add(self, tenant: Tenant) -> None:
+        if tenant.name in self._states:
+            raise ValueError(f"duplicate tenant name {tenant.name!r}")
+        if tenant.key in self._by_key:
+            raise ValueError(
+                f"tenant {tenant.name!r} reuses the API key of "
+                f"{self._by_key[tenant.key]!r}"
+            )
+        self._states[tenant.name] = _TenantState(
+            tenant, TokenBucket(tenant.rate, tenant.burst)
+        )
+        self._by_key[tenant.key] = tenant.name
+
+    @classmethod
+    def from_file(cls, path: "str | Path") -> "TenantRegistry":
+        """Load a registry from a JSON keyfile (see the module docstring)."""
+        payload = json.loads(Path(path).read_text())
+        entries = payload.get("tenants") if isinstance(payload, dict) else payload
+        if not isinstance(entries, list):
+            raise ValueError(
+                f"keyfile {path} must hold a list of tenants or "
+                '{"tenants": [...]}'
+            )
+        tenants = []
+        for entry in entries:
+            if not isinstance(entry, dict):
+                raise ValueError(f"keyfile tenant entries must be objects, got {entry!r}")
+            known = {"name", "key", "weight", "rate", "burst", "admin", "max_priority"}
+            unknown = set(entry) - known
+            if unknown:
+                raise ValueError(
+                    f"unknown keyfile fields {sorted(unknown)} for tenant "
+                    f"{entry.get('name')!r}"
+                )
+            tenants.append(Tenant(**entry))
+        if not tenants:
+            raise ValueError(f"keyfile {path} declares no tenants")
+        return cls(tenants)
+
+    # -- request path ------------------------------------------------------------------
+
+    def authenticate(self, key: "str | None") -> Tenant:
+        """Resolve an API key to its tenant; raises :class:`AuthError`."""
+        if not key:
+            raise AuthError("missing API key (send X-API-Key or Authorization: Bearer)")
+        for candidate, name in self._by_key.items():
+            # Constant-time comparison: an attacker timing the lookup must not
+            # learn key prefixes.
+            if hmac.compare_digest(candidate, key):
+                return self._states[name].tenant
+        raise AuthError("unknown API key")
+
+    def check_rate(self, tenant: Tenant) -> None:
+        """Take one rate-limit token; raises :class:`RateLimited` when empty."""
+        state = self._states[tenant.name]
+        retry_after = state.bucket.acquire()
+        with state.lock:
+            if retry_after > 0.0:
+                state.rate_limited += 1
+            else:
+                state.served += 1
+        if retry_after > 0.0:
+            raise RateLimited(tenant.name, retry_after)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def tenants(self) -> list[Tenant]:
+        return [state.tenant for state in self._states.values()]
+
+    def get(self, name: str) -> "Tenant | None":
+        state = self._states.get(name)
+        return state.tenant if state else None
+
+    def stats(self) -> dict:
+        """Per-tenant counters for ``/v1/stats`` and the Prometheus endpoint."""
+        out = {}
+        for name, state in self._states.items():
+            with state.lock:
+                out[name] = {
+                    "weight": state.tenant.weight,
+                    "rate": state.tenant.rate,
+                    "burst": state.tenant.burst,
+                    "admin": state.tenant.admin,
+                    "served": state.served,
+                    "rate_limited": state.rate_limited,
+                }
+        return out

@@ -1,0 +1,239 @@
+""":class:`GatewayClient` — a stdlib HTTP client for the gateway.
+
+Used by the tests, benchmarks and examples, and a reasonable starting point
+for real non-Python clients (every call is one plain HTTP request; the wire
+format is documented by example in the README).  Only ``urllib.request`` is
+used — no third-party HTTP stack::
+
+    client = GatewayClient("http://127.0.0.1:8080", api_key="alice-key")
+    result = client.compile(circuit, backend="qiskit-o3", device="ibmq_washington")
+    print(result.reward, result.wall_time)
+
+    job_id = client.submit(circuit, backend="tket-o2")       # async
+    for event in client.events(job_id):                       # SSE progress
+        print(event["event"])
+    result = client.result(job_id)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import TYPE_CHECKING
+
+from ..api.result import CompilationResult
+from ..circuit.qasm import to_qasm
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..circuit.circuit import QuantumCircuit
+
+__all__ = ["GatewayClient", "GatewayError"]
+
+
+class GatewayError(Exception):
+    """A non-2xx gateway response, carrying the structured error payload."""
+
+    def __init__(self, status: int, error_type: str, message: str, retry_after=None):
+        self.status = status
+        self.error_type = error_type
+        #: seconds to wait before retrying (from ``Retry-After``, 429s only)
+        self.retry_after = retry_after
+        super().__init__(f"HTTP {status} [{error_type}]: {message}")
+
+
+class GatewayClient:
+    """Talk to a :class:`~repro.gateway.GatewayServer` over HTTP."""
+
+    def __init__(self, base_url: str, *, api_key: "str | None" = None, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.api_key = api_key
+        self.timeout = timeout
+
+    # -- low-level ---------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: "dict | None" = None,
+        *,
+        timeout: "float | None" = None,
+        raw: bool = False,
+    ):
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method
+        )
+        request.add_header("Content-Type", "application/json")
+        if self.api_key:
+            request.add_header("X-API-Key", self.api_key)
+        try:
+            with urllib.request.urlopen(request, timeout=timeout or self.timeout) as response:
+                payload = response.read()
+                return payload.decode() if raw else json.loads(payload)
+        except urllib.error.HTTPError as exc:
+            raise self._to_error(exc) from None
+
+    @staticmethod
+    def _to_error(exc: urllib.error.HTTPError) -> GatewayError:
+        retry_after = exc.headers.get("Retry-After") if exc.headers else None
+        try:
+            detail = json.loads(exc.read()).get("error", {})
+        except Exception:  # noqa: BLE001 - non-JSON error bodies still surface
+            detail = {}
+        return GatewayError(
+            exc.code,
+            detail.get("type", "http_error"),
+            detail.get("message", str(exc)),
+            retry_after=float(retry_after) if retry_after else None,
+        )
+
+    @staticmethod
+    def _payload(circuit, backend, device, objective, seed, priority, deadline, name) -> dict:
+        qasm = circuit if isinstance(circuit, str) else to_qasm(circuit)
+        payload = {
+            "qasm": qasm,
+            "backend": backend,
+            "objective": objective,
+            "seed": seed,
+            "priority": priority,
+        }
+        if device is not None:
+            payload["device"] = device
+        if deadline is not None:
+            payload["deadline"] = deadline
+        if name:
+            payload["name"] = name
+        elif not isinstance(circuit, str):
+            payload["name"] = circuit.name
+        return payload
+
+    # -- compile -----------------------------------------------------------------------
+
+    def compile(
+        self,
+        circuit: "QuantumCircuit | str",
+        backend: str = "qiskit-o3",
+        *,
+        device: "str | None" = None,
+        objective: str = "fidelity",
+        seed: int = 0,
+        priority: int = 0,
+        deadline: "float | None" = None,
+        name: str = "",
+        timeout: "float | None" = None,
+    ) -> CompilationResult:
+        """Synchronous compile: blocks until done, returns the result.
+
+        ``circuit`` may be a :class:`~repro.circuit.QuantumCircuit` or a raw
+        OpenQASM 2 string.  If the gateway's synchronous window elapses first
+        (HTTP 202), the client transparently polls the job to completion.
+        """
+        payload = self._payload(circuit, backend, device, objective, seed, priority, deadline, name)
+        if timeout is not None:
+            payload["timeout"] = timeout
+        response = self._request(
+            "POST", "/v1/compile", payload, timeout=(timeout or self.timeout) + 5
+        )
+        if response.get("state") == "done":
+            return CompilationResult.from_dict(response["result"])
+        return self.result(response["job_id"], timeout=timeout)
+
+    def submit(
+        self,
+        circuit: "QuantumCircuit | str",
+        backend: str = "qiskit-o3",
+        *,
+        device: "str | None" = None,
+        objective: str = "fidelity",
+        seed: int = 0,
+        priority: int = 0,
+        deadline: "float | None" = None,
+        name: str = "",
+    ) -> str:
+        """Asynchronous compile: returns the job id immediately."""
+        payload = self._payload(circuit, backend, device, objective, seed, priority, deadline, name)
+        response = self._request("POST", "/v1/compile?mode=async", payload)
+        return response["job_id"]
+
+    # -- jobs --------------------------------------------------------------------------
+
+    def job(self, job_id: str) -> dict:
+        """Job status: state, priority, timestamps, lifecycle event log."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(
+        self, job_id: str, *, timeout: "float | None" = None, poll: float = 0.05
+    ) -> CompilationResult:
+        """Fetch a job's result, polling until it is done (or ``timeout``)."""
+        deadline = time.monotonic() + (timeout if timeout is not None else self.timeout)
+        while True:
+            response = self._request("GET", f"/v1/jobs/{job_id}/result")
+            if response.get("state") == "done":
+                return CompilationResult.from_dict(response["result"])
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {response.get('state')!r} after the timeout"
+                )
+            time.sleep(poll)
+
+    def events(self, job_id: str, *, timeout: "float | None" = None):
+        """Stream a job's server-sent events; yields dicts until ``done``.
+
+        Each yielded dict carries ``event`` (``queued``/``started``/``done``)
+        plus the event's data fields.  The generator ends when the job
+        completes or the server closes the stream.
+        """
+        request = urllib.request.Request(self.base_url + f"/v1/jobs/{job_id}/events")
+        if self.api_key:
+            request.add_header("X-API-Key", self.api_key)
+        try:
+            response = urllib.request.urlopen(request, timeout=timeout or self.timeout)
+        except urllib.error.HTTPError as exc:
+            raise self._to_error(exc) from None
+        with response:
+            event_type = None
+            for raw in response:
+                line = raw.decode().rstrip("\n")
+                if line.startswith(":"):
+                    continue  # keepalive comment
+                if line.startswith("event:"):
+                    event_type = line[6:].strip()
+                elif line.startswith("data:"):
+                    data = json.loads(line[5:].strip())
+                    yield {"event": event_type, **data}
+                    if event_type == "done":
+                        return
+                elif not line:
+                    event_type = None
+
+    # -- ops ---------------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def metrics(self) -> str:
+        """The raw Prometheus exposition text."""
+        return self._request("GET", "/metrics", raw=True)
+
+    def healthz(self) -> dict:
+        """Health payload; never raises on 503 (draining is a valid answer)."""
+        try:
+            return self._request("GET", "/healthz")
+        except GatewayError as exc:
+            if exc.status == 503:
+                # Re-fetch the body: _to_error consumed it into the message.
+                request = urllib.request.Request(self.base_url + "/healthz")
+                try:
+                    with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                        return json.loads(response.read())
+                except urllib.error.HTTPError as http_exc:
+                    return json.loads(http_exc.read())
+            raise
+
+    def drain(self, grace: "float | None" = None) -> dict:
+        """``POST /admin/drain`` (requires an admin tenant's key)."""
+        body = {} if grace is None else {"grace": grace}
+        return self._request("POST", "/admin/drain", body)

@@ -1,0 +1,89 @@
+"""Weighted fair-share scheduling: tenant weights → service priorities.
+
+The compile service already schedules strictly by integer ``priority=``
+(higher first, FIFO within a priority).  That is exactly the hook a gateway
+needs for multi-tenant fairness: assign every request a priority that encodes
+*how far ahead of its fair share* the tenant is, and the service's priority
+queues do the rest — one hot tenant queues behind everyone it has already
+out-consumed instead of starving them.
+
+The algorithm is stride scheduling (virtual-time weighted fair queueing):
+
+* each tenant owns a **virtual time** that advances by ``1 / weight`` per
+  request — heavy (high-weight) tenants advance slowly, so they are allowed
+  proportionally more requests before falling behind;
+* a request's priority is the *negated* virtual time at submission (scaled to
+  an integer), so the tenant with the lowest virtual time — the one furthest
+  *below* its fair share — always runs first on a saturated lane;
+* the **system virtual clock** (the floor) advances only as requests
+  *complete* (:meth:`FairShareScheduler.complete`), and an idle or new
+  tenant's virtual time is lifted to it on arrival.  Sitting out therefore
+  banks no credit — but a newcomer still overtakes a hot tenant's queued
+  backlog, because queued-not-served work has not advanced the clock.
+
+Clients may still send a small per-request ``priority`` hint (clamped to the
+tenant's ``max_priority``); it nudges ordering between nearly-tied requests
+but cannot overcome a whole-share deficit, because one fair-share step is
+:data:`FairShareScheduler.RESOLUTION` priority units.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["FairShareScheduler"]
+
+
+class FairShareScheduler:
+    """Maps (tenant, weight) onto the compile service's integer priorities."""
+
+    #: priority units per unit of virtual time; one weight-1 request costs
+    #: exactly this many units, and hints are clamped well below it
+    RESOLUTION = 1000
+
+    def __init__(self):
+        self._vtimes: dict[str, float] = {}
+        self._requests: dict[str, int] = {}
+        self._floor = 0.0
+        self._lock = threading.Lock()
+
+    def next_ticket(self, tenant: str, weight: float = 1.0, hint: int = 0) -> tuple:
+        """Charge one request to ``tenant``; returns ``(priority, vtime)``.
+
+        ``priority`` goes to the service; ``vtime`` must be handed back to
+        :meth:`complete` when the request resolves, advancing the system
+        clock.  ``hint`` is added verbatim (callers clamp it to the tenant's
+        cap); it is worth less than one fair-share step by construction.
+        """
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        with self._lock:
+            vtime = max(self._vtimes.get(tenant, self._floor), self._floor)
+            self._vtimes[tenant] = vtime + 1.0 / weight
+            self._requests[tenant] = self._requests.get(tenant, 0) + 1
+            return -round(vtime * self.RESOLUTION) + int(hint), vtime
+
+    def next_priority(self, tenant: str, weight: float = 1.0, hint: int = 0) -> int:
+        """:meth:`next_ticket` for callers that do not feed completions back."""
+        return self.next_ticket(tenant, weight, hint=hint)[0]
+
+    def complete(self, vtime: float) -> None:
+        """Advance the system virtual clock past one completed request."""
+        with self._lock:
+            if vtime > self._floor:
+                self._floor = vtime
+
+    def stats(self) -> dict:
+        """Per-tenant virtual time / request counters (for ``/v1/stats``)."""
+        with self._lock:
+            return {
+                "floor": self._floor,
+                "tenants": {
+                    name: {
+                        "virtual_time": self._vtimes[name],
+                        "requests": self._requests.get(name, 0),
+                        "behind_fair_share": self._vtimes[name] - self._floor,
+                    }
+                    for name in self._vtimes
+                },
+            }

@@ -1,0 +1,188 @@
+"""Gateway job bookkeeping: id'd requests, lifecycle events, SSE plumbing.
+
+Every HTTP compilation — synchronous or not — becomes a :class:`Job`: an
+unguessable id a tenant can poll (``GET /v1/jobs/<id>``), fetch the result of
+(``/result``) and stream progress from (``/events``).  The :class:`JobStore`
+owns them: tenant-scoped lookup (a tenant can only see its own jobs), bounded
+retention of finished jobs, and a per-job condition variable that wakes
+server-sent-event streams the moment a new lifecycle event lands.
+"""
+
+from __future__ import annotations
+
+import itertools
+import secrets
+import threading
+import time
+from concurrent.futures import Future
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.result import CompilationResult
+
+__all__ = ["Job", "JobStore"]
+
+#: terminal job state
+DONE = "done"
+
+
+class Job:
+    """One gateway compilation request and its lifecycle event log."""
+
+    def __init__(
+        self,
+        job_id: str,
+        tenant: str,
+        backend: str,
+        future: Future,
+        *,
+        mode: str = "sync",
+        priority: int = 0,
+        deadline: float | None = None,
+        circuit_name: str = "",
+    ):
+        self.id = job_id
+        self.tenant = tenant
+        self.backend = backend
+        self.future = future
+        self.mode = mode
+        self.priority = priority
+        self.deadline = deadline
+        self.circuit_name = circuit_name
+        self.created_at = time.time()
+        self.finished_at: float | None = None
+        self.state = "queued"
+        self.result: "CompilationResult | None" = None
+        self._events: list[dict] = []
+        self._cond = threading.Condition()
+        self.record("queued", {"backend": backend, "priority": priority})
+
+    # -- event log ---------------------------------------------------------------------
+
+    def record(self, event: str, data: "dict | None" = None) -> None:
+        """Append one lifecycle event and wake any SSE stream waiting on it."""
+        with self._cond:
+            if self.state == DONE and event != DONE:
+                return  # late/racing transition after completion: ignore
+            self.state = "running" if event == "started" else self.state
+            if event == DONE:
+                self.state = DONE
+                self.finished_at = time.time()
+            self._events.append(
+                {"event": event, "time": time.time(), "data": data or {}}
+            )
+            self._cond.notify_all()
+
+    def finish(self, result: "CompilationResult") -> None:
+        """Mark the job done exactly once (idempotent across racing callers)."""
+        with self._cond:
+            if self.state == DONE:
+                return
+            self.result = result
+        self.record(
+            DONE,
+            {
+                "succeeded": result.succeeded,
+                "error": result.error,
+                "deadline_exceeded": bool(result.metadata.get("deadline_exceeded")),
+                "cached": bool(result.metadata.get("cached")),
+            },
+        )
+
+    def events_since(self, index: int, timeout: float | None = None) -> list[dict]:
+        """Events after ``index``; blocks up to ``timeout`` for a new one.
+
+        Returns an empty list on timeout (SSE streams emit a keepalive and
+        wait again) — and immediately once the job is done and the log is
+        exhausted.
+        """
+        with self._cond:
+            if index >= len(self._events) and self.state != DONE:
+                self._cond.wait(timeout)
+            return self._events[index:]
+
+    @property
+    def done(self) -> bool:
+        return self.state == DONE
+
+    def describe(self) -> dict:
+        """The ``GET /v1/jobs/<id>`` JSON view."""
+        with self._cond:
+            events = list(self._events)
+            state = self.state
+            finished_at = self.finished_at
+        payload = {
+            "job_id": self.id,
+            "tenant": self.tenant,
+            "backend": self.backend,
+            "circuit": self.circuit_name,
+            "mode": self.mode,
+            "state": state,
+            "priority": self.priority,
+            "deadline": self.deadline,
+            "created_at": self.created_at,
+            "finished_at": finished_at,
+            "events": events,
+        }
+        if finished_at is not None:
+            payload["wall_seconds"] = finished_at - self.created_at
+        return payload
+
+
+class JobStore:
+    """Thread-safe registry of jobs with bounded finished-job retention."""
+
+    def __init__(self, max_finished: int = 1024):
+        self.max_finished = max(1, max_finished)
+        self._jobs: dict[str, Job] = {}
+        #: finished job ids in completion order (retention ring)
+        self._finished: list[str] = []
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def create(
+        self,
+        tenant: str,
+        backend: str,
+        future: Future,
+        **kwargs,
+    ) -> Job:
+        # Counter for ordering/debuggability, token for unguessability: job
+        # ids are capability-ish (knowing one shortcuts tenant scoping only
+        # for your own jobs — lookups still check the tenant).
+        job_id = f"job-{next(self._ids)}-{secrets.token_hex(4)}"
+        job = Job(job_id, tenant, backend, future, **kwargs)
+        with self._lock:
+            self._jobs[job_id] = job
+        return job
+
+    def get(self, job_id: str, tenant: "str | None" = None) -> "Job | None":
+        """Look up a job; non-admin callers only see their own tenant's jobs."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            return None
+        if tenant is not None and job.tenant != tenant:
+            return None  # indistinguishable from absent: no existence oracle
+        return job
+
+    def mark_finished(self, job: Job) -> None:
+        """Enter the retention ring; the oldest finished jobs are dropped."""
+        with self._lock:
+            self._finished.append(job.id)
+            while len(self._finished) > self.max_finished:
+                victim = self._finished.pop(0)
+                self._jobs.pop(victim, None)
+
+    def unfinished_count(self) -> int:
+        with self._lock:
+            return sum(1 for job in self._jobs.values() if not job.done)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "tracked": len(self._jobs),
+                "finished_retained": len(self._finished),
+                "unfinished": sum(1 for job in self._jobs.values() if not job.done),
+                "max_finished": self.max_finished,
+            }

@@ -1,0 +1,573 @@
+"""The HTTP/JSON gateway server (stdlib ``http.server``, no third-party deps).
+
+:class:`GatewayServer` fronts one :class:`~repro.service.CompileService` with
+a multi-tenant HTTP surface:
+
+==========================  ========================================================
+``POST /v1/compile``        QASM in; compile synchronously or (``mode=async``)
+                            return a job id immediately
+``GET /v1/jobs/<id>``       job status + lifecycle event log
+``GET /v1/jobs/<id>/result``  the compiled QASM + metrics once done
+``GET /v1/jobs/<id>/events``  server-sent events (``queued``/``started``/``done``)
+``GET /v1/stats``           service + gateway + tenant + fair-share stats,
+                            with the sampler's ring-buffer time series
+``GET /metrics``            Prometheus text exposition
+``GET /healthz``            readiness (200 while serving, 503 while draining)
+``POST /admin/drain``       finish queued work, then report draining (rolling
+                            restarts; admin tenants only)
+==========================  ========================================================
+
+Tenancy is enforced here, not in the service: API keys resolve to
+:class:`~repro.gateway.auth.Tenant`\\ s, token buckets answer 429 +
+``Retry-After`` when a tenant submits too fast, and the weighted fair-share
+scheduler maps tenant weight onto the service's ``priority=`` metadata so a
+hot tenant queues behind the share it has already consumed instead of
+starving everyone else.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+from urllib.parse import parse_qs, urlsplit
+
+from ..circuit.qasm import QasmError, from_qasm
+from .auth import AuthError, RateLimited, Tenant, TenantRegistry
+from .fairshare import FairShareScheduler
+from .jobs import JobStore
+from .metrics import LatencyWindow, StatsSampler, render_prometheus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service.service import CompileService
+
+__all__ = ["GatewayServer"]
+
+#: request bodies above this are refused with 413 (QASM text is small)
+MAX_BODY_BYTES = 2 * 1024 * 1024
+
+#: hard ceiling on one SSE stream's lifetime
+MAX_STREAM_SECONDS = 600.0
+
+
+class _HTTPError(Exception):
+    """Internal: carries an HTTP status + JSON error payload to the handler."""
+
+    def __init__(self, status: int, error_type: str, message: str, headers=None):
+        self.status = status
+        self.error_type = error_type
+        self.message = message
+        self.headers = headers or {}
+        super().__init__(message)
+
+
+class GatewayServer:
+    """Multi-tenant HTTP/JSON front-end over one compile service.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.service.CompileService` to front.  The gateway
+        does not own it — callers shut the service down after the gateway.
+    tenants:
+        A :class:`~repro.gateway.auth.TenantRegistry` (or list of
+        :class:`~repro.gateway.auth.Tenant`).  ``None`` runs in **open mode**:
+        no authentication, every request is the implicit ``anonymous`` admin
+        tenant — convenient for development, never for production.
+    host / port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    sync_timeout:
+        Seconds a synchronous ``POST /v1/compile`` waits before degrading to
+        a 202 + job id response (the work keeps running).
+    sample_interval:
+        Seconds between ``stats()`` ring-buffer samples (0 disables the
+        sampler thread; ``/v1/stats`` then shows only on-demand samples).
+    """
+
+    def __init__(
+        self,
+        service: "CompileService",
+        *,
+        tenants: "TenantRegistry | list[Tenant] | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sync_timeout: float = 60.0,
+        sample_interval: float = 1.0,
+        max_finished_jobs: int = 1024,
+        name: str = "repro-gateway",
+    ):
+        self.name = name
+        self.service = service
+        if tenants is None:
+            self.registry = None
+            self._anonymous = Tenant(name="anonymous", key="-", admin=True)
+        elif isinstance(tenants, TenantRegistry):
+            self.registry = tenants
+        else:
+            self.registry = TenantRegistry(list(tenants))
+        self.fairshare = FairShareScheduler()
+        self.jobs = JobStore(max_finished=max_finished_jobs)
+        self.latency = LatencyWindow()
+        self.sync_timeout = sync_timeout
+        self._future_jobs: dict = {}
+        self._counters = {
+            "http_requests": 0,
+            "auth_failures": 0,
+            "rate_limited": 0,
+            "jobs_submitted": 0,
+            "jobs_completed": 0,
+            "sse_streams": 0,
+            "drain_requests": 0,
+        }
+        self._lock = threading.Lock()
+        self._state = "ok"  # ok -> draining -> drained
+        self._drain_thread: "threading.Thread | None" = None
+        self.sampler = StatsSampler(service.stats, interval=sample_interval or 1.0)
+        if sample_interval:
+            self.sampler.start()
+        service.add_observer(self._on_service_event)
+        self._httpd = _GatewayHTTPServer((host, port), _Handler, gateway=self)
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name=f"{name}-http",
+            daemon=True,
+        )
+        self._serve_thread.start()
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple:
+        """The bound ``(host, port)`` (the OS-assigned port when ``port=0``)."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def begin_drain(self, grace: "float | None" = None) -> dict:
+        """Refuse new compile work, finish queued work, report ``drained``.
+
+        Returns immediately with the current drain status; a background
+        thread waits (up to ``grace`` seconds, forever when ``None``) for the
+        service to finish every accepted request, then flips the state to
+        ``drained``.  Idempotent — repeated calls report progress.
+        """
+        with self._lock:
+            if self._state == "ok":
+                self._state = "draining"
+                self._counters["drain_requests"] += 1
+                started = True
+            else:
+                self._counters["drain_requests"] += 1
+                started = False
+        if started:
+            self.service.set_draining(True)
+
+            def _drain() -> None:
+                completed = self.service.drain(timeout=grace)
+                with self._lock:
+                    self._state = "drained" if completed else self._state
+                if not completed:
+                    # Grace expired with work still pending: stay `draining`
+                    # (healthz keeps failing; the operator decides what next).
+                    pass
+
+            self._drain_thread = threading.Thread(
+                target=_drain, name=f"{self.name}-drain", daemon=True
+            )
+            self._drain_thread.start()
+        return self.health()
+
+    def close(self) -> None:
+        """Stop the HTTP listener and sampler (the service is left running)."""
+        self.sampler.stop()
+        self.service.remove_observer(self._on_service_event)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._serve_thread.join(timeout=5)
+
+    def __enter__(self) -> "GatewayServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request handling (called from handler threads) --------------------------------
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def counters(self) -> dict:
+        with self._lock:
+            return dict(self._counters)
+
+    def authenticate(self, api_key: "str | None") -> Tenant:
+        if self.registry is None:
+            return self._anonymous
+        try:
+            return self.registry.authenticate(api_key)
+        except AuthError as exc:
+            self.bump("auth_failures")
+            raise _HTTPError(401, "auth_error", str(exc)) from None
+
+    def check_rate(self, tenant: Tenant) -> None:
+        if self.registry is None:
+            return
+        try:
+            self.registry.check_rate(tenant)
+        except RateLimited as exc:
+            self.bump("rate_limited")
+            raise _HTTPError(
+                429,
+                "rate_limited",
+                str(exc),
+                headers={"Retry-After": exc.header_value()},
+            ) from None
+
+    def submit(self, tenant: Tenant, payload: dict, mode: str):
+        """Validate one compile payload and enqueue it; returns the Job."""
+        if self.state != "ok":
+            raise _HTTPError(
+                503, "draining", "gateway is draining; not accepting new work"
+            )
+        if not isinstance(payload, dict):
+            raise _HTTPError(400, "bad_request", "request body must be a JSON object")
+        qasm = payload.get("qasm")
+        if not isinstance(qasm, str) or not qasm.strip():
+            raise _HTTPError(400, "bad_request", "missing required field 'qasm'")
+        try:
+            circuit = from_qasm(qasm)
+        except QasmError as exc:
+            raise _HTTPError(400, "qasm_error", str(exc)) from None
+        if payload.get("name"):
+            circuit.name = str(payload["name"])
+        backend = payload.get("backend", "qiskit-o3")
+        deadline = payload.get("deadline")
+        try:
+            hint = int(payload.get("priority", 0))
+        except (TypeError, ValueError):
+            raise _HTTPError(400, "bad_request", "'priority' must be an integer") from None
+        hint = max(0, min(hint, tenant.max_priority))
+        priority, vtime = self.fairshare.next_ticket(tenant.name, tenant.weight, hint=hint)
+        try:
+            future = self.service.submit(
+                circuit,
+                backend,
+                device=payload.get("device"),
+                objective=payload.get("objective", "fidelity"),
+                seed=int(payload.get("seed", 0)),
+                priority=priority,
+                deadline=deadline,
+            )
+        except (TypeError, KeyError, ValueError) as exc:
+            # Unknown backend/device/objective or a bad deadline — caller
+            # errors, reported as such (the service validates in our thread).
+            message = str(exc.args[0]) if exc.args else str(exc)
+            raise _HTTPError(400, "bad_request", message) from None
+        except RuntimeError as exc:  # service shut down underneath the gateway
+            raise _HTTPError(503, "unavailable", str(exc)) from None
+        job = self.jobs.create(
+            tenant.name,
+            str(backend),
+            future,
+            mode=mode,
+            priority=hint,
+            deadline=deadline,
+            circuit_name=circuit.name,
+        )
+        self.bump("jobs_submitted")
+        with self._lock:
+            self._future_jobs[future] = job
+        future.add_done_callback(self._make_done_callback(job, tenant.name, hint, vtime))
+        return job
+
+    def _make_done_callback(self, job, tenant_name: str, hint: int, vtime: float):
+        def _done(future) -> None:
+            try:
+                result = future.result()
+            except Exception as exc:  # noqa: BLE001 - futures normally hold results
+                from ..api.batch import _failure_result
+
+                result = _failure_result(
+                    from_qasm("OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\n"),
+                    job.backend,
+                    "fidelity",
+                    exc,
+                )
+            job.finish(result)
+            self.jobs.mark_finished(job)
+            self.fairshare.complete(vtime)
+            elapsed = time.time() - job.created_at
+            self.latency.observe(f"tenant:{tenant_name}", elapsed)
+            self.latency.observe(f"priority:{hint}", elapsed)
+            self.bump("jobs_completed")
+            with self._lock:
+                self._future_jobs.pop(future, None)
+
+        return _done
+
+    def _on_service_event(self, event: str, request, result) -> None:
+        if event != "started":
+            return
+        with self._lock:
+            job = self._future_jobs.get(request.future)
+        if job is not None:
+            job.record("started", {"backend": request.backend.name})
+
+    # -- read-side payloads ------------------------------------------------------------
+
+    def health(self) -> dict:
+        state = self.state
+        service_health = self.service.health()
+        return {
+            "name": self.name,
+            "status": state,
+            "ready": state == "ok" and service_health["ready"],
+            "service": service_health,
+            "jobs_unfinished": self.jobs.stats()["unfinished"],
+        }
+
+    def stats(self) -> dict:
+        payload = {
+            "gateway": {
+                "name": self.name,
+                "status": self.state,
+                "counters": self.counters(),
+                "jobs": self.jobs.stats(),
+                "latency": self.latency.summary(),
+                "fair_share": self.fairshare.stats(),
+            },
+            "service": self.service.stats(),
+            "timeseries": self.sampler.series(),
+        }
+        if self.registry is not None:
+            payload["tenants"] = self.registry.stats()
+        return payload
+
+    def metrics_text(self) -> str:
+        return render_prometheus(
+            self.service.stats(),
+            gateway_counters=self.counters(),
+            tenant_stats=self.registry.stats() if self.registry else None,
+            latency=self.latency,
+            health=self.health(),
+        )
+
+
+class _GatewayHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, *, gateway: GatewayServer):
+        self.gateway = gateway
+        super().__init__(address, handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: _GatewayHTTPServer
+
+    # -- plumbing ----------------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Silence the default stderr access log (metrics cover it)."""
+
+    @property
+    def gateway(self) -> GatewayServer:
+        return self.server.gateway
+
+    def _api_key(self) -> "str | None":
+        key = self.headers.get("X-API-Key")
+        if key:
+            return key.strip()
+        auth = self.headers.get("Authorization", "")
+        if auth.lower().startswith("bearer "):
+            return auth[7:].strip()
+        return None
+
+    def _send_json(self, status: int, payload: dict, headers: "dict | None" = None) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_payload(self, exc: _HTTPError) -> None:
+        self._send_json(
+            exc.status,
+            {"error": {"type": exc.error_type, "message": exc.message}},
+            headers=exc.headers,
+        )
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise _HTTPError(413, "too_large", f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _HTTPError(400, "bad_json", f"request body is not valid JSON: {exc}") from None
+
+    def _dispatch(self, method: str) -> None:
+        self.gateway.bump("http_requests")
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/") or "/"
+        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+        try:
+            self._route(method, path, query)
+        except _HTTPError as exc:
+            self._send_error_payload(exc)
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            self.close_connection = True
+        except Exception as exc:  # noqa: BLE001 - surface as a 500, keep serving
+            self._send_json(
+                500,
+                {"error": {"type": "internal", "message": f"{type(exc).__name__}: {exc}"}},
+            )
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+    # -- routing -----------------------------------------------------------------------
+
+    def _route(self, method: str, path: str, query: dict) -> None:
+        if path == "/healthz" and method == "GET":
+            return self._handle_healthz()
+        if path == "/metrics" and method == "GET":
+            return self._handle_metrics()
+        tenant = self.gateway.authenticate(self._api_key())
+        if path == "/v1/compile" and method == "POST":
+            return self._handle_compile(tenant, query)
+        if path == "/v1/stats" and method == "GET":
+            return self._send_json(200, self.gateway.stats())
+        if path.startswith("/v1/jobs/") and method == "GET":
+            rest = path[len("/v1/jobs/") :]
+            job_id, _, sub = rest.partition("/")
+            job = self.gateway.jobs.get(job_id, None if tenant.admin else tenant.name)
+            if job is None:
+                raise _HTTPError(404, "not_found", f"no job {job_id!r} for this tenant")
+            if sub == "":
+                return self._send_json(200, job.describe())
+            if sub == "result":
+                return self._handle_result(job)
+            if sub == "events":
+                return self._handle_events(job)
+            raise _HTTPError(404, "not_found", f"unknown job sub-resource {sub!r}")
+        if path == "/admin/drain" and method == "POST":
+            if not tenant.admin:
+                raise _HTTPError(
+                    403, "forbidden", f"tenant {tenant.name!r} is not an admin"
+                )
+            body = self._read_json()
+            grace = body.get("grace")
+            status = self.gateway.begin_drain(None if grace is None else float(grace))
+            return self._send_json(202, status)
+        raise _HTTPError(404, "not_found", f"no route for {method} {path}")
+
+    # -- endpoint bodies ---------------------------------------------------------------
+
+    def _handle_healthz(self) -> None:
+        health = self.gateway.health()
+        self._send_json(200 if health["ready"] else 503, health)
+
+    def _handle_metrics(self) -> None:
+        body = self.gateway.metrics_text().encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _handle_compile(self, tenant: Tenant, query: dict) -> None:
+        self.gateway.check_rate(tenant)
+        payload = self._read_json()
+        mode = str(query.get("mode") or payload.get("mode") or "sync").lower()
+        if mode not in ("sync", "async"):
+            raise _HTTPError(400, "bad_request", f"mode must be sync or async, got {mode!r}")
+        job = self.gateway.submit(tenant, payload, mode)
+        links = {
+            "status_url": f"/v1/jobs/{job.id}",
+            "result_url": f"/v1/jobs/{job.id}/result",
+            "events_url": f"/v1/jobs/{job.id}/events",
+        }
+        if mode == "async":
+            return self._send_json(202, {"job_id": job.id, "state": job.state, **links})
+        timeout = payload.get("timeout")
+        wait = self.gateway.sync_timeout
+        if timeout is not None:
+            try:
+                wait = min(float(timeout), wait)
+            except (TypeError, ValueError):
+                raise _HTTPError(400, "bad_request", "'timeout' must be a number") from None
+        try:
+            result = job.future.result(timeout=wait)
+        except (TimeoutError, FutureTimeoutError):
+            # Still compiling: degrade to async semantics instead of holding
+            # the connection forever — the job id keeps working.
+            return self._send_json(
+                202,
+                {"job_id": job.id, "state": job.state, "timed_out_after": wait, **links},
+            )
+        self._send_json(
+            200,
+            {"job_id": job.id, "state": "done", "result": result.to_dict(), **links},
+        )
+
+    def _handle_result(self, job) -> None:
+        if not job.done:
+            return self._send_json(
+                202,
+                {"job_id": job.id, "state": job.state},
+                headers={"Retry-After": "1"},
+            )
+        result = job.result
+        assert result is not None
+        self._send_json(200, {"job_id": job.id, "state": job.state, "result": result.to_dict()})
+
+    def _handle_events(self, job) -> None:
+        """Stream the job's lifecycle as server-sent events until it is done."""
+        self.gateway.bump("sse_streams")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        index = 0
+        deadline = time.monotonic() + MAX_STREAM_SECONDS
+        while time.monotonic() < deadline:
+            events = job.events_since(index, timeout=0.5)
+            if events:
+                for event in events:
+                    data = json.dumps({"job_id": job.id, "time": event["time"], **event["data"]})
+                    self.wfile.write(
+                        f"event: {event['event']}\ndata: {data}\n\n".encode()
+                    )
+                index += len(events)
+                self.wfile.flush()
+            elif job.done:
+                return  # log exhausted and job finished: stream complete
+            else:
+                self.wfile.write(b": keepalive\n\n")
+                self.wfile.flush()

@@ -210,6 +210,12 @@ class ServiceClient:
             return self._service.ping()
         return self._proxy.ping()
 
+    def health(self) -> dict:
+        """The service's readiness snapshot (``status`` / ``ready`` / depth)."""
+        if self._service is not None:
+            return self._service.health()
+        return self._proxy.health()
+
     def close(self) -> None:
         """Release client-side resources (never stops the service itself)."""
         if self._waiters is not None:

@@ -66,7 +66,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["CompileRequest", "CompileService", "DeadlineExceeded", "SERVICE_RPC_METHODS"]
 
 #: CompileService methods exposed to remote clients through the manager
-SERVICE_RPC_METHODS = ("submit_request", "wait_result", "stats", "ping")
+SERVICE_RPC_METHODS = ("submit_request", "wait_result", "stats", "ping", "health")
 
 #: scheduler-queue sentinel that stops the scheduler thread
 _STOP = object()
@@ -406,6 +406,8 @@ class CompileService:
             "latency_max": 0.0,
         }
         self._scale_events: list[dict] = []
+        self._observers: list = []
+        self._draining = False
         self._seq = itertools.count()
         self._request_ids = itertools.count(1)
         self._tickets: dict[str, Future] = {}
@@ -480,6 +482,7 @@ class CompileService:
             self._unfinished += 1
             self._metrics["submitted"] += 1
             self._queue.put((request.sort_key(), request))
+        self._notify("queued", request)
         return request.future
 
     def submit_many(
@@ -506,6 +509,42 @@ class CompileService:
             )
             for circuit in circuits
         ]
+
+    def add_observer(self, observer) -> None:
+        """Subscribe to request lifecycle events.
+
+        ``observer(event, request, result)`` is called with ``event`` one of
+        ``"queued"`` (accepted into the scheduler queue), ``"started"`` (a
+        lane worker claimed the request) and ``"finished"`` (the future
+        resolved; ``result`` is the :class:`~repro.CompilationResult`,
+        including structured failures and deadline expiries — ``result`` is
+        ``None`` for the other events).  Cache hits and coalesced followers
+        jump straight from ``"queued"`` to ``"finished"``.
+
+        Callbacks run on scheduler/worker threads: they must be fast and must
+        not call back into the service.  Exceptions are swallowed — a broken
+        observer must not kill a worker.  This is the progress seam the HTTP
+        gateway's server-sent-events endpoint is built on.
+        """
+        with self._lock:
+            self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        """Unsubscribe a previously added observer (no-op if absent)."""
+        with self._lock:
+            try:
+                self._observers.remove(observer)
+            except ValueError:
+                pass
+
+    def _notify(self, event: str, request: CompileRequest, result=None) -> None:
+        with self._lock:
+            observers = list(self._observers)
+        for observer in observers:
+            try:
+                observer(event, request, result)
+            except Exception:  # noqa: BLE001 - observers must never hurt the service
+                pass
 
     def drain(self, timeout: float | None = None) -> bool:
         """Block until every submitted request has resolved.
@@ -620,6 +659,47 @@ class CompileService:
     def ping(self) -> str:
         """Liveness probe for remote clients."""
         return self.name
+
+    @property
+    def draining(self) -> bool:
+        """True once the service has been marked as draining for a restart."""
+        return self._draining
+
+    def set_draining(self, draining: bool = True) -> None:
+        """Mark (or unmark) the service as draining.
+
+        Purely advisory: the flag flips :meth:`health` to ``"draining"`` so
+        load balancers and the HTTP gateway take the host out of rotation,
+        but already-accepted work keeps running and ``submit`` still accepts
+        requests (the layer in front is responsible for refusing new work).
+        """
+        self._draining = bool(draining)
+
+    def health(self) -> dict:
+        """Readiness snapshot for health endpoints and rolling restarts.
+
+        ``status`` is ``"ok"`` while serving, ``"draining"`` once
+        :meth:`set_draining` has been called, and ``"shutdown"`` after
+        :meth:`shutdown`; ``ready`` collapses that to one load-balancer
+        boolean.  Cheaper than :meth:`stats` — safe to poll aggressively.
+        """
+        with self._lock:
+            closed = self._closed
+            unfinished = self._unfinished
+            in_flight = len(self._inflight)
+        if closed:
+            status = "shutdown"
+        elif self._draining:
+            status = "draining"
+        else:
+            status = "ok"
+        return {
+            "name": self.name,
+            "status": status,
+            "ready": status == "ok",
+            "unfinished": unfinished,
+            "in_flight": in_flight,
+        }
 
     # -- metrics ---------------------------------------------------------------------
 
@@ -792,6 +872,7 @@ class CompileService:
         if request.expired():
             self._expire(request, key)
             return
+        self._notify("started", request)
         store = self._shared_store if lane.kind == "process" else None
         payload = (
             request.circuit,
@@ -894,6 +975,7 @@ class CompileService:
             self._metrics["latency_max"] = max(self._metrics["latency_max"], latency)
             self._unfinished -= 1
             self._idle.notify_all()
+        self._notify("finished", request, result)
 
     # -- autoscaler --------------------------------------------------------------------
 

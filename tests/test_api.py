@@ -474,6 +474,62 @@ class TestUnifiedResult:
         assert "FAILED" in result.summary() and "boom" in result.summary()
 
 
+class TestResultJSONRoundTrip:
+    """to_dict()/from_dict() — the gateway's serialisation seam."""
+
+    def test_success_round_trip_through_json(self, washington):
+        import json
+
+        compiled = repro.compile(
+            benchmark_circuit("ghz", 3), backend="qiskit-o1", device="ibmq_washington"
+        )
+        payload = json.loads(json.dumps(compiled.to_dict()))
+        rebuilt = CompilationResult.from_dict(payload)
+        assert rebuilt.succeeded
+        assert rebuilt.backend == compiled.backend
+        assert rebuilt.reward == pytest.approx(compiled.reward)
+        assert rebuilt.reward_name == compiled.reward_name
+        assert rebuilt.scores == pytest.approx(compiled.scores)
+        assert rebuilt.actions == compiled.actions
+        assert rebuilt.device is not None and rebuilt.device.name == washington.name
+        assert rebuilt.circuit.count_ops() == compiled.circuit.count_ops()
+        assert rebuilt.circuit.name == compiled.circuit.name
+        assert rebuilt.wall_time == pytest.approx(compiled.wall_time)
+
+    def test_structured_failure_round_trip(self):
+        import json
+
+        result = CompilationResult(
+            QuantumCircuit(2),
+            None,
+            0.0,
+            "fidelity",
+            reached_done=False,
+            backend="qiskit-o3",
+            succeeded=False,
+            error="DeadlineExceeded: deadline of 0.000s expired",
+            metadata={"deadline_exceeded": True},
+        )
+        rebuilt = CompilationResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert not rebuilt.succeeded
+        assert rebuilt.error == result.error
+        assert rebuilt.metadata["deadline_exceeded"] is True
+        assert rebuilt.device is None
+        assert not rebuilt.reached_done
+
+    def test_unknown_device_degrades_to_none(self):
+        result = CompilationResult(QuantumCircuit(1), None, 0.5, "fidelity")
+        payload = result.to_dict()
+        payload["device"] = "quantum-mainframe-9000"
+        rebuilt = CompilationResult.from_dict(payload)
+        assert rebuilt.device is None
+        assert rebuilt.metadata["unknown_device"] == "quantum-mainframe-9000"
+
+    def test_missing_mandatory_field_raises(self):
+        with pytest.raises(KeyError):
+            CompilationResult.from_dict({"reward_name": "fidelity"})
+
+
 class TestSilentFailureSurfacing:
     def test_evaluate_warns_on_unfinished_compilation(self, trained_predictor, monkeypatch):
         failed = CompilationResult(

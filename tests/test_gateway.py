@@ -1,0 +1,324 @@
+"""Functional tests for the HTTP/JSON gateway subsystem."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.bench import benchmark_circuit
+from repro.circuit import to_qasm
+from repro.gateway import (
+    FairShareScheduler,
+    GatewayClient,
+    GatewayError,
+    GatewayServer,
+    Tenant,
+    TenantRegistry,
+    TokenBucket,
+)
+from repro.gateway.auth import AuthError, RateLimited
+from repro.gateway.metrics import quantile
+from repro.service import CompileService
+
+
+@pytest.fixture(scope="module")
+def ghz3():
+    return benchmark_circuit("ghz", 3)
+
+
+@pytest.fixture()
+def service():
+    with CompileService(max_workers=2) as svc:
+        yield svc
+
+
+TENANTS = [
+    Tenant("alice", "alice-key", weight=4, rate=100.0, burst=100),
+    Tenant("bob", "bob-key", weight=1, rate=100.0, burst=100),
+    Tenant("ops", "ops-key", admin=True),
+]
+
+
+@pytest.fixture()
+def gateway(service):
+    with GatewayServer(service, tenants=list(TENANTS), sample_interval=0.2) as gw:
+        yield gw
+
+
+class TestAuthUnit:
+    def test_registry_rejects_duplicate_names_and_keys(self):
+        with pytest.raises(ValueError, match="duplicate tenant"):
+            TenantRegistry([Tenant("a", "k1"), Tenant("a", "k2")])
+        with pytest.raises(ValueError, match="reuses the API key"):
+            TenantRegistry([Tenant("a", "k1"), Tenant("b", "k1")])
+
+    def test_authenticate_unknown_key(self):
+        registry = TenantRegistry([Tenant("a", "k1")])
+        assert registry.authenticate("k1").name == "a"
+        with pytest.raises(AuthError):
+            registry.authenticate("k2")
+        with pytest.raises(AuthError):
+            registry.authenticate(None)
+
+    def test_keyfile_round_trip(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "tenants": [
+                        {"name": "a", "key": "ka", "weight": 2, "rate": 5, "burst": 3},
+                        {"name": "ops", "key": "kops", "admin": True},
+                    ]
+                }
+            )
+        )
+        registry = TenantRegistry.from_file(path)
+        assert registry.authenticate("ka").weight == 2
+        assert registry.authenticate("kops").admin
+
+    def test_keyfile_unknown_field_rejected(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps([{"name": "a", "key": "k", "color": "red"}]))
+        with pytest.raises(ValueError, match="unknown keyfile fields"):
+            TenantRegistry.from_file(path)
+
+    def test_token_bucket_drains_and_refills(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=10.0, burst=2, clock=lambda: clock[0])
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() == 0.0
+        retry = bucket.acquire()
+        assert retry > 0.0
+        clock[0] += retry  # exactly one token refilled
+        assert bucket.acquire() == 0.0
+
+    def test_rate_limited_carries_retry_after(self):
+        registry = TenantRegistry([Tenant("a", "k", rate=1.0, burst=1)])
+        tenant = registry.authenticate("k")
+        registry.check_rate(tenant)
+        with pytest.raises(RateLimited) as excinfo:
+            registry.check_rate(tenant)
+        assert excinfo.value.retry_after > 0
+        assert int(excinfo.value.header_value()) >= 1
+
+
+class TestFairShareUnit:
+    def test_heavy_tenant_gets_more_early_slots(self):
+        sched = FairShareScheduler()
+        order = []
+        for _ in range(12):
+            order.append(("heavy", sched.next_priority("heavy", 3.0)))
+            order.append(("light", sched.next_priority("light", 1.0)))
+        ranked = sorted(order, key=lambda pair: -pair[1])
+        first_eight = [name for name, _ in ranked[:8]]
+        assert first_eight.count("heavy") >= 5
+
+    def test_equal_weights_alternate(self):
+        sched = FairShareScheduler()
+        a = [sched.next_priority("a", 1.0) for _ in range(3)]
+        b = [sched.next_priority("b", 1.0) for _ in range(3)]
+        # Same weights, same arrival counts: same priorities step for step.
+        assert a == b
+
+    def test_newcomer_overtakes_queued_backlog(self):
+        # A hot tenant pre-queues a deep backlog; nothing has completed, so
+        # the system clock is still 0 and a newcomer starts at the front,
+        # not behind 100 queued requests — that is the no-starvation core.
+        sched = FairShareScheduler()
+        backlog = [sched.next_priority("hot", 1.0) for _ in range(100)]
+        newcomer = sched.next_priority("fresh", 1.0)
+        assert newcomer > min(backlog)
+        assert newcomer == backlog[0]  # ties with the hot tenant's *first*
+
+    def test_returning_idler_banks_no_credit(self):
+        sched = FairShareScheduler()
+        tickets = [sched.next_ticket("busy", 1.0) for _ in range(10)]
+        for _priority, vtime in tickets:
+            sched.complete(vtime)  # all of busy's work was served
+        late = sched.next_priority("late", 1.0)
+        busy_next = sched.next_priority("busy", 1.0)
+        # The idler rejoins at the system clock (~vtime 9), tying with the
+        # busy tenant's next request instead of jumping ahead of it by 10.
+        assert abs(late - busy_next) <= sched.RESOLUTION
+        assert late <= -9 * sched.RESOLUTION
+
+    def test_hint_breaks_ties_but_not_shares(self):
+        sched = FairShareScheduler()
+        plain = sched.next_priority("a", 1.0, hint=0)
+        hinted = sched.next_priority("b", 1.0, hint=3)
+        assert hinted > plain  # same vtime, hint wins the tie
+        far_behind = sched.next_priority("b", 1.0, hint=5)
+        assert far_behind < plain  # a full share step dominates any hint
+
+    def test_quantile_helper(self):
+        assert quantile([], 0.5) == 0.0
+        assert quantile([1.0], 0.95) == 1.0
+        assert quantile([1, 2, 3, 4, 5], 0.5) == 3
+
+
+class TestGatewayHTTP:
+    def test_sync_compile_round_trip(self, gateway, ghz3):
+        client = GatewayClient(gateway.url, api_key="alice-key")
+        result = client.compile(ghz3, backend="qiskit-o1", device="ibmq_washington")
+        assert result.succeeded
+        assert result.backend == "qiskit-o1"
+        assert result.device is not None and result.device.name == "ibmq_washington"
+        assert result.circuit.num_qubits >= 3
+
+    def test_compile_accepts_raw_qasm(self, gateway, ghz3):
+        client = GatewayClient(gateway.url, api_key="alice-key")
+        result = client.compile(to_qasm(ghz3), backend="qiskit-o0")
+        assert result.succeeded
+
+    def test_async_submit_poll_result(self, gateway, ghz3):
+        client = GatewayClient(gateway.url, api_key="alice-key")
+        job_id = client.submit(ghz3, backend="qiskit-o1", device="ibmq_washington", seed=3)
+        result = client.result(job_id, timeout=120)
+        assert result.succeeded
+        job = client.job(job_id)
+        assert job["state"] == "done"
+        assert job["tenant"] == "alice"
+        assert job["wall_seconds"] >= 0
+
+    def test_sse_event_stream(self, gateway, ghz3):
+        client = GatewayClient(gateway.url, api_key="alice-key")
+        job_id = client.submit(ghz3, backend="tket-o1", device="ibmq_washington", seed=11)
+        events = list(client.events(job_id, timeout=120))
+        names = [event["event"] for event in events]
+        assert names[0] == "queued"
+        assert names[-1] == "done"
+        done = events[-1]
+        assert done["succeeded"] is True
+        assert done["job_id"] == job_id
+
+    def test_missing_api_key_is_401(self, gateway, ghz3):
+        client = GatewayClient(gateway.url)
+        with pytest.raises(GatewayError) as excinfo:
+            client.compile(ghz3, backend="qiskit-o0")
+        assert excinfo.value.status == 401
+        assert excinfo.value.error_type == "auth_error"
+
+    def test_bad_qasm_is_400_qasm_error(self, gateway):
+        client = GatewayClient(gateway.url, api_key="alice-key")
+        bad = 'OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nh q[5];\n'
+        with pytest.raises(GatewayError) as excinfo:
+            client.compile(bad, backend="qiskit-o0")
+        assert excinfo.value.status == 400
+        assert excinfo.value.error_type == "qasm_error"
+        assert "out of range" in str(excinfo.value)
+
+    def test_unknown_backend_is_400(self, gateway, ghz3):
+        client = GatewayClient(gateway.url, api_key="alice-key")
+        with pytest.raises(GatewayError) as excinfo:
+            client.compile(ghz3, backend="no-such-compiler")
+        assert excinfo.value.status == 400
+
+    def test_unknown_job_and_foreign_job_are_404(self, gateway, ghz3):
+        alice = GatewayClient(gateway.url, api_key="alice-key")
+        bob = GatewayClient(gateway.url, api_key="bob-key")
+        job_id = alice.submit(ghz3, backend="qiskit-o0", seed=21)
+        with pytest.raises(GatewayError) as excinfo:
+            bob.job(job_id)
+        assert excinfo.value.status == 404
+        with pytest.raises(GatewayError) as excinfo:
+            alice.job("job-999-deadbeef")
+        assert excinfo.value.status == 404
+        # Admins see every tenant's jobs.
+        ops = GatewayClient(gateway.url, api_key="ops-key")
+        assert ops.job(job_id)["tenant"] == "alice"
+
+    def test_rate_limit_is_429_with_retry_after(self, service, ghz3):
+        tenants = [Tenant("tiny", "tiny-key", rate=1.0, burst=2)]
+        with GatewayServer(service, tenants=tenants, sample_interval=0) as gw:
+            client = GatewayClient(gw.url, api_key="tiny-key")
+            outcomes = []
+            for seed in range(4):
+                try:
+                    client.submit(ghz3, backend="qiskit-o0", seed=seed)
+                    outcomes.append("accepted")
+                except GatewayError as exc:
+                    outcomes.append((exc.status, exc.error_type))
+                    assert exc.retry_after is not None and exc.retry_after >= 1
+            assert outcomes[:2] == ["accepted", "accepted"]
+            assert (429, "rate_limited") in outcomes
+
+    def test_stats_and_metrics_endpoints(self, gateway, ghz3):
+        client = GatewayClient(gateway.url, api_key="alice-key")
+        client.compile(ghz3, backend="qiskit-o1", device="ibmq_washington", priority=2)
+        stats = client.stats()
+        assert stats["gateway"]["counters"]["jobs_submitted"] >= 1
+        assert stats["service"]["submitted"] >= 1
+        assert stats["tenants"]["alice"]["served"] >= 1
+        assert "tenant:alice" in stats["gateway"]["latency"]
+        assert "priority:2" in stats["gateway"]["latency"]
+        assert stats["gateway"]["fair_share"]["tenants"]["alice"]["requests"] >= 1
+        # The sampler fills the ring-buffer time series.
+        gateway.sampler.sample_once()
+        series = client.stats()["timeseries"]
+        assert series and {"time", "queue_depth", "cache_hit_rate"} <= set(series[-1])
+
+        text = client.metrics()
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert "repro_service_requests_total" in text
+        assert 'repro_gateway_tenant_served_total{tenant="alice"}' in text
+        assert 'quantile="0.95"' in text
+        assert "repro_gateway_ready 1" in text
+
+    def test_healthz_ok(self, gateway):
+        client = GatewayClient(gateway.url)
+        health = client.healthz()  # healthz needs no auth
+        assert health["status"] == "ok"
+        assert health["ready"] is True
+        assert health["service"]["status"] == "ok"
+
+    def test_drain_flips_healthz_and_refuses_work(self, service, ghz3):
+        tenants = [Tenant("a", "ka"), Tenant("ops", "kops", admin=True)]
+        with GatewayServer(service, tenants=tenants, sample_interval=0) as gw:
+            alice = GatewayClient(gw.url, api_key="ka")
+            ops = GatewayClient(gw.url, api_key="kops")
+            # Non-admins may not drain.
+            with pytest.raises(GatewayError) as excinfo:
+                alice.drain()
+            assert excinfo.value.status == 403
+            # Queue work, then drain: queued work finishes first.
+            job_id = alice.submit(ghz3, backend="qiskit-o1", device="ibmq_washington", seed=31)
+            status = ops.drain(grace=60)
+            assert status["status"] in ("draining", "drained")
+            deadline = time.monotonic() + 60
+            while gw.state != "drained" and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert gw.state == "drained"
+            # The queued job completed rather than being dropped.
+            assert alice.result(job_id, timeout=60).succeeded
+            health = alice.healthz()
+            assert health["ready"] is False
+            assert health["status"] == "drained"
+            with pytest.raises(GatewayError) as excinfo:
+                alice.compile(ghz3, backend="qiskit-o0", seed=99)
+            assert excinfo.value.status == 503
+
+    def test_open_mode_needs_no_key(self, service, ghz3):
+        with GatewayServer(service, sample_interval=0) as gw:
+            client = GatewayClient(gw.url)
+            assert client.compile(ghz3, backend="qiskit-o0").succeeded
+            assert "tenants" not in client.stats()
+
+    def test_not_found_route(self, gateway):
+        with pytest.raises(GatewayError) as excinfo:
+            GatewayClient(gateway.url, api_key="alice-key")._request("GET", "/v2/nope")
+        assert excinfo.value.status == 404
+
+    def test_bearer_token_auth_works(self, gateway):
+        request = urllib.request.Request(gateway.url + "/v1/stats")
+        request.add_header("Authorization", "Bearer alice-key")
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.status == 200
+
+    def test_deadline_zero_gives_structured_failure(self, gateway, ghz3):
+        client = GatewayClient(gateway.url, api_key="alice-key")
+        result = client.compile(ghz3, backend="qiskit-o1", seed=1234, deadline=0)
+        assert not result.succeeded
+        assert result.metadata.get("deadline_exceeded") is True

@@ -6,7 +6,7 @@ import math
 
 import pytest
 
-from repro.circuit import QuantumCircuit, from_qasm, random_circuit, to_qasm
+from repro.circuit import QasmError, QuantumCircuit, from_qasm, random_circuit, to_qasm
 from repro.linalg import allclose_up_to_global_phase, circuit_unitary
 
 
@@ -68,6 +68,81 @@ class TestImport:
     def test_bad_parameter_expression_rejected(self):
         with pytest.raises(ValueError):
             from_qasm('OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nrz(__import__) q[0];\n')
+
+
+class TestMalformedInput:
+    """Trust-boundary hardening: every bad input is a QasmError, never a
+    KeyError/IndexError leaking parser internals."""
+
+    HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\ncreg c[2];\n'
+
+    def test_qasm_error_is_value_error(self):
+        assert issubclass(QasmError, ValueError)
+
+    def test_undeclared_quantum_register(self):
+        with pytest.raises(QasmError, match="undeclared quantum register 'r'"):
+            from_qasm(self.HEADER + "h r[0];\n")
+
+    def test_undeclared_register_in_measurement(self):
+        with pytest.raises(QasmError, match="undeclared"):
+            from_qasm(self.HEADER + "measure r[0] -> c[0];\n")
+        with pytest.raises(QasmError, match="undeclared classical register"):
+            from_qasm(self.HEADER + "measure q[0] -> d[0];\n")
+
+    def test_out_of_range_qubit_index(self):
+        with pytest.raises(QasmError, match=r"index 2 out of range .* q\[2\]"):
+            from_qasm(self.HEADER + "h q[2];\n")
+
+    def test_out_of_range_clbit_index(self):
+        with pytest.raises(QasmError, match="out of range"):
+            from_qasm(self.HEADER + "measure q[0] -> c[5];\n")
+
+    def test_duplicate_register_name(self):
+        with pytest.raises(QasmError, match="duplicate register name 'q'"):
+            from_qasm('OPENQASM 2.0;\nqreg q[2];\nqreg q[3];\ncreg c[2];\n')
+
+    def test_creg_shadowing_qreg_is_duplicate(self):
+        with pytest.raises(QasmError, match="duplicate register name 'q'"):
+            from_qasm('OPENQASM 2.0;\nqreg q[2];\ncreg q[2];\n')
+
+    def test_register_declared_after_statement(self):
+        with pytest.raises(QasmError, match="declared after first statement"):
+            from_qasm('OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nh q[0];\nqreg r[1];\n')
+
+    def test_gate_broadcast_rejected(self):
+        with pytest.raises(QasmError, match="broadcast"):
+            from_qasm(self.HEADER + "h q;\n")
+
+    def test_gate_without_operands(self):
+        with pytest.raises(QasmError, match="no operands"):
+            from_qasm(self.HEADER + "h ;\n")
+
+    def test_garbage_line(self):
+        with pytest.raises(QasmError, match="cannot parse"):
+            from_qasm(self.HEADER + "!!! nonsense;\n")
+
+    def test_non_string_input(self):
+        with pytest.raises(QasmError, match="must be a string"):
+            from_qasm(12345)
+
+    def test_bad_parameter_is_qasm_error(self):
+        with pytest.raises(QasmError, match="parameter expression"):
+            from_qasm(self.HEADER + "rz(1/0) q[0];\n")
+
+    def test_two_registers_get_offsets(self):
+        circuit = from_qasm(
+            'OPENQASM 2.0;\nqreg a[2];\nqreg b[2];\ncreg c[4];\ncx a[1],b[0];\n'
+        )
+        assert circuit.num_qubits == 4
+        assert circuit[0].qubits == (1, 2)
+
+    def test_barrier_bare_register_expands(self):
+        circuit = from_qasm('OPENQASM 2.0;\nqreg q[3];\ncreg c[3];\nbarrier q;\n')
+        assert circuit[0].qubits == (0, 1, 2)
+
+    def test_barrier_undeclared_register(self):
+        with pytest.raises(QasmError, match="undeclared"):
+            from_qasm('OPENQASM 2.0;\nqreg q[3];\ncreg c[3];\nbarrier r;\n')
 
 
 class TestRoundTrip:
