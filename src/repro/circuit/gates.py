@@ -496,8 +496,29 @@ class Instruction:
 # ---------------------------------------------------------------------------
 
 
+#: interned matrices for parameterless gates.  ``gate_matrix("h")`` used to
+#: rebuild the same 2x2 array on every call — once per gate per pass per
+#: episode; the table makes it a dict lookup.  The cached arrays are marked
+#: read-only so an accidental in-place edit raises instead of corrupting
+#: every later lookup.
+_INTERNED_MATRICES: dict[str, np.ndarray] = {}
+for _name, _gspec in GATE_SPECS.items():
+    if _gspec.matrix_fn is not None and _gspec.num_params == 0:
+        _interned = _gspec.matrix_fn(())
+        _interned.flags.writeable = False
+        _INTERNED_MATRICES[_name] = _interned
+del _name, _gspec, _interned
+
+
 def gate_matrix(gate: Gate) -> np.ndarray:
-    """Return the unitary matrix of ``gate`` in |q0 q1 ...> ordering."""
+    """Return the unitary matrix of ``gate`` in |q0 q1 ...> ordering.
+
+    Parameterless gates return an interned read-only array; copy before
+    mutating (no pass does — they only multiply).
+    """
+    cached = _INTERNED_MATRICES.get(gate.name)
+    if cached is not None:
+        return cached
     spec = gate.spec
     if spec.matrix_fn is None:
         raise ValueError(f"gate {gate.name!r} has no unitary matrix")

@@ -1,9 +1,16 @@
 """Circuit feature extraction (observations for the RL agent)."""
 
-from .extraction import FEATURE_NAMES, feature_dict, feature_vector
+from .extraction import (
+    FEATURE_NAMES,
+    feature_dict,
+    feature_vector,
+    feature_vectors_batch,
+)
 from .supermarq import (
     critical_depth,
     entanglement_ratio,
+    feature_table,
+    features_from_table,
     liveness,
     parallelism,
     program_communication,
@@ -14,6 +21,9 @@ __all__ = [
     "FEATURE_NAMES",
     "feature_dict",
     "feature_vector",
+    "feature_vectors_batch",
+    "feature_table",
+    "features_from_table",
     "program_communication",
     "critical_depth",
     "entanglement_ratio",

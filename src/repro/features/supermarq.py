@@ -19,7 +19,161 @@ __all__ = [
     "parallelism",
     "liveness",
     "supermarq_features",
+    "feature_table",
+    "features_from_table",
 ]
+
+
+def feature_table(circuit: QuantumCircuit) -> dict[str, float | int]:
+    """All raw feature quantities from one sweep over the instruction table.
+
+    The five standalone feature functions below each walk the circuit (and
+    ``critical_depth`` builds a full :class:`DAGCircuit` with a heap-based
+    topological sort) — six traversals per observation.  This computes every
+    ingredient in a single pass: the interaction-pair set, the per-wire
+    ``(depth, 2q-count)`` critical-path frontier (instruction order is a
+    topological order, so the DAG never needs to be materialised), the depth
+    levels with and without classical wires, and the per-qubit liveness
+    spans.  Each derived feature is arithmetically identical to its
+    standalone counterpart, which the test-suite pins across the benchmark
+    corpus.
+    """
+    n = circuit.num_qubits
+    pairs: set[tuple[int, int]] = set()
+    total_unitary = 0
+    multi_unitary = 0
+    # depth() semantics: levels over qubit and clbit wires, barriers skipped
+    dlevels = [0] * max(n, 1)
+    dclevels = [0] * max(circuit.num_clbits, 1)
+    # liveness semantics: levels over qubit wires only
+    qlevels = [0] * n
+    first: dict[int, int] = {}
+    last: dict[int, int] = {}
+    # critical path: per-wire (dist, twoq) of the last node on the wire;
+    # clbit ``c`` is wire ``-1 - c``.  Barriers propagate with weight 0,
+    # exactly like ``DAGCircuit.two_qubit_gates_on_longest_path``.
+    frontier: dict[int, tuple[int, int]] = {}
+    best = (0, 0)
+
+    for instr in circuit:
+        qubits = instr.qubits
+        clbits = instr.clbits
+        is_barrier = instr.name == "barrier"
+        is_unitary = instr.gate.is_unitary
+        nq = len(qubits)
+
+        if is_unitary:
+            total_unitary += 1
+            if nq >= 2:
+                multi_unitary += 1
+        if not is_barrier and nq >= 2:
+            for i in range(nq):
+                qi = qubits[i]
+                for j in range(i + 1, nq):
+                    qj = qubits[j]
+                    pairs.add((qi, qj) if qi < qj else (qj, qi))
+
+        if not is_barrier:
+            new_level = 0
+            for q in qubits:
+                if dlevels[q] > new_level:
+                    new_level = dlevels[q]
+            for c in clbits:
+                if dclevels[c] > new_level:
+                    new_level = dclevels[c]
+            new_level += 1
+            for q in qubits:
+                dlevels[q] = new_level
+            for c in clbits:
+                dclevels[c] = new_level
+
+            live_level = 0
+            for q in qubits:
+                if qlevels[q] > live_level:
+                    live_level = qlevels[q]
+            live_level += 1
+            for q in qubits:
+                qlevels[q] = live_level
+                if q not in first:
+                    first[q] = live_level - 1
+                last[q] = live_level
+
+        weight = 0 if is_barrier else 1
+        is_2q = 1 if (is_unitary and nq >= 2) else 0
+        pred: tuple[int, int] | None = None
+        for q in qubits:
+            entry = frontier.get(q)
+            if entry is not None and (pred is None or entry > pred):
+                pred = entry
+        for c in clbits:
+            entry = frontier.get(-1 - c)
+            if entry is not None and (pred is None or entry > pred):
+                pred = entry
+        if pred is not None:
+            node = (pred[0] + weight, pred[1] + is_2q)
+        else:
+            node = (weight, is_2q)
+        for q in qubits:
+            frontier[q] = node
+        for c in clbits:
+            frontier[-1 - c] = node
+        if node > best:
+            best = node
+
+    depth = max(max(dlevels, default=0), max(dclevels, default=0))
+    live_depth = max(qlevels, default=0)
+    live_total = sum(last[q] - first[q] for q in first)
+    return {
+        "num_qubits": n,
+        "active_qubits": len(first),
+        "depth": depth,
+        "interaction_pairs": pairs,
+        "total_unitary": total_unitary,
+        "multi_unitary": multi_unitary,
+        "critical_2q": best[1],
+        "live_depth": live_depth,
+        "live_total": live_total,
+    }
+
+
+def features_from_table(table: dict) -> dict[str, float]:
+    """The five SupermarQ features from a :func:`feature_table` result."""
+    n = table["num_qubits"]
+    if n <= 1:
+        communication = 0.0
+    else:
+        degree: dict[int, set[int]] = {}
+        for a, b in table["interaction_pairs"]:
+            degree.setdefault(a, set()).add(b)
+            degree.setdefault(b, set()).add(a)
+        total_degree = sum(len(neighbors) for neighbors in degree.values())
+        communication = total_degree / (n * (n - 1))
+
+    total_2q = table["multi_unitary"]
+    critical = min(1.0, table["critical_2q"] / total_2q) if total_2q else 0.0
+
+    total = table["total_unitary"]
+    entanglement = table["multi_unitary"] / total if total else 0.0
+
+    depth = table["depth"]
+    if n <= 1 or depth == 0 or total == 0:
+        parallel = 0.0
+    else:
+        parallel = max(0.0, min(1.0, (total / depth - 1.0) / (n - 1)))
+
+    live_depth = table["live_depth"]
+    if n == 0 or live_depth == 0:
+        live = 0.0
+    else:
+        live = max(0.0, min(1.0, table["live_total"] / (n * live_depth)))
+
+    return {
+        "program_communication": communication,
+        "critical_depth": critical,
+        "entanglement_ratio": entanglement,
+        "parallelism": parallel,
+        "liveness": live,
+    }
 
 
 def _unitary_gates(circuit: QuantumCircuit):
@@ -105,11 +259,10 @@ def liveness(circuit: QuantumCircuit) -> float:
 
 
 def supermarq_features(circuit: QuantumCircuit) -> dict[str, float]:
-    """All five SupermarQ features as a dictionary."""
-    return {
-        "program_communication": program_communication(circuit),
-        "critical_depth": critical_depth(circuit),
-        "entanglement_ratio": entanglement_ratio(circuit),
-        "parallelism": parallelism(circuit),
-        "liveness": liveness(circuit),
-    }
+    """All five SupermarQ features as a dictionary (single-sweep fast path).
+
+    Values are identical to calling the five standalone functions — those
+    remain as the readable reference implementations and are pinned against
+    this path by the test-suite.
+    """
+    return features_from_table(feature_table(circuit))

@@ -213,6 +213,49 @@ def render_prometheus(
             for name, lane in sorted(lanes.items())
         ],
     )
+    profiling = service_stats.get("profiling", {})
+    if profiling.get("enabled"):
+        counters = profiling.get("counters", {})
+        metric(
+            "repro_service_hotpath_seconds_total",
+            "counter",
+            "Wall time spent per profiled pass / kernel (requires --profile).",
+            [
+                _line(
+                    "repro_service_hotpath_seconds_total",
+                    round(entry.get("total_seconds", 0.0), 6),
+                    {"site": name},
+                )
+                for name, entry in sorted(counters.items())
+            ],
+        )
+        metric(
+            "repro_service_hotpath_calls_total",
+            "counter",
+            "Invocations per profiled pass / kernel (requires --profile).",
+            [
+                _line(
+                    "repro_service_hotpath_calls_total",
+                    entry.get("calls", 0),
+                    {"site": name},
+                )
+                for name, entry in sorted(counters.items())
+            ],
+        )
+        metric(
+            "repro_service_hotpath_items_total",
+            "counter",
+            "Work items (gates, circuits) processed per profiled site.",
+            [
+                _line(
+                    "repro_service_hotpath_items_total",
+                    entry.get("items", 0),
+                    {"site": name},
+                )
+                for name, entry in sorted(counters.items())
+                if entry.get("items", 0)
+            ],
+        )
     if health is not None:
         metric(
             "repro_gateway_ready",

@@ -11,6 +11,13 @@ from .decompositions import (
     weyl_decompose,
     zyz_angles,
 )
+from .kernels import (
+    allclose_up_to_global_phase_batch,
+    gate_matrices_batch,
+    run_products_batch,
+    synthesize_1q_batch,
+    u3_angles_batch,
+)
 from .unitaries import (
     allclose_up_to_global_phase,
     circuit_unitary,
@@ -31,6 +38,11 @@ __all__ = [
     "weyl_decompose",
     "zyz_angles",
     "allclose_up_to_global_phase",
+    "allclose_up_to_global_phase_batch",
+    "gate_matrices_batch",
+    "run_products_batch",
+    "synthesize_1q_batch",
+    "u3_angles_batch",
     "circuit_unitary",
     "embed_unitary",
     "global_phase_between",

@@ -113,6 +113,57 @@ class _RoutingState:
         return instruction.remap({q: self.physical(q) for q in instruction.qubits})
 
 
+def _physical_pairs(
+    instructions: list[Instruction], state: _RoutingState
+) -> np.ndarray:
+    """Current physical positions of each 2q instruction's qubits, ``(P, 2)``."""
+    phys = state.virtual_to_physical
+    if not instructions:
+        return np.empty((0, 2), dtype=np.intp)
+    return np.array(
+        [[phys[i.qubits[0]], phys[i.qubits[1]]] for i in instructions], dtype=np.intp
+    )
+
+
+def _trial_positions(
+    positions: np.ndarray, s0: np.ndarray, s1: np.ndarray
+) -> np.ndarray:
+    """Remap a row of physical positions through every candidate SWAP.
+
+    ``positions`` is ``(P,)``; ``s0``/``s1`` are ``(C, 1)`` columns of the
+    candidate endpoints.  Returns ``(C, P)``: entry ``[c, p]`` is where
+    position ``p`` lands after applying candidate ``c``.
+    """
+    row = positions[None, :]
+    return np.where(row == s0, s1, np.where(row == s1, s0, row))
+
+
+def _swap_scores(
+    candidates: np.ndarray,
+    front_pairs: np.ndarray,
+    look_pairs: np.ndarray,
+    look_weight: float,
+    distances: np.ndarray,
+    decay: np.ndarray,
+) -> np.ndarray:
+    """SABRE scores for all candidate SWAPs at once, ``(C,)``."""
+    s0 = candidates[:, 0][:, None]
+    s1 = candidates[:, 1][:, None]
+    num_candidates = len(candidates)
+    if len(front_pairs):
+        a = _trial_positions(front_pairs[:, 0], s0, s1)
+        b = _trial_positions(front_pairs[:, 1], s0, s1)
+        front_cost = distances[a, b].sum(axis=1) / max(1, len(front_pairs))
+    else:
+        front_cost = np.zeros(num_candidates)
+    if len(look_pairs):
+        a = _trial_positions(look_pairs[:, 0], s0, s1)
+        b = _trial_positions(look_pairs[:, 1], s0, s1)
+        look_cost = distances[a, b].sum(axis=1) / len(look_pairs)
+        front_cost = front_cost + look_weight * look_cost
+    return np.maximum(decay[candidates[:, 0]], decay[candidates[:, 1]]) * front_cost
+
+
 class _BaseRouter(BasePass):
     """Shared machinery for all routing passes."""
 
@@ -239,6 +290,9 @@ class StochasticSwap(_BaseRouter):
         self, circuit: QuantumCircuit, device: Device, rng: np.random.Generator
     ) -> tuple[QuantumCircuit, dict[int, int]]:
         coupling = device.coupling_map
+        # Hoisted out of the swap-insertion loop: the matrix is cached on the
+        # CouplingMap, but the old code still paid the call per inserted SWAP.
+        distances = coupling.distance_matrix()
         state = _RoutingState(circuit.num_qubits)
         out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
         for instr in circuit:
@@ -253,7 +307,6 @@ class StochasticSwap(_BaseRouter):
                     raise RuntimeError("stochastic routing failed to converge")
                 candidates = [(a, nb) for nb in coupling.neighbors(a)]
                 candidates += [(b, nb) for nb in coupling.neighbors(b)]
-                distances = coupling.distance_matrix()
 
                 def gain(move: tuple[int, int]) -> float:
                     src, dst = move
@@ -395,29 +448,22 @@ class SabreSwap(_BaseRouter):
         decay: np.ndarray,
         rng: np.random.Generator,
     ) -> tuple[int, int]:
-        def score(swap: tuple[int, int]) -> float:
-            trial = {q: state.physical(q) for q in state.virtual_to_physical}
-            va = state.physical_to_virtual[swap[0]]
-            vb = state.physical_to_virtual[swap[1]]
-            trial[va], trial[vb] = trial[vb], trial[va]
-
-            def dist(instr: Instruction) -> float:
-                a, b = (trial[q] for q in instr.qubits)
-                return float(distances[a, b])
-
-            front_cost = sum(dist(i) for i in blocked if len(i.qubits) == 2)
-            front_cost /= max(1, len([i for i in blocked if len(i.qubits) == 2]))
-            look_cost = 0.0
-            if extended:
-                look_cost = sum(dist(i) for i in extended) / len(extended)
-            return max(decay[swap[0]], decay[swap[1]]) * (
-                front_cost + self.extended_set_weight * look_cost
-            )
-
-        scores = [(score(swap), idx) for idx, swap in enumerate(candidates)]
-        best_score = min(scores)[0]
-        best = [candidates[idx] for s, idx in scores if abs(s - best_score) < 1e-12]
-        return best[int(rng.integers(len(best)))]
+        # All candidate SWAPs are scored with one vectorised gather over the
+        # distance matrix instead of building an O(num_qubits) trial mapping
+        # per candidate.  Float semantics match the old per-candidate loop
+        # exactly: front/extended sets stay well under numpy's pairwise-sum
+        # block size, so the row sums add in the same order as the old
+        # ``sum()`` over Python floats.
+        front_pairs = _physical_pairs(
+            [i for i in blocked if len(i.qubits) == 2], state
+        )
+        look_pairs = _physical_pairs(extended, state)
+        scores = _swap_scores(
+            np.asarray(candidates), front_pairs, look_pairs,
+            self.extended_set_weight, distances, decay,
+        )
+        best = np.flatnonzero(np.abs(scores - scores.min()) < 1e-12)
+        return candidates[int(best[int(rng.integers(len(best)))])]
 
 
 class TketRouting(_BaseRouter):
@@ -490,19 +536,23 @@ class TketRouting(_BaseRouter):
             for neighbor in coupling.neighbors(phys):
                 candidates.add((min(phys, neighbor), max(phys, neighbor)))
 
-        def score(swap: tuple[int, int]) -> float:
-            trial = dict(state.virtual_to_physical)
-            va = state.physical_to_virtual[swap[0]]
-            vb = state.physical_to_virtual[swap[1]]
-            trial[va], trial[vb] = trial[vb], trial[va]
-            total = 0.0
-            for weight_index, (qa, qb) in enumerate(upcoming):
-                weight = 0.8**weight_index
-                total += weight * float(distances[trial[qa], trial[qb]])
-            return total
-
         ordered = sorted(candidates)
-        scores = [(score(swap), idx) for idx, swap in enumerate(ordered)]
-        best_score = min(scores)[0]
-        best = [ordered[idx] for s, idx in scores if abs(s - best_score) < 1e-12]
-        return best[int(rng.integers(len(best)))]
+        cand = np.asarray(ordered)
+        phys_map = state.virtual_to_physical
+        pairs = np.array(
+            [[phys_map[qa], phys_map[qb]] for qa, qb in upcoming], dtype=np.intp
+        )
+        # 0.8**i via the scalar power so the weights match the old loop bit
+        # for bit; the lookahead window (<= 12 pairs) keeps the row sums in
+        # numpy's sequential regime, identical to the old running total.
+        weights = np.array([0.8**i for i in range(len(upcoming))])
+        if len(pairs):
+            s0 = cand[:, 0][:, None]
+            s1 = cand[:, 1][:, None]
+            ta = _trial_positions(pairs[:, 0], s0, s1)
+            tb = _trial_positions(pairs[:, 1], s0, s1)
+            scores = (weights[None, :] * distances[ta, tb]).sum(axis=1)
+        else:
+            scores = np.zeros(len(cand))
+        best = np.flatnonzero(np.abs(scores - scores.min()) < 1e-12)
+        return ordered[int(best[int(rng.integers(len(best)))])]

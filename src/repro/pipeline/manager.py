@@ -27,6 +27,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..circuit.circuit import QuantumCircuit
 from ..passes.base import BasePass, PassContext
+from ..profiling import profiler
 from .properties import AnalysisCache, TransformCache
 
 __all__ = ["PassRunner", "RepeatUntilStable", "Stage", "PassManager"]
@@ -67,7 +68,14 @@ class PassRunner:
             memo = self.transform_cache.get(key)
             if memo is not None:
                 return memo
-        out = pass_.run(circuit, context)
+        registry = profiler()
+        if registry.enabled:
+            # Per-pass wall time through the one choke point every pass
+            # execution flows through; ``items`` counts processed gates.
+            with registry.timed(f"pass.{pass_.name}", items=len(circuit)):
+                out = pass_.run(circuit, context)
+        else:
+            out = pass_.run(circuit, context)
         if self.cache is not None and out is not circuit:
             self.cache.carry_forward(circuit, out, pass_.preserves)
         if key is not None:

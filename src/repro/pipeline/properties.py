@@ -25,7 +25,7 @@ from __future__ import annotations
 import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -249,6 +249,34 @@ class AnalysisCache:
         # Return a copy: observations flow into RL buffers that must not alias
         # the cached array.
         return self.get(circuit, _FEATURES).copy()
+
+    def warm_features(self, circuits: "Iterable[QuantumCircuit]") -> int:
+        """Bulk-load feature vectors for ``circuits`` through the batched kernel.
+
+        One :func:`~repro.features.extraction.feature_vectors_batch` sweep
+        amortises the per-circuit instruction-table pass; the rows land in the
+        same property-set slots :meth:`feature_vector` reads, so fleet members
+        (and anything else sharing this cache) get warm hits instead of N cold
+        extractions.  Circuits whose features are already cached are skipped.
+        Returns the number of vectors computed.
+        """
+        from ..features.extraction import feature_vectors_batch
+
+        key = _FEATURES.key(None)
+        cold = []
+        for circuit in circuits:
+            props = self.properties(circuit)
+            with self._lock:
+                if key in props:
+                    continue
+            cold.append((circuit, props))
+        if not cold:
+            return 0
+        vectors = feature_vectors_batch([circuit for circuit, _props in cold])
+        with self._lock:
+            for (_circuit, props), vector in zip(cold, vectors):
+                props.setdefault(key, vector)
+        return len(cold)
 
     def active_qubits(self, circuit: QuantumCircuit) -> frozenset[int]:
         return self.get(circuit, _ACTIVE)

@@ -1,0 +1,46 @@
+"""Hot-path profiling: named wall-time counters with near-zero overhead when off.
+
+The perf story of this repo is only as good as its measurements: the numeric
+kernels in :mod:`repro.linalg.kernels` and the vectorised feature extraction
+claim multiples, and this module is what turns those claims into numbers a
+running service can expose.  A :class:`ProfileRegistry` holds per-name
+counters (calls, accumulated seconds, processed items); the pass runner, the
+kernels and the routers record into the process-global registry through
+:func:`profiled` / :func:`record`, which cost one dict lookup and a branch
+when profiling is disabled.
+
+Usage::
+
+    from repro.profiling import enable_profiling, profiled, profiler
+
+    enable_profiling()
+    with profiled("kernel.synthesize_1q_batch", items=len(runs)):
+        ...
+    profiler().snapshot()   # {"kernel.synthesize_1q_batch": {...}, ...}
+
+``python -m repro.service --profile`` enables the registry at server start;
+``CompileService.stats()`` and the gateway's ``/v1/stats`` + ``/metrics``
+then carry the per-pass and per-kernel timings.
+"""
+
+from .profiler import (
+    ProfileRegistry,
+    Timer,
+    disable_profiling,
+    enable_profiling,
+    profiled,
+    profiler,
+    profiling_enabled,
+    record,
+)
+
+__all__ = [
+    "ProfileRegistry",
+    "Timer",
+    "disable_profiling",
+    "enable_profiling",
+    "profiled",
+    "profiler",
+    "profiling_enabled",
+    "record",
+]

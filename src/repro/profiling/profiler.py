@@ -1,0 +1,150 @@
+"""The :class:`ProfileRegistry` and its module-global instance."""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "Timer",
+    "ProfileRegistry",
+    "profiler",
+    "enable_profiling",
+    "disable_profiling",
+    "profiling_enabled",
+    "profiled",
+    "record",
+]
+
+
+class Timer:
+    """A context-manager stopwatch; ``elapsed`` holds seconds after exit.
+
+    Usable standalone (benchmarks time their sections with it) or through
+    :func:`profiled`, which feeds the reading into the global registry::
+
+        with Timer() as timer:
+            work()
+        print(timer.elapsed)
+    """
+
+    __slots__ = ("start", "elapsed")
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+class ProfileRegistry:
+    """Thread-safe map of name -> (calls, seconds, items) counters.
+
+    ``items`` lets throughput-style counters (gates resynthesised, circuits
+    featurised, SWAPs scored) ride along with the wall time, so a snapshot
+    can report both "how often / how long" and "how much work per second".
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        #: name -> [calls, total_seconds, items]
+        self._counters: dict[str, list] = {}
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, name: str, seconds: float, items: int = 0) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            entry = self._counters.get(name)
+            if entry is None:
+                self._counters[name] = [1, seconds, items]
+            else:
+                entry[0] += 1
+                entry[1] += seconds
+                entry[2] += items
+
+    @contextmanager
+    def timed(self, name: str, items: int = 0):
+        """Time a block under ``name`` (no-op branch when disabled)."""
+        if not self.enabled:
+            yield None
+            return
+        start = time.perf_counter()
+        try:
+            yield None
+        finally:
+            self.record(name, time.perf_counter() - start, items)
+
+    # -- reading -----------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """``{name: {calls, total_seconds, mean_seconds, items, items_per_second}}``."""
+        with self._lock:
+            counters = {name: list(entry) for name, entry in self._counters.items()}
+        out: dict[str, dict[str, float]] = {}
+        for name, (calls, seconds, items) in sorted(counters.items()):
+            out[name] = {
+                "calls": calls,
+                "total_seconds": seconds,
+                "mean_seconds": seconds / calls if calls else 0.0,
+                "items": items,
+                "items_per_second": items / seconds if seconds > 0 and items else 0.0,
+            }
+        return out
+
+    def report(self) -> str:
+        """Fixed-width text table of the snapshot (debug/CLI output)."""
+        rows = [f"{'name':<44} {'calls':>8} {'total_s':>10} {'mean_ms':>10} {'items':>10}"]
+        for name, stats in self.snapshot().items():
+            rows.append(
+                f"{name:<44} {stats['calls']:>8d} {stats['total_seconds']:>10.4f} "
+                f"{1000 * stats['mean_seconds']:>10.4f} {stats['items']:>10d}"
+            )
+        return "\n".join(rows)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+
+
+#: the process-global registry every instrumented hot path records into
+_REGISTRY = ProfileRegistry()
+
+
+def profiler() -> ProfileRegistry:
+    """The process-global :class:`ProfileRegistry`."""
+    return _REGISTRY
+
+
+def enable_profiling(clear: bool = False) -> ProfileRegistry:
+    """Switch the global registry on (optionally wiping prior counters)."""
+    if clear:
+        _REGISTRY.clear()
+    _REGISTRY.enabled = True
+    return _REGISTRY
+
+
+def disable_profiling() -> None:
+    _REGISTRY.enabled = False
+
+
+def profiling_enabled() -> bool:
+    return _REGISTRY.enabled
+
+
+def profiled(name: str, items: int = 0):
+    """``with profiled("pass.optimize_1q_gates"): ...`` against the global registry."""
+    return _REGISTRY.timed(name, items)
+
+
+def record(name: str, seconds: float, items: int = 0) -> None:
+    """Record a pre-measured duration into the global registry."""
+    _REGISTRY.record(name, seconds, items)

@@ -390,6 +390,7 @@ def make_compilation_vec_env(
         # the hit/miss counters) live in the cache server.
         shared_kwargs["analysis_cache"] = AnalysisCache()
         shared_kwargs["seed_mode"] = "state"
+        shared_kwargs["analysis_cache"].warm_features(circuits)
         envs = [
             CompilationEnv(
                 circuits,
@@ -403,5 +404,9 @@ def make_compilation_vec_env(
         shared_kwargs["analysis_cache"] = AnalysisCache()
         shared_kwargs["transform_cache"] = TransformCache()
         shared_kwargs["seed_mode"] = "state"
+        # Pre-warm the fleet's shared cache with one batched feature sweep:
+        # every member's first observation of every training circuit is a
+        # cache hit instead of a cold per-circuit extraction.
+        shared_kwargs["analysis_cache"].warm_features(circuits)
     envs = [CompilationEnv(circuits, **shared_kwargs) for _ in range(n_envs)]
     return SyncVectorEnv.from_envs(envs)

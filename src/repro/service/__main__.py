@@ -84,11 +84,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="back the result cache by a cache-server process (lets process-lane "
         "workers and external cache clients share entries)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable hot-path profiling: per-pass and per-kernel wall-time "
+        "counters, exposed in stats() under 'profiling' (and through the "
+        "gateway's /v1/stats and /metrics)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.profile:
+        from ..profiling import enable_profiling
+
+        enable_profiling()
     authkey = bytes.fromhex(args.authkey) if args.authkey else os.urandom(16)
     process_backends = tuple(
         name.strip() for name in args.process_backends.split(",") if name.strip()

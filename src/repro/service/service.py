@@ -740,7 +740,18 @@ class CompileService:
             },
             "cache": self.cache.stats(),
             "shared_cache": self._shared_store is not None,
+            "profiling": self._profiling_stats(),
         }
+
+    @staticmethod
+    def _profiling_stats() -> dict:
+        """Hot-path timing counters (empty unless profiling is enabled)."""
+        from ..profiling import profiler
+
+        registry = profiler()
+        if not registry.enabled:
+            return {"enabled": False, "counters": {}}
+        return {"enabled": True, "counters": registry.snapshot()}
 
     # -- scheduler -------------------------------------------------------------------
 
