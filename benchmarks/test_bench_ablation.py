@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from repro.bench import benchmark_circuit
-from repro.compilers import compile_qiskit_style, compile_tket_style
+from repro.compilers import qiskit_pipeline, tket_pipeline
 from repro.core import Predictor
 from repro.devices import get_device
 from repro.reward import expected_fidelity
@@ -69,11 +69,11 @@ def test_ablation_baseline_optimization_levels(benchmark, family):
 
     def run():
         qiskit = [
-            expected_fidelity(compile_qiskit_style(circuit, device, level).circuit, device)
+            expected_fidelity(qiskit_pipeline(circuit, device, level)[0], device)
             for level in range(4)
         ]
         tket = [
-            expected_fidelity(compile_tket_style(circuit, device, level).circuit, device)
+            expected_fidelity(tket_pipeline(circuit, device, level)[0], device)
             for level in range(3)
         ]
         return qiskit, tket

@@ -55,6 +55,15 @@ from .circuit import Gate, Instruction, QuantumCircuit
 from .compilers import compile_qiskit_style, compile_tket_style, preset_pass_manager
 from .core import CompilationEnv, Predictor
 from .devices import Device, get_device, list_devices
+from .passes import (
+    PassRole,
+    UnknownPassError,
+    available_passes,
+    pass_catalog,
+    register_pass,
+    resolve_pass,
+    unregister_pass,
+)
 from .pipeline import (
     AnalysisCache,
     CacheStore,
@@ -113,6 +122,14 @@ __all__ = [
     "DictStore",
     "LruCache",
     "preset_pass_manager",
+    # pass registry (pluggable stage slots; see repro.passes for the mixins)
+    "PassRole",
+    "UnknownPassError",
+    "register_pass",
+    "unregister_pass",
+    "resolve_pass",
+    "available_passes",
+    "pass_catalog",
     # compile-service subsystem (request queue + worker pools + shared cache)
     "CompileService",
     "ServiceClient",
@@ -125,7 +142,7 @@ __all__ = [
     "SyncVectorEnv",
     "AsyncVectorEnv",
     "make_compilation_vec_env",
-    # deprecated shims (use repro.compile with a backend name instead)
+    # removed shims kept as pointed errors (use repro.compile with a backend name)
     "compile_qiskit_style",
     "compile_tket_style",
     "expected_fidelity",

@@ -63,14 +63,47 @@ class PresetBackend:
     stage repeats until the circuit stops changing, trading wall time for
     whatever additional gate cancellations the extra rounds expose.  The
     golden-pinned base levels are untouched — these are new backend names.
+
+    ``pass_overrides`` swaps stage slots of the schedule by registered pass
+    name (see :func:`~repro.compilers.presets.preset_pass_manager`).  The
+    backend name — and with it the cache token — gains a deterministic
+    suffix describing the substitution, so overridden and base compilations
+    never share a result-cache entry.
     """
 
-    def __init__(self, style: str, optimization_level: int, *, iterate: bool = False):
+    def __init__(
+        self,
+        style: str,
+        optimization_level: int,
+        *,
+        iterate: bool = False,
+        pass_overrides: dict | None = None,
+    ):
         self.style = style
         self.optimization_level = optimization_level
         self.iterate = iterate
-        self.name = f"{style}-o{optimization_level}" + ("-iter" if iterate else "")
-        self._manager = preset_pass_manager(style, optimization_level, iterate=iterate)
+        self.pass_overrides = dict(pass_overrides) if pass_overrides else None
+        self._manager = preset_pass_manager(
+            style, optimization_level, iterate=iterate, overrides=self.pass_overrides
+        )
+        # the manager name is "<style>-o<level>[+stage=pass,...][-iter]" —
+        # identical to the historical backend name when there are no overrides
+        self.name = self._manager.name
+
+    def with_pass_overrides(self, overrides: dict) -> "PresetBackend":
+        """A derived backend with ``overrides`` layered onto this schedule.
+
+        Validation (unknown stage, unknown pass, role mismatch) happens here,
+        in the caller's thread, so a bad override fails fast instead of
+        surfacing from a service worker.
+        """
+        merged = {**(self.pass_overrides or {}), **overrides}
+        return PresetBackend(
+            self.style,
+            self.optimization_level,
+            iterate=self.iterate,
+            pass_overrides=merged,
+        )
 
     def cache_token(self) -> str:
         return self.name

@@ -20,7 +20,7 @@ from ..devices.library import get_device
 from .registry import CompilerBackend, get_backend, list_backends
 from .result import CompilationResult
 
-__all__ = ["compile", "resolve_backend"]
+__all__ = ["compile", "resolve_backend", "apply_pass_overrides"]
 
 
 def resolve_backend(spec: "str | CompilerBackend") -> CompilerBackend:
@@ -43,6 +43,29 @@ def resolve_backend(spec: "str | CompilerBackend") -> CompilerBackend:
     )
 
 
+def apply_pass_overrides(
+    backend: CompilerBackend, pass_overrides: dict | None
+) -> CompilerBackend:
+    """Derive a backend with ``pass_overrides`` applied to its stage schedule.
+
+    Returns ``backend`` untouched when there are no overrides.  Backends that
+    do not run a declarative schedule (the RL predictor, ``best-of``) do not
+    support overrides — asking for them is a :class:`TypeError`.  Validation
+    of the override payload itself (unknown stage/pass, role mismatch)
+    happens eagerly, in the caller's thread.
+    """
+    if not pass_overrides:
+        return backend
+    derive = getattr(backend, "with_pass_overrides", None)
+    if not callable(derive):
+        raise TypeError(
+            f"backend {getattr(backend, 'name', backend)!r} does not support "
+            "pass_overrides; only schedule-driven preset backends "
+            "(qiskit-o*/tket-o*) do"
+        )
+    return derive(pass_overrides)
+
+
 def compile(  # noqa: A001 - deliberate: the facade mirrors the paper's `compile`
     circuit: QuantumCircuit,
     backend: "str | CompilerBackend" = "qiskit-o3",
@@ -50,6 +73,7 @@ def compile(  # noqa: A001 - deliberate: the facade mirrors the paper's `compile
     device: "Device | str | None" = None,
     objective: str = "fidelity",
     seed: int = 0,
+    pass_overrides: dict | None = None,
     service=None,
     priority: int = 0,
     deadline: float | None = None,
@@ -73,6 +97,13 @@ def compile(  # noqa: A001 - deliberate: the facade mirrors the paper's `compile
         always available in ``result.scores``.
     seed:
         Seed forwarded to stochastic passes for reproducibility.
+    pass_overrides:
+        Stage-slot substitutions for schedule-driven (preset) backends, e.g.
+        ``{"routing": "tket-routing"}`` — stage names map to registered pass
+        names, ``(name, kwargs)`` pairs, or lists of those (see
+        ``repro.available_passes`` / ``GET /v1/passes`` for the catalog).
+        Only preset backends support this; the derived backend gets its own
+        cache identity so overridden results never alias base results.
     service:
         A :class:`~repro.service.CompileService` or
         :class:`~repro.service.ServiceClient`: the request is submitted to
@@ -96,11 +127,12 @@ def compile(  # noqa: A001 - deliberate: the facade mirrors the paper's `compile
             seed=seed,
             priority=priority,
             deadline=deadline,
+            pass_overrides=pass_overrides,
         )
         return future.result()
     if priority != 0 or deadline is not None:
         raise ValueError("priority/deadline require the `service` argument")
-    resolved = resolve_backend(backend)
+    resolved = apply_pass_overrides(resolve_backend(backend), pass_overrides)
     target = get_device(device) if isinstance(device, str) else device
     start = perf_counter()
     result = resolved.compile(circuit, device=target, objective=objective, seed=seed)

@@ -2,17 +2,21 @@
 
 The public entry point for these flows is the backend registry: every level is
 registered as ``qiskit-o0`` ... ``qiskit-o3`` / ``tket-o0`` ... ``tket-o2``
-and reachable through ``repro.compile(circuit, backend=...)``.  The
-``compile_qiskit_style`` / ``compile_tket_style`` functions re-exported here
-are deprecation shims kept for backwards compatibility.
+and reachable through ``repro.compile(circuit, backend=...)``.  The level
+tables themselves are pure-data :class:`~repro.compilers.presets.StageSpec`
+schedules resolved through the pass registry, so any stage slot can be
+swapped by name via ``preset_pass_manager(..., overrides=...)`` or the
+facade's ``pass_overrides=``.
 """
 
 from .presets import (
     QISKIT_LEVELS,
     TKET_LEVELS,
-    CompiledCircuit,
+    StageSpec,
+    apply_stage_overrides,
     compile_qiskit_style,
     compile_tket_style,
+    iterate_stage,
     preset_pass_manager,
     qiskit_pipeline,
     run_preset_manager,
@@ -22,9 +26,11 @@ from .presets import (
 __all__ = [
     "QISKIT_LEVELS",
     "TKET_LEVELS",
-    "CompiledCircuit",
+    "StageSpec",
+    "apply_stage_overrides",
     "compile_qiskit_style",
     "compile_tket_style",
+    "iterate_stage",
     "preset_pass_manager",
     "qiskit_pipeline",
     "run_preset_manager",

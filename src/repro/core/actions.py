@@ -1,17 +1,27 @@
-"""The action registry of the compilation MDP.
+"""The action registry of the compilation MDP, derived from the pass registry.
 
 Five kinds of actions are distinguished, exactly as in the paper's Fig. 2:
 
 * **platform selection** — fix the native gate set (IBM / Rigetti / IonQ / OQC);
 * **device selection** — fix qubit count and topology (one action per device
   of the chosen platform);
-* **synthesis** — translate to the native gate set (Qiskit's BasisTranslator);
-* **mapping** — one action per (layout, routing) combination, covering
-  Qiskit's Trivial/Dense/Sabre layouts and Basic/Stochastic/Sabre/TKET routers;
-* **optimization** — the twelve device-independent/-dependent optimization
-  passes from Qiskit and TKET listed in Section IV-A.
+* **synthesis** — one action per registered synthesis pass (Qiskit's
+  BasisTranslator in the base instantiation);
+* **mapping** — one action per (layout, routing) combination of the
+  registered layout and routing passes;
+* **optimization** — one action per registered optimization pass (the twelve
+  device-independent/-dependent passes of Section IV-A in the base
+  instantiation).
 
-Every action exposes the same ``apply(circuit, context) -> circuit``
+The pass-derived actions come straight from the pass registry
+(:mod:`repro.passes.registry`): registering a new pass makes it an action
+with no change here.  Action *numbering* is protected by a frozen index map
+(:data:`FROZEN_ACTION_ORDER`) pinning the base instantiation's ordering —
+saved predictor checkpoints keep their action indices, while newly
+registered passes append strictly after the existing actions (after
+``terminate``).
+
+Every pass action exposes the same ``payload(circuit, context) -> circuit``
 interface, which is what makes passes from different SDK styles composable
 inside one learned compilation flow.
 """
@@ -22,28 +32,13 @@ from dataclasses import dataclass
 
 from ..circuit.circuit import QuantumCircuit
 from ..devices.library import devices_for_platform, list_platforms
+from ..passes import PassRole, pass_catalog, pass_factory, resolve_pass
 from ..passes.base import BasePass, PassContext
-from ..passes.layout import DenseLayout, SabreLayout, TrivialLayout
-from ..passes.optimization import (
-    CliffordSimp,
-    Collect2qBlocksConsolidate,
-    CommutativeCancellation,
-    CommutativeInverseCancellation,
-    CXCancellation,
-    FullPeepholeOptimise,
-    InverseCancellation,
-    Optimize1qGatesDecomposition,
-    OptimizeCliffords,
-    PeepholeOptimise2Q,
-    RemoveDiagonalGatesBeforeMeasure,
-    RemoveRedundancies,
-)
-from ..passes.routing import BasicSwap, SabreSwap, StochasticSwap, TketRouting
-from ..passes.synthesis import BasisTranslator
 
 __all__ = [
     "Action",
     "ActionKind",
+    "FROZEN_ACTION_ORDER",
     "MappingPass",
     "build_action_registry",
     "TERMINATE_ACTION_NAME",
@@ -86,7 +81,9 @@ class MappingPass(BasePass):
     """One mapping action: a layout strategy followed by a routing strategy.
 
     The router draws its seed from the :class:`PassContext` at run time, so a
-    single instance serves every episode of an RL training run.
+    single instance serves every episode of an RL training run.  Both
+    factories come from the pass registry; any registered routing pass must
+    therefore accept a ``seed`` keyword.
     """
 
     requires_device = True
@@ -102,28 +99,106 @@ class MappingPass(BasePass):
         return self.routing_cls(seed=context.seed).run(placed, context)
 
 
-_OPTIMIZATION_PASSES: list[BasePass] = [
-    Optimize1qGatesDecomposition(),
-    CXCancellation(),
-    CommutativeCancellation(),
-    CommutativeInverseCancellation(),
-    RemoveDiagonalGatesBeforeMeasure(),
-    InverseCancellation(),
-    OptimizeCliffords(),
-    Collect2qBlocksConsolidate(),
-    PeepholeOptimise2Q(),
-    CliffordSimp(),
-    FullPeepholeOptimise(),
-    RemoveRedundancies(),
-]
+def _short_name(registry_name: str) -> str:
+    """Strip the role suffix from a registry name for mapping-action labels.
 
-_LAYOUTS = [("trivial", TrivialLayout), ("dense", DenseLayout), ("sabre", SabreLayout)]
-_ROUTERS = [
-    ("basic", BasicSwap),
-    ("stochastic", StochasticSwap),
-    ("sabre", SabreSwap),
-    ("tket", TketRouting),
-]
+    ``trivial_layout`` → ``trivial``, ``basic_swap`` → ``basic``,
+    ``tket_routing`` → ``tket`` — the vocabulary the historical
+    ``map_<layout>_layout_<router>_routing`` action names are built from.
+    """
+    for suffix in ("_layout", "_swap", "_routing"):
+        if registry_name.endswith(suffix):
+            return registry_name[: -len(suffix)]
+    return registry_name
+
+
+#: The action ordering of the paper's base instantiation, frozen.  Candidate
+#: pass actions are stable-sorted by their rank here; names not listed (passes
+#: registered after this map was frozen) rank *after* every listed action, so
+#: saved predictor checkpoints keep their action numbering and new passes
+#: append as new trailing actions.
+FROZEN_ACTION_ORDER: tuple[str, ...] = (
+    "synthesis_basis_translator",
+    # 3 layouts x 4 routers, layout-major, in the registry order of the base set
+    "map_trivial_layout_basic_routing",
+    "map_trivial_layout_stochastic_routing",
+    "map_trivial_layout_sabre_routing",
+    "map_trivial_layout_tket_routing",
+    "map_dense_layout_basic_routing",
+    "map_dense_layout_stochastic_routing",
+    "map_dense_layout_sabre_routing",
+    "map_dense_layout_tket_routing",
+    "map_sabre_layout_basic_routing",
+    "map_sabre_layout_stochastic_routing",
+    "map_sabre_layout_sabre_routing",
+    "map_sabre_layout_tket_routing",
+    # the twelve optimization passes of Section IV-A, paper order
+    "optimize_optimize_1q_gates",
+    "optimize_cx_cancellation",
+    "optimize_commutative_cancellation",
+    "optimize_commutative_inverse_cancellation",
+    "optimize_remove_diagonal_before_measure",
+    "optimize_inverse_cancellation",
+    "optimize_optimize_cliffords",
+    "optimize_consolidate_blocks",
+    "optimize_peephole_optimise_2q",
+    "optimize_clifford_simp",
+    "optimize_full_peephole_optimise",
+    "optimize_remove_redundancies",
+    TERMINATE_ACTION_NAME,
+)
+
+_FROZEN_RANK = {name: rank for rank, name in enumerate(FROZEN_ACTION_ORDER)}
+
+
+def _pass_action_candidates() -> list[tuple[str, str, str, object]]:
+    """Derive (name, kind, origin, payload) candidates from the pass registry."""
+    catalog = pass_catalog()  # registration-ordered: deterministic for new passes
+    candidates: list[tuple[str, str, str, object]] = []
+
+    for entry in catalog:
+        if entry["role"] == PassRole.SYNTHESIS:
+            candidates.append(
+                (
+                    f"synthesis_{entry['name']}",
+                    ActionKind.SYNTHESIS,
+                    entry["origin"],
+                    resolve_pass(entry["name"]),
+                )
+            )
+
+    layouts = [e for e in catalog if e["role"] == PassRole.LAYOUT]
+    routers = [e for e in catalog if e["role"] == PassRole.ROUTING]
+    for layout in layouts:
+        for router in routers:
+            name = f"map_{_short_name(layout['name'])}_layout_{_short_name(router['name'])}_routing"
+            origin = router["origin"]
+            candidates.append(
+                (
+                    name,
+                    ActionKind.MAPPING,
+                    origin,
+                    MappingPass(
+                        pass_factory(layout["name"]),
+                        pass_factory(router["name"]),
+                        name,
+                        origin,
+                    ),
+                )
+            )
+
+    for entry in catalog:
+        if entry["role"] == PassRole.OPTIMIZATION:
+            candidates.append(
+                (
+                    f"optimize_{entry['name']}",
+                    ActionKind.OPTIMIZATION,
+                    entry["origin"],
+                    resolve_pass(entry["name"]),
+                )
+            )
+
+    return candidates
 
 
 def build_action_registry(
@@ -134,8 +209,10 @@ def build_action_registry(
     """Build the full, ordered list of actions of the MDP.
 
     ``platforms`` restricts platform/device selection actions (default: all
-    registered platforms).  The optimization, synthesis and mapping actions
-    are always included.
+    registered platforms).  The synthesis, mapping and optimization actions
+    are derived from the pass registry and ordered by the frozen index map —
+    the base instantiation's actions always keep their indices; passes
+    registered beyond it become new trailing actions.
     """
     platforms = list(platforms) if platforms is not None else list_platforms()
     actions: list[Action] = []
@@ -149,17 +226,12 @@ def build_action_registry(
         for device in devices_for_platform(platform):
             add(f"select_device_{device.name}", ActionKind.DEVICE, "repro", device.name)
 
-    add("synthesis_basis_translator", ActionKind.SYNTHESIS, "qiskit", BasisTranslator())
-
-    for layout_name, layout_cls in _LAYOUTS:
-        for router_name, router_cls in _ROUTERS:
-            name = f"map_{layout_name}_layout_{router_name}_routing"
-            origin = "qiskit" if router_name != "tket" else "tket"
-            add(name, ActionKind.MAPPING, origin, MappingPass(layout_cls, router_cls, name, origin))
-
-    for pass_ in _OPTIMIZATION_PASSES:
-        add(f"optimize_{pass_.name}", ActionKind.OPTIMIZATION, pass_.origin, pass_)
-
+    candidates = _pass_action_candidates()
     if include_terminate:
-        add(TERMINATE_ACTION_NAME, ActionKind.TERMINATE, "repro", None)
+        candidates.append((TERMINATE_ACTION_NAME, ActionKind.TERMINATE, "repro", None))
+    unlisted = len(FROZEN_ACTION_ORDER)
+    candidates.sort(key=lambda cand: _FROZEN_RANK.get(cand[0], unlisted))
+
+    for name, kind, origin, payload in candidates:
+        add(name, kind, origin, payload)
     return actions

@@ -259,6 +259,13 @@ class CompilationEnv(Env):
         assert state is not None
         if state.device is None or not state.is_done:
             return 0.0
+        if self.analysis_cache is not None:
+            # Terminal rewards are fingerprint-keyed: episodes that terminate
+            # in the same circuit on the same device (common once a policy
+            # starts converging) evaluate the reward function once.
+            return self.analysis_cache.reward(
+                state.circuit, state.device, self.reward_name, self._reward_fn
+            )
         return float(self._reward_fn(state.circuit, state.device))
 
     # -- introspection ---------------------------------------------------------------

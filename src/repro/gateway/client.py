@@ -91,7 +91,10 @@ class GatewayClient:
         )
 
     @staticmethod
-    def _payload(circuit, backend, device, objective, seed, priority, deadline, name) -> dict:
+    def _payload(
+        circuit, backend, device, objective, seed, priority, deadline, name,
+        pass_overrides=None,
+    ) -> dict:
         qasm = circuit if isinstance(circuit, str) else to_qasm(circuit)
         payload = {
             "qasm": qasm,
@@ -104,6 +107,8 @@ class GatewayClient:
             payload["device"] = device
         if deadline is not None:
             payload["deadline"] = deadline
+        if pass_overrides:
+            payload["pass_overrides"] = pass_overrides
         if name:
             payload["name"] = name
         elif not isinstance(circuit, str):
@@ -124,14 +129,20 @@ class GatewayClient:
         deadline: "float | None" = None,
         name: str = "",
         timeout: "float | None" = None,
+        pass_overrides: "dict | None" = None,
     ) -> CompilationResult:
         """Synchronous compile: blocks until done, returns the result.
 
         ``circuit`` may be a :class:`~repro.circuit.QuantumCircuit` or a raw
         OpenQASM 2 string.  If the gateway's synchronous window elapses first
         (HTTP 202), the client transparently polls the job to completion.
+        ``pass_overrides`` maps stage names to registered pass names (see
+        :meth:`passes` for the catalog).
         """
-        payload = self._payload(circuit, backend, device, objective, seed, priority, deadline, name)
+        payload = self._payload(
+            circuit, backend, device, objective, seed, priority, deadline, name,
+            pass_overrides,
+        )
         if timeout is not None:
             payload["timeout"] = timeout
         response = self._request(
@@ -152,9 +163,13 @@ class GatewayClient:
         priority: int = 0,
         deadline: "float | None" = None,
         name: str = "",
+        pass_overrides: "dict | None" = None,
     ) -> str:
         """Asynchronous compile: returns the job id immediately."""
-        payload = self._payload(circuit, backend, device, objective, seed, priority, deadline, name)
+        payload = self._payload(
+            circuit, backend, device, objective, seed, priority, deadline, name,
+            pass_overrides,
+        )
         response = self._request("POST", "/v1/compile?mode=async", payload)
         return response["job_id"]
 
@@ -213,6 +228,17 @@ class GatewayClient:
 
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
+
+    def passes(self, role: "str | None" = None) -> list:
+        """The server's pass catalog — legal ``pass_overrides`` values.
+
+        Each entry carries ``name`` / ``role`` / ``origin`` /
+        ``requires_device``; ``role`` filters to one stage role
+        (``synthesis`` / ``layout`` / ``routing`` / ``optimization`` /
+        ``finalisation``).
+        """
+        path = "/v1/passes" + (f"?role={role}" if role else "")
+        return self._request("GET", path)["passes"]
 
     def metrics(self) -> str:
         """The raw Prometheus exposition text."""

@@ -254,6 +254,14 @@ class GatewayServer:
         if payload.get("name"):
             circuit.name = str(payload["name"])
         backend = payload.get("backend", "qiskit-o3")
+        pass_overrides = payload.get("pass_overrides")
+        if pass_overrides is not None and not isinstance(pass_overrides, dict):
+            raise _HTTPError(
+                400,
+                "bad_request",
+                "'pass_overrides' must be an object mapping stage names to "
+                "registered pass names (see GET /v1/passes)",
+            )
         deadline = payload.get("deadline")
         try:
             hint = int(payload.get("priority", 0))
@@ -270,10 +278,12 @@ class GatewayServer:
                 seed=int(payload.get("seed", 0)),
                 priority=priority,
                 deadline=deadline,
+                pass_overrides=pass_overrides,
             )
         except (TypeError, KeyError, ValueError) as exc:
-            # Unknown backend/device/objective or a bad deadline — caller
-            # errors, reported as such (the service validates in our thread).
+            # Unknown backend/device/objective, a bad deadline, or a bad pass
+            # override (UnknownPassError is a KeyError) — caller errors,
+            # reported as such (the service validates in our thread).
             message = str(exc.args[0]) if exc.args else str(exc)
             raise _HTTPError(400, "bad_request", message) from None
         except RuntimeError as exc:  # service shut down underneath the gateway
@@ -461,6 +471,8 @@ class _Handler(BaseHTTPRequestHandler):
             return self._handle_compile(tenant, query)
         if path == "/v1/stats" and method == "GET":
             return self._send_json(200, self.gateway.stats())
+        if path == "/v1/passes" and method == "GET":
+            return self._handle_passes(query)
         if path.startswith("/v1/jobs/") and method == "GET":
             rest = path[len("/v1/jobs/") :]
             job_id, _, sub = rest.partition("/")
@@ -498,6 +510,24 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _handle_passes(self, query: dict) -> None:
+        """The pass-registry catalog: what names a ``pass_overrides`` may use.
+
+        ``?role=routing`` filters to one stage role.  The catalog is
+        process-local code metadata (every process running this build has the
+        same registry), so it is served directly rather than via the service.
+        """
+        from ..passes import PassRole, pass_catalog
+
+        role = query.get("role")
+        if role is not None and role not in PassRole.ALL:
+            raise _HTTPError(
+                400,
+                "bad_request",
+                f"unknown role {role!r}; expected one of {', '.join(PassRole.ALL)}",
+            )
+        return self._send_json(200, {"passes": pass_catalog(role=role)})
 
     def _handle_compile(self, tenant: Tenant, query: dict) -> None:
         self.gateway.check_rate(tenant)

@@ -4,6 +4,12 @@ Every pass implements the unified :class:`repro.passes.base.BasePass`
 interface so that passes modelled after different SDKs (Qiskit, TKET) can be
 mixed freely inside one compilation flow — the key structural requirement of
 the paper's framework.
+
+Passes additionally register themselves in the pass registry
+(:mod:`repro.passes.registry`) under a string name and a :class:`PassRole`;
+importing this package registers every built-in.  The registry is what makes
+stage slots swappable by name — in preset schedules, ``pass_overrides``
+payloads, and the RL action space.
 """
 
 from .base import AnalysisDomain, BasePass, PassContext, PassSequence
@@ -22,6 +28,23 @@ from .optimization import (
     RemoveDiagonalGatesBeforeMeasure,
     RemoveRedundancies,
 )
+from .registry import (
+    FinalisationPass,
+    LayoutPass,
+    OptimizationPass,
+    PassRole,
+    RoutingPass,
+    SynthesisPass,
+    UnknownPassError,
+    available_passes,
+    pass_catalog,
+    pass_factory,
+    pass_role,
+    register_pass,
+    registered_passes,
+    resolve_pass,
+    unregister_pass,
+)
 from .routing import BasicSwap, SabreSwap, StochasticSwap, TketRouting
 from .synthesis import BasisTranslator, decompose_to_cx_basis
 
@@ -30,6 +53,23 @@ __all__ = [
     "BasePass",
     "PassContext",
     "PassSequence",
+    # pass registry + role mixins
+    "PassRole",
+    "SynthesisPass",
+    "LayoutPass",
+    "RoutingPass",
+    "OptimizationPass",
+    "FinalisationPass",
+    "UnknownPassError",
+    "register_pass",
+    "unregister_pass",
+    "resolve_pass",
+    "pass_factory",
+    "pass_role",
+    "available_passes",
+    "registered_passes",
+    "pass_catalog",
+    # built-in passes
     "BasisTranslator",
     "decompose_to_cx_basis",
     "TrivialLayout",

@@ -80,6 +80,10 @@ class BasePass(ABC):
     name: str = "base"
     #: which SDK the pass emulates ("qiskit", "tket", or "repro")
     origin: str = "repro"
+    #: the :class:`~repro.passes.registry.PassRole` slot this pass can fill;
+    #: set by the role mixins in :mod:`repro.passes.registry` (``None`` for
+    #: infrastructure passes that are not registrable stage substitutes)
+    role: str | None = None
     #: True if the pass needs a device (synthesis / mapping passes)
     requires_device: bool = False
     #: analysis domains (see :class:`AnalysisDomain`) whose cached results are

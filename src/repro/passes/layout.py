@@ -20,7 +20,8 @@ import numpy as np
 
 from ..circuit.circuit import QuantumCircuit
 from ..devices.device import CouplingMap, Device
-from .base import AnalysisDomain, BasePass, PassContext
+from .base import AnalysisDomain, PassContext
+from .registry import LayoutPass, register_pass
 
 __all__ = ["apply_layout", "TrivialLayout", "DenseLayout", "SabreLayout"]
 
@@ -63,7 +64,7 @@ def _circuit_interaction_counts(circuit: QuantumCircuit) -> dict[tuple[int, int]
     return counts
 
 
-class TrivialLayout(BasePass):
+class TrivialLayout(LayoutPass):
     """Assign logical qubit *i* to physical qubit *i*."""
 
     name = "trivial_layout"
@@ -88,7 +89,7 @@ class TrivialLayout(BasePass):
         return apply_layout(circuit, context.initial_layout, device)
 
 
-class DenseLayout(BasePass):
+class DenseLayout(LayoutPass):
     """Map the circuit onto a dense (well-connected) region of the device.
 
     The densest region is found greedily: starting from the physical qubit of
@@ -156,7 +157,7 @@ class DenseLayout(BasePass):
         return region
 
 
-class SabreLayout(BasePass):
+class SabreLayout(LayoutPass):
     """SABRE-style layout: refine a random initial layout by round-trip routing.
 
     The circuit is routed forwards and backwards with the SABRE swap
@@ -211,3 +212,8 @@ class SabreLayout(BasePass):
                 continue
             out._instructions.append(instr)
         return out
+
+
+for _cls in (TrivialLayout, DenseLayout, SabreLayout):
+    register_pass(_cls.name, _cls, overwrite=True)
+del _cls

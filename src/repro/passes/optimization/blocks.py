@@ -23,7 +23,8 @@ from ...circuit.circuit import QuantumCircuit
 from ...circuit.gates import Gate, Instruction, gate_matrix
 from ...linalg.decompositions import synthesize_1q, synthesize_2q
 from ...linalg.unitaries import allclose_up_to_global_phase
-from ..base import BasePass, PassContext
+from ..base import PassContext
+from ..registry import OptimizationPass, register_pass
 from .cancellation import CXCancellation, InverseCancellation
 from .one_qubit import Optimize1qGatesDecomposition, RemoveRedundancies
 
@@ -151,7 +152,7 @@ def _count_2q(instructions: list[Instruction]) -> int:
     return sum(1 for i in instructions if len(i.qubits) == 2)
 
 
-class _BlockResynthesis(BasePass):
+class _BlockResynthesis(OptimizationPass):
     """Shared implementation of block collection + re-synthesis."""
 
     #: accept a replacement only if it strictly reduces 2q gates (Qiskit style)
@@ -282,7 +283,7 @@ def _lookup_clifford(matrix: np.ndarray) -> tuple[str, ...] | None:
     return None
 
 
-class OptimizeCliffords(BasePass):
+class OptimizeCliffords(OptimizationPass):
     """Qiskit-style Clifford optimization (simplified).
 
     Runs of adjacent single-qubit Clifford gates are folded into their
@@ -333,7 +334,7 @@ class OptimizeCliffords(BasePass):
         return replacement if len(replacement) <= len(run) else run
 
 
-class CliffordSimp(BasePass):
+class CliffordSimp(OptimizationPass):
     """TKET-style Clifford simplification (simplified).
 
     Combines single-qubit Clifford folding, inverse-pair cancellation and
@@ -374,7 +375,7 @@ class _CliffordBlockResynthesis(_BlockResynthesis):
         return super().run(circuit, context)
 
 
-class FullPeepholeOptimise(BasePass):
+class FullPeepholeOptimise(OptimizationPass):
     """TKET's ``FullPeepholeOptimise``: the strongest TKET optimization combo."""
 
     name = "full_peephole_optimise"
@@ -386,3 +387,14 @@ class FullPeepholeOptimise(BasePass):
         circuit = PeepholeOptimise2Q().run(circuit, context)
         circuit = CliffordSimp().run(circuit, context)
         return RemoveRedundancies().run(circuit, context)
+
+
+for _cls in (
+    Collect2qBlocksConsolidate,
+    PeepholeOptimise2Q,
+    OptimizeCliffords,
+    CliffordSimp,
+    FullPeepholeOptimise,
+):
+    register_pass(_cls.name, _cls, overwrite=True)
+del _cls

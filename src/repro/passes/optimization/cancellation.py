@@ -19,7 +19,8 @@ import numpy as np
 
 from ...circuit.circuit import QuantumCircuit
 from ...circuit.gates import GATE_SPECS, Gate, Instruction
-from ..base import BasePass, PassContext
+from ..base import PassContext
+from ..registry import OptimizationPass, register_pass
 
 __all__ = [
     "commutes",
@@ -101,7 +102,7 @@ def _is_inverse_pair(first: Instruction, second: Instruction) -> bool:
     )
 
 
-class _WireStackCancellation(BasePass):
+class _WireStackCancellation(OptimizationPass):
     """Cancel pairs of adjacent gates using a per-wire stack (no commutation)."""
 
     def _cancellable(self, first: Instruction, second: Instruction) -> bool:
@@ -155,7 +156,7 @@ class InverseCancellation(_WireStackCancellation):
         return _is_inverse_pair(first, second)
 
 
-class _CommutationCancellation(BasePass):
+class _CommutationCancellation(OptimizationPass):
     """Cancel inverse pairs and merge rotations across commuting gates."""
 
     #: gate names considered by the pass (None = all unitary gates)
@@ -251,7 +252,7 @@ class CommutativeInverseCancellation(_CommutationCancellation):
     considered = None
 
 
-class RemoveDiagonalGatesBeforeMeasure(BasePass):
+class RemoveDiagonalGatesBeforeMeasure(OptimizationPass):
     """Remove diagonal gates that sit immediately before Z-basis measurements."""
 
     name = "remove_diagonal_before_measure"
@@ -296,3 +297,14 @@ class RemoveDiagonalGatesBeforeMeasure(BasePass):
                     next_map[(last_seen[q], q)] = i
                 last_seen[q] = i
         return next_map
+
+
+for _cls in (
+    CXCancellation,
+    InverseCancellation,
+    CommutativeCancellation,
+    CommutativeInverseCancellation,
+    RemoveDiagonalGatesBeforeMeasure,
+):
+    register_pass(_cls.name, _cls, overwrite=True)
+del _cls

@@ -15,14 +15,15 @@ from ...linalg.kernels import (
 )
 from ...linalg.unitaries import allclose_up_to_global_phase
 from ...profiling import profiled
-from ..base import AnalysisDomain, BasePass, PassContext
+from ..base import AnalysisDomain, PassContext
+from ..registry import OptimizationPass, register_pass
 
 __all__ = ["Optimize1qGatesDecomposition", "RemoveRedundancies"]
 
 _ROTATION_AXES = {"rz": "z", "rx": "x", "ry": "y", "p": "z"}
 
 
-class Optimize1qGatesDecomposition(BasePass):
+class Optimize1qGatesDecomposition(OptimizationPass):
     """Fuse runs of single-qubit gates and re-emit them in an Euler basis.
 
     Mirrors Qiskit's ``Optimize1qGatesDecomposition``: every maximal run of
@@ -159,7 +160,7 @@ class Optimize1qGatesDecomposition(BasePass):
         return run
 
 
-class RemoveRedundancies(BasePass):
+class RemoveRedundancies(OptimizationPass):
     """TKET-style redundancy removal.
 
     Removes rotations with angle zero (mod 2*pi), merges adjacent rotations
@@ -312,3 +313,8 @@ class RemoveRedundancies(BasePass):
         if prev.gate.name == inverse.name and np.allclose(prev.gate.params, inverse.params, atol=1e-12):
             return "cancel"
         return None
+
+
+for _cls in (Optimize1qGatesDecomposition, RemoveRedundancies):
+    register_pass(_cls.name, _cls, overwrite=True)
+del _cls

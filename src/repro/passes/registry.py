@@ -1,0 +1,280 @@
+"""Pluggable pass registry: compilation passes register like backends do.
+
+Mirrors :mod:`repro.api.registry`, one layer down.  A *pass* is anything
+implementing the :class:`~repro.passes.base.BasePass` circuit-in/circuit-out
+contract; registering it under a string name and a :class:`PassRole` makes it
+addressable everywhere a pass can be named:
+
+* the declarative preset schedules (:mod:`repro.compilers.presets`) resolve
+  their stage slots through :func:`resolve_pass`, and
+  ``preset_pass_manager(..., overrides={"routing": "tket-routing"})`` swaps
+  any slot for any registered pass of the matching role;
+* the RL action registry (:mod:`repro.core.actions`) derives its synthesis /
+  mapping / optimization actions from the registered passes, so a newly
+  registered pass becomes a new action without touching the MDP code;
+* the gateway's ``GET /v1/passes`` endpoint serves :func:`pass_catalog` so
+  HTTP clients can discover what they may put in a ``pass_overrides`` payload.
+
+Roles are typed through ABC mixins (:class:`SynthesisPass`,
+:class:`LayoutPass`, :class:`RoutingPass`, :class:`OptimizationPass`,
+:class:`FinalisationPass`) in the style of qibo's ``Placer`` / ``Router`` /
+``Optimizer`` protocols: a pass subclasses the mixin matching what it does,
+and the registry validates the declared role at registration time.  All
+built-in passes self-register when their module is imported (importing
+:mod:`repro.passes` is enough); ``tools/check_pass_registry.py`` lints that
+no concrete pass ships unregistered.
+
+Names are normalised (``-`` and ``_`` are interchangeable), so the HTTP
+spelling ``"tket-routing"`` and the Python spelling ``"tket_routing"``
+resolve to the same entry.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC
+from dataclasses import dataclass
+from typing import Callable
+
+from .base import BasePass
+
+__all__ = [
+    "PassRole",
+    "SynthesisPass",
+    "LayoutPass",
+    "RoutingPass",
+    "OptimizationPass",
+    "FinalisationPass",
+    "UnknownPassError",
+    "register_pass",
+    "unregister_pass",
+    "resolve_pass",
+    "pass_factory",
+    "pass_role",
+    "available_passes",
+    "registered_passes",
+    "pass_catalog",
+]
+
+
+class PassRole:
+    """The stage vocabulary: what slot of a compilation flow a pass can fill."""
+
+    SYNTHESIS = "synthesis"
+    LAYOUT = "layout"
+    ROUTING = "routing"
+    OPTIMIZATION = "optimization"
+    FINALISATION = "finalisation"
+
+    ALL = (SYNTHESIS, LAYOUT, ROUTING, OPTIMIZATION, FINALISATION)
+
+
+class SynthesisPass(BasePass, ABC):
+    """Role mixin: translates the circuit into a device's native gate set."""
+
+    role = PassRole.SYNTHESIS
+
+
+class LayoutPass(BasePass, ABC):
+    """Role mixin: chooses the initial logical-to-physical qubit assignment."""
+
+    role = PassRole.LAYOUT
+
+
+class RoutingPass(BasePass, ABC):
+    """Role mixin: inserts SWAPs until every 2q gate respects the coupling map."""
+
+    role = PassRole.ROUTING
+
+
+class OptimizationPass(BasePass, ABC):
+    """Role mixin: rewrites the circuit to reduce gates/depth (device-agnostic)."""
+
+    role = PassRole.OPTIMIZATION
+
+
+class FinalisationPass(BasePass, ABC):
+    """Role mixin: clean-up passes that close out a flow (safety nets)."""
+
+    role = PassRole.FINALISATION
+
+
+class UnknownPassError(KeyError):
+    """Raised when resolving a pass name that is not registered."""
+
+    def __init__(self, name: str, available: list[str], role: str | None = None):
+        scope = f" with role {role!r}" if role else ""
+        super().__init__(
+            f"unknown compilation pass {name!r}{scope}; "
+            f"available: {', '.join(available)}"
+        )
+        self.pass_name = name
+        self.available = available
+
+
+@dataclass(frozen=True)
+class _Entry:
+    """One registry row: the factory plus the metadata the catalog serves."""
+
+    name: str
+    factory: Callable[..., BasePass]
+    role: str
+    origin: str
+    requires_device: bool
+
+
+_LOCK = threading.Lock()
+#: insertion-ordered — :func:`registered_passes` exposes registration order,
+#: which is what keeps derived orderings (the RL action space) deterministic
+_REGISTRY: dict[str, _Entry] = {}
+
+
+def _normalise(name: str) -> str:
+    """Registry names treat ``-`` and ``_`` as the same character."""
+    return name.replace("-", "_")
+
+
+def register_pass(
+    name: str,
+    factory: Callable[..., BasePass],
+    *,
+    role: str | None = None,
+    overwrite: bool = False,
+) -> None:
+    """Register a pass factory under ``name`` for lookup by role and name.
+
+    ``factory`` is a :class:`BasePass` subclass or a callable returning one;
+    it must accept keyword arguments for any construction parameters
+    (``resolve_pass(("optimize_1q_gates", {"basis": "u3"}))``).  ``role``
+    defaults to the factory's declared role mixin; passing a conflicting role
+    explicitly is an error — the mixin is the contract.
+    """
+    declared = getattr(factory, "role", None)
+    if role is None:
+        role = declared
+    elif declared is not None and declared != role:
+        raise ValueError(
+            f"pass {name!r} declares role {declared!r} via its mixin but was "
+            f"registered with role={role!r}; the declarations must agree"
+        )
+    if role not in PassRole.ALL:
+        raise ValueError(
+            f"pass {name!r} needs a role from {PassRole.ALL} (got {role!r}); "
+            "subclass one of the role mixins or pass role= explicitly"
+        )
+    key = _normalise(name)
+    entry = _Entry(
+        name=key,
+        factory=factory,
+        role=role,
+        origin=getattr(factory, "origin", "repro"),
+        requires_device=bool(getattr(factory, "requires_device", False)),
+    )
+    with _LOCK:
+        if key in _REGISTRY and not overwrite:
+            raise ValueError(
+                f"pass {key!r} is already registered; pass overwrite=True to replace it"
+            )
+        _REGISTRY[key] = entry
+
+
+def unregister_pass(name: str) -> None:
+    """Remove a previously registered pass (no-op if absent)."""
+    with _LOCK:
+        _REGISTRY.pop(_normalise(name), None)
+
+
+def _lookup(name: str, role: str | None = None) -> _Entry:
+    key = _normalise(name)
+    with _LOCK:
+        entry = _REGISTRY.get(key)
+        available = sorted(
+            e.name for e in _REGISTRY.values() if role is None or e.role == role
+        )
+    if entry is None or (role is not None and entry.role != role):
+        raise UnknownPassError(name, available, role)
+    return entry
+
+
+def pass_factory(name: str, *, role: str | None = None) -> Callable[..., BasePass]:
+    """The registered factory for ``name`` (optionally checked against ``role``)."""
+    return _lookup(name, role).factory
+
+
+def pass_role(name: str) -> str:
+    """The role ``name`` was registered under."""
+    return _lookup(name).role
+
+
+def resolve_pass(spec, *, role: str | None = None) -> BasePass:
+    """Turn a pass specification into a ready :class:`BasePass` instance.
+
+    ``spec`` is a registered name (``"sabre_swap"``), a ``(name, kwargs)``
+    pair (``("optimize_1q_gates", {"basis": "u3"})``), or an already-built
+    :class:`BasePass` instance (returned as is).  ``role``, when given,
+    additionally requires the resolved pass to fill that role — the
+    validation behind stage overrides.
+    """
+    if isinstance(spec, BasePass):
+        if role is not None and getattr(spec, "role", None) != role:
+            raise ValueError(
+                f"pass instance {spec.name!r} has role "
+                f"{getattr(spec, 'role', None)!r}, expected {role!r}"
+            )
+        return spec
+    if isinstance(spec, str):
+        name, kwargs = spec, {}
+    elif isinstance(spec, (tuple, list)) and len(spec) == 2 and isinstance(spec[0], str):
+        name, kwargs = spec[0], dict(spec[1])
+    else:
+        raise TypeError(
+            f"cannot resolve {spec!r} to a pass; expected a registered name, "
+            "a (name, kwargs) pair, or a BasePass instance"
+        )
+    entry = _lookup(name, role)
+    return entry.factory(**kwargs)
+
+
+def available_passes(role: str | None = None) -> list[str]:
+    """Sorted names of all registered passes (optionally one role only)."""
+    with _LOCK:
+        return sorted(
+            entry.name
+            for entry in _REGISTRY.values()
+            if role is None or entry.role == role
+        )
+
+
+def registered_passes(role: str | None = None) -> list[str]:
+    """Registered pass names in *registration order* (optionally one role only).
+
+    Registration order is the stability anchor for everything derived from
+    the registry — most importantly the RL action space, where newly
+    registered passes must append after the existing actions.
+    """
+    with _LOCK:
+        return [
+            entry.name
+            for entry in _REGISTRY.values()
+            if role is None or entry.role == role
+        ]
+
+
+def pass_catalog(role: str | None = None) -> list[dict]:
+    """The registry as plain data, registration-ordered.
+
+    One dict per pass — ``name`` / ``role`` / ``origin`` /
+    ``requires_device`` — serialisable as is; this is what the gateway's
+    ``GET /v1/passes`` endpoint returns.
+    """
+    with _LOCK:
+        return [
+            {
+                "name": entry.name,
+                "role": entry.role,
+                "origin": entry.origin,
+                "requires_device": entry.requires_device,
+            }
+            for entry in _REGISTRY.values()
+            if role is None or entry.role == role
+        ]

@@ -26,7 +26,8 @@ from ..circuit.circuit import QuantumCircuit
 from ..circuit.dag import DAGCircuit
 from ..circuit.gates import Gate, Instruction
 from ..devices.device import Device
-from .base import BasePass, PassContext
+from .base import PassContext
+from .registry import RoutingPass, register_pass
 from .synthesis import CX_CONVERSION_RULES
 
 __all__ = ["BasicSwap", "StochasticSwap", "SabreSwap", "TketRouting", "expand_swaps"]
@@ -164,7 +165,7 @@ def _swap_scores(
     return np.maximum(decay[candidates[:, 0]], decay[candidates[:, 1]]) * front_cost
 
 
-class _BaseRouter(BasePass):
+class _BaseRouter(RoutingPass):
     """Shared machinery for all routing passes."""
 
     requires_device = True
@@ -556,3 +557,8 @@ class TketRouting(_BaseRouter):
             scores = np.zeros(len(cand))
         best = np.flatnonzero(np.abs(scores - scores.min()) < 1e-12)
         return ordered[int(best[int(rng.integers(len(best)))])]
+
+
+for _cls in (BasicSwap, StochasticSwap, SabreSwap, TketRouting):
+    register_pass(_cls.name, _cls, overwrite=True)
+del _cls

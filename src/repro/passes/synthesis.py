@@ -25,7 +25,8 @@ from ..circuit.circuit import QuantumCircuit
 from ..circuit.gates import GATE_SPECS, Gate, Instruction, gate_inverse, gate_matrix
 from ..devices.device import NativeGateSet
 from ..linalg.decompositions import synthesize_1q, synthesize_2q, zyz_angles
-from .base import BasePass, PassContext
+from .base import PassContext
+from .registry import SynthesisPass, register_pass
 
 __all__ = [
     "BasisTranslator",
@@ -292,7 +293,7 @@ def decompose_to_cx_basis(
 # ---------------------------------------------------------------------------
 
 
-class BasisTranslator(BasePass):
+class BasisTranslator(SynthesisPass):
     """Translate a circuit into the selected device's native gate set.
 
     This is the Synthesis action of the compilation MDP (Qiskit's
@@ -333,3 +334,6 @@ class BasisTranslator(BasePass):
         decomp = synthesize_1q(matrix, gate_set.basis_1q)
         qubit = instruction.qubits[0]
         return [Instruction(gate, (qubit,)) for gate in decomp.gates]
+
+
+register_pass(BasisTranslator.name, BasisTranslator, overwrite=True)

@@ -171,6 +171,15 @@ class PassManager:
         cache: AnalysisCache | None = None,
     ):
         self.stages = tuple(stages)
+        seen: set[str] = set()
+        for stage in self.stages:
+            if stage.name in seen:
+                raise ValueError(
+                    f"duplicate stage name {stage.name!r} in schedule {name!r}; "
+                    "stage names must be unique so overrides and profiling can "
+                    "address stages unambiguously"
+                )
+            seen.add(stage.name)
         self.name = name
         self.cache = cache
         self.requires_device = any(
@@ -193,6 +202,7 @@ class PassManager:
         """
         context = context or PassContext()
         runner = PassRunner(self.cache)
+        registry = profiler()
         for stage in self.stages:
             if stage.condition is not None and not stage.condition(circuit, context):
                 continue
@@ -203,11 +213,28 @@ class PassManager:
                     recording.append(pass_.name)
                 return runner.apply(pass_, circ, context)
 
-            for item in stage.passes:
-                if isinstance(item, RepeatUntilStable):
-                    circuit = item.execute(circuit, context, emit)
-                else:
-                    circuit = emit(item, circuit)
+            if registry.enabled:
+                # Per-stage wall time under the stage's schedule name, so
+                # --profile and /metrics attribute time to the same names
+                # that overrides address (pass-level timings nest inside).
+                with registry.timed(f"stage.{stage.name}", items=len(circuit)):
+                    circuit = self._run_stage(stage, circuit, context, emit)
+            else:
+                circuit = self._run_stage(stage, circuit, context, emit)
+        return circuit
+
+    @staticmethod
+    def _run_stage(
+        stage: Stage,
+        circuit: QuantumCircuit,
+        context: PassContext,
+        emit: Callable[[BasePass, QuantumCircuit], QuantumCircuit],
+    ) -> QuantumCircuit:
+        for item in stage.passes:
+            if isinstance(item, RepeatUntilStable):
+                circuit = item.execute(circuit, context, emit)
+            else:
+                circuit = emit(item, circuit)
         return circuit
 
     # -- introspection ---------------------------------------------------------------

@@ -167,6 +167,8 @@ class AnalysisCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.reward_hits = 0
+        self.reward_evaluations = 0
 
     # -- core API -------------------------------------------------------------------
 
@@ -290,6 +292,34 @@ class AnalysisCache:
     def is_executable(self, circuit: QuantumCircuit, device: Device) -> bool:
         return self.gates_native(circuit, device) and self.mapping_satisfied(circuit, device)
 
+    def reward(
+        self,
+        circuit: QuantumCircuit,
+        device: Device,
+        reward_name: str,
+        reward_fn: "Callable[[QuantumCircuit, Device], float]",
+    ) -> float:
+        """Evaluate ``reward_fn`` on a terminal state — or return the cached value.
+
+        Keyed by circuit fingerprint (via the property set) plus reward
+        function and device, so episodes terminating in the same circuit on
+        the same device pay for the reward computation once.  Reward entries
+        use their own namespace (``reward:<name>@<device>``), which no pass
+        declares in ``preserves`` — they are never carried forward across
+        transformations.
+        """
+        props = self.properties(circuit)
+        key = f"reward:{reward_name}@{device.name}"
+        with self._lock:
+            if key in props:
+                self.reward_hits += 1
+                return props[key]
+        value = float(reward_fn(circuit, device))
+        with self._lock:
+            self.reward_evaluations += 1
+            props[key] = value
+        return value
+
     # -- bookkeeping -------------------------------------------------------------------
 
     @property
@@ -305,12 +335,15 @@ class AnalysisCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "hit_rate": self.hit_rate,
+                "reward_hits": self.reward_hits,
+                "reward_evaluations": self.reward_evaluations,
             }
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self.hits = self.misses = self.evictions = 0
+            self.reward_hits = self.reward_evaluations = 0
 
     def __len__(self) -> int:
         with self._lock:

@@ -108,12 +108,15 @@ class ServiceClient:
         seed: int = 0,
         priority: int = 0,
         deadline: float | None = None,
+        pass_overrides: dict | None = None,
     ) -> Future:
         """Submit one compilation; returns a future of its ``CompilationResult``.
 
-        ``priority`` (higher first) and ``deadline`` (seconds; expired
-        requests resolve to a ``DeadlineExceeded`` failure result) ride along
-        to the service — the semantics are identical in-process and remote.
+        ``priority`` (higher first), ``deadline`` (seconds; expired requests
+        resolve to a ``DeadlineExceeded`` failure result) and
+        ``pass_overrides`` (stage-slot substitutions for preset backends)
+        ride along to the service — the semantics are identical in-process
+        and remote.
         """
         if self._service is not None:
             return self._service.submit(
@@ -124,6 +127,7 @@ class ServiceClient:
                 seed=seed,
                 priority=priority,
                 deadline=deadline,
+                pass_overrides=pass_overrides,
             )
         if not isinstance(backend, str):
             # Remote services resolve names against their own registry;
@@ -131,7 +135,8 @@ class ServiceClient:
             backend = getattr(backend, "name", backend)
         device_name = device if isinstance(device, str) or device is None else device.name
         ticket = self._proxy.submit_request(
-            circuit, backend, device_name, objective, seed, priority, deadline
+            circuit, backend, device_name, objective, seed, priority, deadline,
+            pass_overrides,
         )
         assert self._waiters is not None
         return self._waiters.submit(self._proxy.wait_result, ticket)
@@ -146,6 +151,7 @@ class ServiceClient:
         seed: int = 0,
         priority: int = 0,
         deadline: float | None = None,
+        pass_overrides: dict | None = None,
     ) -> list[Future]:
         """One future per circuit, in input order."""
         return [
@@ -157,6 +163,7 @@ class ServiceClient:
                 seed=seed,
                 priority=priority,
                 deadline=deadline,
+                pass_overrides=pass_overrides,
             )
             for circuit in circuits
         ]

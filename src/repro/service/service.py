@@ -51,7 +51,7 @@ from time import perf_counter
 from typing import TYPE_CHECKING
 
 from ..api.batch import CompilationCache, _compile_task, _failure_result, result_cache_key
-from ..api.facade import resolve_backend
+from ..api.facade import apply_pass_overrides, resolve_backend
 from ..api.registry import CompilerBackend
 from ..api.result import CompilationResult
 from ..devices.library import get_device
@@ -435,6 +435,7 @@ class CompileService:
         seed: int = 0,
         priority: int = 0,
         deadline: float | None = None,
+        pass_overrides: dict | None = None,
     ) -> Future:
         """Enqueue one compilation; the returned future resolves to its result.
 
@@ -443,19 +444,24 @@ class CompileService:
         :class:`DeadlineExceeded` failure result if no worker could start it
         in time — ``deadline=0`` never reaches a worker at all.
 
-        Validation (unknown backend, unknown objective, negative deadline)
-        happens here, in the caller's thread, so bad requests fail fast
-        instead of poisoning the queue.  The future's result is always a
-        :class:`~repro.CompilationResult` — compilation failures and deadline
-        expiries are captured as ``succeeded=False`` results, matching
-        ``compile_batch``.
+        ``pass_overrides`` swaps stage slots of a preset backend's schedule by
+        registered pass name (``{"routing": "tket-routing"}``); the derived
+        backend carries its own cache token, so overridden results never
+        alias base results in the shared cache or the coalescing map.
+
+        Validation (unknown backend, unknown objective, negative deadline,
+        bad pass override) happens here, in the caller's thread, so bad
+        requests fail fast instead of poisoning the queue.  The future's
+        result is always a :class:`~repro.CompilationResult` — compilation
+        failures and deadline expiries are captured as ``succeeded=False``
+        results, matching ``compile_batch``.
         """
         if deadline is not None:
             deadline = float(deadline)
             if deadline < 0:
                 raise ValueError(f"deadline must be >= 0 seconds, got {deadline}")
         priority = int(priority)
-        resolved = resolve_backend(backend)
+        resolved = apply_pass_overrides(resolve_backend(backend), pass_overrides)
         reward_function(objective)  # fail fast on unknown objectives
         target = get_device(device) if isinstance(device, str) else device
         now = perf_counter()
@@ -495,12 +501,15 @@ class CompileService:
         seed: int = 0,
         priority: int = 0,
         deadline: float | None = None,
+        pass_overrides: dict | None = None,
     ) -> list[Future]:
         """Enqueue one request per circuit; futures come back in input order."""
+        # Resolve the (possibly overridden) backend once for the whole batch.
+        resolved = apply_pass_overrides(resolve_backend(backend), pass_overrides)
         return [
             self.submit(
                 circuit,
-                backend,
+                resolved,
                 device=device,
                 objective=objective,
                 seed=seed,
@@ -625,11 +634,13 @@ class CompileService:
         seed: int = 0,
         priority: int = 0,
         deadline: float | None = None,
+        pass_overrides: dict | None = None,
     ) -> str:
         """``submit()`` for remote callers: returns a ticket id instead of a future.
 
         Carries the full QoS surface — remote clients get identical
-        priority/deadline semantics to in-process ones.
+        priority/deadline and ``pass_overrides`` semantics to in-process
+        ones.
         """
         future = self.submit(
             circuit,
@@ -639,6 +650,7 @@ class CompileService:
             seed=seed,
             priority=priority,
             deadline=deadline,
+            pass_overrides=pass_overrides,
         )
         ticket = f"req-{next(self._request_ids)}"
         with self._lock:

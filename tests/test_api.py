@@ -170,12 +170,10 @@ class TestFacade:
         assert "failing" in (result.error or "")
 
 
-class TestDeprecatedShims:
-    def test_compile_qiskit_style_still_works_and_warns(self, washington):
-        with pytest.warns(DeprecationWarning):
-            result = repro.compile_qiskit_style(benchmark_circuit("ghz", 3), washington)
-        assert washington.is_executable(result.circuit)
-        assert result.passes
+class TestRemovedShims:
+    def test_compile_qiskit_style_raises_pointed_error(self, washington):
+        with pytest.raises(RuntimeError, match=r"repro\.compile"):
+            repro.compile_qiskit_style(benchmark_circuit("ghz", 3), washington)
 
     def test_old_result_type_importable_from_core(self):
         from repro.core import CompilationResult as CoreResult

@@ -12,7 +12,9 @@ from repro.compilers import (
     compile_qiskit_style,
     compile_tket_style,
     preset_pass_manager,
+    qiskit_pipeline,
     run_preset_manager,
+    tket_pipeline,
 )
 from repro.devices import get_device, list_devices
 from repro.reward import expected_fidelity
@@ -24,62 +26,73 @@ class TestQiskitStylePresets:
     @pytest.mark.parametrize("level", [0, 1, 2, 3])
     def test_all_levels_produce_executable_circuits(self, level, washington):
         circuit = benchmark_circuit("qft", 5)
-        result = compile_qiskit_style(circuit, washington, optimization_level=level)
-        assert washington.is_executable(result.circuit)
-        assert result.device is washington
-        assert result.passes
+        compiled, trace = qiskit_pipeline(circuit, washington, optimization_level=level)
+        assert washington.is_executable(compiled)
+        assert trace
 
     def test_invalid_level_rejected(self, washington):
         with pytest.raises(ValueError):
-            compile_qiskit_style(benchmark_circuit("ghz", 3), washington, optimization_level=4)
+            qiskit_pipeline(benchmark_circuit("ghz", 3), washington, optimization_level=4)
 
     def test_higher_level_not_worse_on_qft(self, washington):
         circuit = benchmark_circuit("qft", 6)
-        low = compile_qiskit_style(circuit, washington, optimization_level=0)
-        high = compile_qiskit_style(circuit, washington, optimization_level=3)
-        assert high.circuit.num_two_qubit_gates() <= low.circuit.num_two_qubit_gates()
+        low, _ = qiskit_pipeline(circuit, washington, optimization_level=0)
+        high, _ = qiskit_pipeline(circuit, washington, optimization_level=3)
+        assert high.num_two_qubit_gates() <= low.num_two_qubit_gates()
 
     def test_measurements_survive(self, washington):
         circuit = benchmark_circuit("ghz", 4)
-        result = compile_qiskit_style(circuit, washington, optimization_level=3)
-        assert result.circuit.count_ops()["measure"] == 4
+        compiled, _ = qiskit_pipeline(circuit, washington, optimization_level=3)
+        assert compiled.count_ops()["measure"] == 4
 
     @pytest.mark.parametrize("device_name", list_devices())
     def test_works_for_every_device(self, device_name):
         device = get_device(device_name)
         circuit = benchmark_circuit("vqe", 4)
-        result = compile_qiskit_style(circuit, device, optimization_level=3)
-        assert device.is_executable(result.circuit)
+        compiled, _ = qiskit_pipeline(circuit, device, optimization_level=3)
+        assert device.is_executable(compiled)
 
     def test_seed_reproducibility(self, washington):
         circuit = benchmark_circuit("qaoa", 5)
-        first = compile_qiskit_style(circuit, washington, optimization_level=3, seed=11)
-        second = compile_qiskit_style(circuit, washington, optimization_level=3, seed=11)
-        assert first.circuit.count_ops() == second.circuit.count_ops()
+        first, _ = qiskit_pipeline(circuit, washington, optimization_level=3, seed=11)
+        second, _ = qiskit_pipeline(circuit, washington, optimization_level=3, seed=11)
+        assert first.count_ops() == second.count_ops()
 
 
 class TestTketStylePresets:
     @pytest.mark.parametrize("level", [0, 1, 2])
     def test_all_levels_produce_executable_circuits(self, level, washington):
         circuit = benchmark_circuit("qft", 5)
-        result = compile_tket_style(circuit, washington, optimization_level=level)
-        assert washington.is_executable(result.circuit)
+        compiled, _ = tket_pipeline(circuit, washington, optimization_level=level)
+        assert washington.is_executable(compiled)
 
     def test_invalid_level_rejected(self, washington):
         with pytest.raises(ValueError):
-            compile_tket_style(benchmark_circuit("ghz", 3), washington, optimization_level=3)
+            tket_pipeline(benchmark_circuit("ghz", 3), washington, optimization_level=3)
 
     @pytest.mark.parametrize("device_name", list_devices())
     def test_works_for_every_device(self, device_name):
         device = get_device(device_name)
         circuit = benchmark_circuit("wstate", 4)
-        result = compile_tket_style(circuit, device, optimization_level=2)
-        assert device.is_executable(result.circuit)
+        compiled, _ = tket_pipeline(circuit, device, optimization_level=2)
+        assert device.is_executable(compiled)
 
     def test_uses_tket_passes(self, washington):
-        result = compile_tket_style(benchmark_circuit("ghz", 4), washington, optimization_level=2)
-        assert "full_peephole_optimise" in result.passes
-        assert "tket_routing" in result.passes
+        _, trace = tket_pipeline(benchmark_circuit("ghz", 4), washington, optimization_level=2)
+        assert "full_peephole_optimise" in trace
+        assert "tket_routing" in trace
+
+
+class TestRemovedShims:
+    """The pre-facade entry points are gone; the stubs must name the replacement."""
+
+    def test_compile_qiskit_style_raises_pointed_error(self, washington):
+        with pytest.raises(RuntimeError, match=r"repro\.compile.*qiskit-o<level>"):
+            compile_qiskit_style(benchmark_circuit("ghz", 3), washington)
+
+    def test_compile_tket_style_raises_pointed_error(self, washington):
+        with pytest.raises(RuntimeError, match=r"repro\.compile.*tket-o<level>"):
+            compile_tket_style(benchmark_circuit("ghz", 3), washington)
 
 
 def _golden_cases() -> list[dict]:
@@ -99,7 +112,8 @@ class TestGoldenTraces:
     ``iterate: true`` entries pin the experimental fixed-point levels
     (``qiskit-o3-iter`` / ``tket-o2-iter``) the same way.  Every
     (circuit, device, level, seed) combination must still produce the exact
-    same pass trace and the exact same compiled circuit.
+    same pass trace and the exact same compiled circuit — including now that
+    the schedules are registry-resolved pure-data specs.
     """
 
     @pytest.mark.parametrize("case", _golden_cases(), ids=_case_id)
@@ -120,16 +134,16 @@ class TestGoldenTraces:
 class TestBaselineQuality:
     def test_optimized_levels_reasonable_fidelity_small_circuit(self, washington):
         circuit = benchmark_circuit("ghz", 4)
-        qiskit = compile_qiskit_style(circuit, washington, optimization_level=3)
-        tket = compile_tket_style(circuit, washington, optimization_level=2)
-        assert expected_fidelity(qiskit.circuit, washington) > 0.5
-        assert expected_fidelity(tket.circuit, washington) > 0.5
+        qiskit, _ = qiskit_pipeline(circuit, washington, optimization_level=3)
+        tket, _ = tket_pipeline(circuit, washington, optimization_level=2)
+        assert expected_fidelity(qiskit, washington) > 0.5
+        assert expected_fidelity(tket, washington) > 0.5
 
     def test_both_baselines_compile_whole_small_suite(self, washington):
         from repro.bench import benchmark_suite
 
         for circuit in benchmark_suite(3, 4, step=1, names=["dj", "qaoa", "ae", "qftentangled"]):
-            q = compile_qiskit_style(circuit, washington, optimization_level=3)
-            t = compile_tket_style(circuit, washington, optimization_level=2)
-            assert washington.is_executable(q.circuit)
-            assert washington.is_executable(t.circuit)
+            q, _ = qiskit_pipeline(circuit, washington, optimization_level=3)
+            t, _ = tket_pipeline(circuit, washington, optimization_level=2)
+            assert washington.is_executable(q)
+            assert washington.is_executable(t)

@@ -322,3 +322,48 @@ class TestGatewayHTTP:
         result = client.compile(ghz3, backend="qiskit-o1", seed=1234, deadline=0)
         assert not result.succeeded
         assert result.metadata.get("deadline_exceeded") is True
+
+
+class TestPassCatalogAndOverrides:
+    def test_passes_endpoint_serves_the_catalog(self, gateway):
+        client = GatewayClient(gateway.url, api_key="alice-key")
+        catalog = client.passes()
+        names = {entry["name"] for entry in catalog}
+        assert {"sabre_swap", "tket_routing", "basis_translator"} <= names
+        assert all(
+            set(entry) == {"name", "role", "origin", "requires_device"}
+            for entry in catalog
+        )
+
+    def test_passes_endpoint_role_filter(self, gateway):
+        client = GatewayClient(gateway.url, api_key="alice-key")
+        routers = client.passes(role="routing")
+        assert routers and all(entry["role"] == "routing" for entry in routers)
+        with pytest.raises(GatewayError) as excinfo:
+            client.passes(role="warp")
+        assert excinfo.value.status == 400
+
+    def test_compile_payload_pass_overrides(self, gateway, ghz3):
+        client = GatewayClient(gateway.url, api_key="alice-key")
+        result = client.compile(
+            ghz3,
+            backend="qiskit-o3",
+            pass_overrides={"routing": "tket-routing"},
+        )
+        assert result.succeeded
+        assert "tket_routing" in result.actions
+        assert "+routing=tket_routing" in result.backend
+
+    def test_bad_override_is_a_400(self, gateway, ghz3):
+        client = GatewayClient(gateway.url, api_key="alice-key")
+        with pytest.raises(GatewayError) as excinfo:
+            client.compile(ghz3, backend="qiskit-o3", pass_overrides={"routing": "warp"})
+        assert excinfo.value.status == 400
+        assert "warp" in str(excinfo.value)
+
+    def test_non_object_overrides_is_a_400(self, gateway, ghz3):
+        client = GatewayClient(gateway.url, api_key="alice-key")
+        payload = {"qasm": to_qasm(ghz3), "backend": "qiskit-o3", "pass_overrides": ["routing"]}
+        with pytest.raises(GatewayError) as excinfo:
+            client._request("POST", "/v1/compile", payload)
+        assert excinfo.value.status == 400

@@ -4,12 +4,11 @@ from __future__ import annotations
 
 import pytest
 
+import repro
 from repro import (
     Predictor,
     benchmark_circuit,
     benchmark_suite,
-    compile_qiskit_style,
-    compile_tket_style,
     expected_fidelity,
     get_device,
 )
@@ -41,7 +40,7 @@ class TestFullPipeline:
         """On tiny circuits the RL flow should be in the same fidelity range as the baselines."""
         circuit = benchmark_circuit("ghz", 3)
         rl_result = trained_predictor.compile(circuit)
-        qiskit = compile_qiskit_style(circuit, washington, 3)
+        qiskit = repro.compile(circuit, backend="qiskit-o3", device=washington)
         rl_fidelity = rl_result.reward
         qiskit_fidelity = expected_fidelity(qiskit.circuit, washington)
         assert rl_fidelity >= qiskit_fidelity - 0.2

@@ -1,0 +1,259 @@
+"""Tests for the pass registry, stage overrides, and the frozen action map."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.bench import benchmark_circuit
+from repro.compilers import preset_pass_manager, run_preset_manager
+from repro.core.actions import FROZEN_ACTION_ORDER, build_action_registry
+from repro.passes import (
+    AnalysisDomain,
+    OptimizationPass,
+    PassContext,
+    PassRole,
+    UnknownPassError,
+    available_passes,
+    pass_catalog,
+    pass_factory,
+    pass_role,
+    register_pass,
+    registered_passes,
+    resolve_pass,
+    unregister_pass,
+)
+from repro.pipeline import PassManager, Stage
+
+
+class TestRegistryContents:
+    def test_builtins_are_registered_with_valid_metadata(self):
+        catalog = pass_catalog()
+        assert len(catalog) >= 20
+        names = [entry["name"] for entry in catalog]
+        assert len(names) == len(set(names))
+        for entry in catalog:
+            assert entry["role"] in PassRole.ALL, entry
+            assert entry["origin"] in ("qiskit", "tket", "repro"), entry
+            assert isinstance(entry["requires_device"], bool)
+
+    def test_every_role_slot_is_populated(self):
+        assert available_passes(role=PassRole.SYNTHESIS)
+        assert available_passes(role=PassRole.LAYOUT)
+        assert available_passes(role=PassRole.ROUTING)
+        assert available_passes(role=PassRole.OPTIMIZATION)
+
+    def test_declared_preserves_domains_are_valid(self):
+        for name in registered_passes():
+            instance = resolve_pass(name)
+            assert instance.preserves <= AnalysisDomain.ALL, name
+            assert instance.role == pass_role(name), name
+
+    def test_resolve_returns_fresh_instances(self):
+        a = resolve_pass("optimize_1q_gates")
+        b = resolve_pass("optimize_1q_gates")
+        assert a is not b
+
+    def test_resolve_with_kwargs_and_instances(self):
+        built = resolve_pass(("optimize_1q_gates", {"basis": "u3"}))
+        assert built.name == "optimize_1q_gates"
+        assert resolve_pass(built) is built
+        with pytest.raises(TypeError):
+            resolve_pass(42)
+
+    def test_name_normalisation_dash_underscore(self):
+        assert pass_factory("tket-routing") is pass_factory("tket_routing")
+
+    def test_unknown_pass_error_lists_names(self):
+        with pytest.raises(UnknownPassError) as excinfo:
+            resolve_pass("nonexistent_pass")
+        assert "sabre_swap" in str(excinfo.value)
+
+    def test_role_filtered_lookup_rejects_wrong_role(self):
+        with pytest.raises(UnknownPassError):
+            resolve_pass("sabre_swap", role=PassRole.LAYOUT)
+        assert resolve_pass("sabre_swap", role=PassRole.ROUTING).name == "sabre_swap"
+
+    def test_duplicate_registration_rejected_without_overwrite(self):
+        factory = pass_factory("sabre_swap")
+        with pytest.raises(ValueError, match="already registered"):
+            register_pass("sabre_swap", factory)
+        register_pass("sabre_swap", factory, overwrite=True)  # idempotent refresh
+
+    def test_conflicting_explicit_role_rejected(self):
+        factory = pass_factory("sabre_swap")
+        with pytest.raises(ValueError, match="must agree"):
+            register_pass("conflicted", factory, role=PassRole.LAYOUT)
+
+    def test_register_and_unregister_roundtrip(self):
+        class Noop(OptimizationPass):
+            name = "noop_roundtrip"
+
+            def run(self, circuit, context):
+                return circuit.copy()
+
+        register_pass("noop_roundtrip", Noop)
+        try:
+            assert "noop_roundtrip" in available_passes(role=PassRole.OPTIMIZATION)
+            assert isinstance(resolve_pass("noop_roundtrip"), Noop)
+        finally:
+            unregister_pass("noop_roundtrip")
+        assert "noop_roundtrip" not in available_passes()
+
+
+class TestRegisteredPassesNeverMutateInput:
+    """The BasePass contract, checked registry-wide on every registered pass."""
+
+    @pytest.mark.parametrize("name", sorted(registered_passes()))
+    def test_pass_does_not_mutate_input(self, name, washington):
+        role = pass_role(name)
+        context = PassContext(device=washington, seed=3)
+        circuit = benchmark_circuit("ghz", 3)
+        if role in (PassRole.LAYOUT, PassRole.ROUTING):
+            circuit = resolve_pass("basis_translator").run(circuit, context)
+        if role == PassRole.ROUTING:
+            circuit = resolve_pass("sabre_layout").run(circuit, context)
+        before_fp = circuit.fingerprint()
+        before_ops = circuit.count_ops()
+        resolve_pass(name).run(circuit, context)
+        assert circuit.fingerprint() == before_fp, name
+        assert circuit.count_ops() == before_ops, name
+
+
+class TestStageOverrides:
+    def test_override_swaps_exactly_one_stage(self):
+        base = preset_pass_manager("qiskit", 3)
+        swapped = preset_pass_manager("qiskit", 3, overrides={"routing": "tket-routing"})
+        base_schedule = base.describe()
+        new_schedule = swapped.describe()
+        assert len(base_schedule) == len(new_schedule)
+        for base_stage, new_stage in zip(base_schedule, new_schedule):
+            if base_stage["stage"] == "routing":
+                assert base_stage["passes"] == ["sabre_swap"]
+                assert new_stage["passes"] == ["tket_routing"]
+            else:
+                assert base_stage == new_stage
+
+    def test_override_changes_only_that_stage_in_trace(self, washington):
+        circuit = benchmark_circuit("ghz", 4)
+        base = preset_pass_manager("qiskit", 3)
+        swapped = preset_pass_manager("qiskit", 3, overrides={"routing": "tket_routing"})
+        _, base_trace = run_preset_manager(base, circuit, washington, seed=0)
+        compiled, trace = run_preset_manager(swapped, circuit, washington, seed=0)
+        assert washington.is_executable(compiled)
+        assert "tket_routing" in trace and "sabre_swap" not in trace
+        assert "sabre_swap" in base_trace
+        replaced = [name if name != "sabre_swap" else "tket_routing" for name in base_trace]
+        assert trace == replaced
+
+    def test_tket_style_routing_slot_is_overridable(self, washington):
+        swapped = preset_pass_manager("tket", 2, overrides={"routing": "sabre_swap"})
+        compiled, trace = run_preset_manager(
+            swapped, benchmark_circuit("ghz", 4), washington, seed=0
+        )
+        assert washington.is_executable(compiled)
+        assert "sabre_swap" in trace and "tket_routing" not in trace
+
+    def test_override_list_and_kwargs_specs(self, washington):
+        manager = preset_pass_manager(
+            "qiskit",
+            1,
+            overrides={"pre_optimization": [("optimize_1q_gates", {"basis": "u3"})]},
+        )
+        schedule = {s["stage"]: s["passes"] for s in manager.describe()}
+        assert schedule["pre_optimization"] == ["optimize_1q_gates"]
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            preset_pass_manager("qiskit", 3, overrides={"not_a_stage": "sabre_swap"})
+
+    def test_unknown_pass_rejected_with_catalog(self):
+        with pytest.raises(UnknownPassError):
+            preset_pass_manager("qiskit", 3, overrides={"routing": "warp_drive"})
+
+    def test_role_mismatch_rejected_with_legal_substitutes(self):
+        with pytest.raises(ValueError, match="legal substitutes"):
+            preset_pass_manager("qiskit", 3, overrides={"routing": "dense_layout"})
+
+    def test_override_suffix_is_deterministic_and_distinct(self):
+        base = preset_pass_manager("qiskit", 3)
+        a = preset_pass_manager("qiskit", 3, overrides={"routing": "tket-routing"})
+        b = preset_pass_manager("qiskit", 3, overrides={"routing": "tket_routing"})
+        assert a.name == b.name != base.name
+        assert a.name.startswith(base.name)
+
+    def test_no_override_schedule_is_unchanged(self):
+        assert (
+            preset_pass_manager("qiskit", 3).describe()
+            == preset_pass_manager("qiskit", 3, overrides=None).describe()
+        )
+
+
+class TestOverridesThroughFacade:
+    def test_facade_pass_overrides_compile(self, washington):
+        circuit = benchmark_circuit("ghz", 4)
+        result = repro.compile(
+            circuit,
+            backend="qiskit-o3",
+            device=washington,
+            pass_overrides={"routing": "tket-routing"},
+        )
+        assert result.succeeded
+        assert "tket_routing" in result.actions
+        assert "+routing=tket_routing" in result.backend
+
+    def test_facade_rejects_overrides_for_non_schedule_backends(self, washington):
+        with pytest.raises(TypeError, match="does not support"):
+            repro.compile(
+                benchmark_circuit("ghz", 3),
+                backend="best-of",
+                device=washington,
+                pass_overrides={"routing": "tket-routing"},
+            )
+
+
+class TestFrozenActionIndices:
+    """Saved predictor checkpoints index actions by position — pin them."""
+
+    # 4 platform + 5 device actions precede the pass-derived block.
+    _OFFSET = 9
+
+    def test_pass_action_block_matches_frozen_order(self):
+        actions = build_action_registry()
+        names = [a.name for a in actions[self._OFFSET :]]
+        assert names == list(FROZEN_ACTION_ORDER)
+
+    def test_absolute_indices_pinned(self):
+        by_name = {a.name: a.index for a in build_action_registry()}
+        assert by_name["synthesis_basis_translator"] == 9
+        assert by_name["map_trivial_layout_basic_routing"] == 10
+        assert by_name["map_sabre_layout_tket_routing"] == 21
+        assert by_name["optimize_optimize_1q_gates"] == 22
+        assert by_name["optimize_remove_redundancies"] == 33
+        assert by_name["terminate"] == 34
+
+    def test_newly_registered_pass_appends_after_terminate(self):
+        class Noop(OptimizationPass):
+            name = "noop_action"
+
+            def run(self, circuit, context):
+                return circuit.copy()
+
+        baseline = [a.name for a in build_action_registry()]
+        register_pass("noop_action", Noop)
+        try:
+            extended = [a.name for a in build_action_registry()]
+        finally:
+            unregister_pass("noop_action")
+        assert extended[: len(baseline)] == baseline
+        assert extended[len(baseline) :] == ["optimize_noop_action"]
+
+
+class TestStageNameUniqueness:
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate stage name"):
+            PassManager([Stage("opt"), Stage("opt")], name="dup")
+
+    def test_unique_stage_names_accepted(self):
+        manager = PassManager([Stage("a"), Stage("b")], name="ok")
+        assert [s.name for s in manager.stages] == ["a", "b"]

@@ -147,6 +147,31 @@ class TestAnalysisCache:
         cache.mapping_satisfied(placed, washington)  # MAPPING is invalidated by layout
         assert cache.misses == misses_before + 1
 
+    def test_reward_cached_per_terminal_state(self, ghz5, washington):
+        cache = AnalysisCache()
+        calls = []
+
+        def reward_fn(circuit, device):
+            calls.append(circuit.fingerprint())
+            return 0.75
+
+        first = cache.reward(ghz5, washington, "fidelity", reward_fn)
+        second = cache.reward(ghz5.copy(name="twin"), washington, "fidelity", reward_fn)
+        assert first == second == 0.75
+        assert len(calls) == 1  # fingerprint-keyed: the twin is a hit
+        stats = cache.stats()
+        assert stats["reward_evaluations"] == 1
+        assert stats["reward_hits"] == 1
+
+    def test_reward_keyed_by_name_and_device(self, ghz5, washington, montreal):
+        cache = AnalysisCache()
+        cache.reward(ghz5, washington, "fidelity", lambda c, d: 0.5)
+        cache.reward(ghz5, washington, "critical_depth", lambda c, d: 0.6)
+        cache.reward(ghz5, montreal, "fidelity", lambda c, d: 0.7)
+        assert cache.stats()["reward_evaluations"] == 3
+        assert cache.stats()["reward_hits"] == 0
+        assert cache.reward(ghz5, washington, "fidelity", lambda c, d: -1.0) == 0.5
+
     def test_invalidates_is_complement_of_preserves(self):
         layout = DenseLayout()
         assert AnalysisDomain.NATIVE_GATES in layout.preserves

@@ -470,6 +470,16 @@ class TestRemoteService:
                 assert expired.metadata.get("deadline_exceeded") is True
                 assert "DeadlineExceeded" in expired.error
                 assert client.stats()["deadline_exceeded"] == 1
+                # pass_overrides parity: the stage swap rides the RPC too.
+                swapped = client.submit(
+                    small_circuits[0],
+                    backend="qiskit-o1",
+                    device="ibmq_washington",
+                    pass_overrides={"routing": "tket-routing"},
+                ).result(timeout=180)
+                assert swapped.succeeded
+                assert "tket_routing" in swapped.actions
+                assert "+routing=tket_routing" in swapped.backend
         finally:
             proc.terminate()
             try:
@@ -581,3 +591,70 @@ class TestIterPresetBackends:
     def test_resolve_backend_type_error_lists_names(self):
         with pytest.raises(TypeError, match="qiskit-o3"):
             repro.api.facade.resolve_backend(123)
+
+
+# ---------------------------------------------------------------------------------
+# pass overrides through the service stack
+# ---------------------------------------------------------------------------------
+
+
+class TestServicePassOverrides:
+    def test_submit_with_overrides_swaps_the_stage(self, washington):
+        circuit = benchmark_circuit("ghz", 4)
+        with CompileService() as service:
+            result = service.submit(
+                circuit,
+                "qiskit-o3",
+                device="ibmq_washington",
+                pass_overrides={"routing": "tket-routing"},
+            ).result()
+        assert result.succeeded
+        assert "tket_routing" in result.actions
+        assert "+routing=tket_routing" in result.backend
+        assert washington.is_executable(result.circuit)
+
+    def test_overridden_and_base_requests_never_share_cache(self):
+        circuit = benchmark_circuit("ghz", 4)
+        with CompileService() as service:
+            base = service.submit(circuit, "qiskit-o3", device="ibmq_washington").result()
+            swapped = service.submit(
+                circuit,
+                "qiskit-o3",
+                device="ibmq_washington",
+                pass_overrides={"routing": "basic_swap"},
+            ).result()
+            again = service.submit(
+                circuit,
+                "qiskit-o3",
+                device="ibmq_washington",
+                pass_overrides={"routing": "basic_swap"},
+            ).result()
+        assert base.backend != swapped.backend
+        assert "sabre_swap" in base.actions and "basic_swap" in swapped.actions
+        assert again.metadata.get("cached")  # same override → shared cache entry
+
+    def test_bad_override_fails_fast_in_caller_thread(self):
+        with CompileService() as service:
+            with pytest.raises(KeyError):
+                service.submit(
+                    benchmark_circuit("ghz", 3),
+                    "qiskit-o3",
+                    pass_overrides={"routing": "warp_drive"},
+                )
+            with pytest.raises(TypeError, match="does not support"):
+                service.submit(
+                    benchmark_circuit("ghz", 3),
+                    "best-of",
+                    pass_overrides={"routing": "tket-routing"},
+                )
+
+    def test_client_in_process_forwards_overrides(self, washington):
+        with CompileService() as service:
+            client = ServiceClient(service)
+            result = client.submit(
+                benchmark_circuit("ghz", 4),
+                "qiskit-o3",
+                device="ibmq_washington",
+                pass_overrides={"routing": "tket_routing"},
+            ).result()
+        assert "tket_routing" in result.actions

@@ -7,7 +7,7 @@ import pytest
 
 from repro.bench import benchmark_circuit
 from repro.circuit import QuantumCircuit, random_circuit
-from repro.compilers import compile_qiskit_style
+from repro.compilers import qiskit_pipeline
 from repro.devices import get_device
 from repro.simulation import StatevectorSimulator, sample_counts, simulate
 
@@ -125,7 +125,7 @@ class TestCompilationPreservesSemantics:
         # original exactly (up to the padding qubits left in |0>).
         device = get_device("ionq_harmony")
         circuit = benchmark_circuit(family, 4)
-        compiled = compile_qiskit_style(circuit, device, optimization_level=3).circuit
+        compiled, _ = qiskit_pipeline(circuit, device, optimization_level=3)
 
         original = np.sort(simulate(circuit.without_measurements()).probabilities())[::-1]
         compiled_probs = np.sort(
@@ -137,7 +137,7 @@ class TestCompilationPreservesSemantics:
     def test_random_circuit_compilation_preserves_spectrum(self, seed):
         device = get_device("ionq_harmony")
         circuit = random_circuit(3, 5, seed=seed)
-        compiled = compile_qiskit_style(circuit, device, optimization_level=3).circuit
+        compiled, _ = qiskit_pipeline(circuit, device, optimization_level=3)
         original = np.sort(simulate(circuit).probabilities())[::-1]
         compiled_probs = np.sort(simulate(compiled.without_measurements()).probabilities())[::-1]
         assert np.allclose(compiled_probs[: len(original)], original, atol=1e-6)

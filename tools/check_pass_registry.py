@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""CI lint: every concrete pass in ``repro.passes`` must be registered.
+
+Walks every module under ``src/repro/passes/``, finds the concrete public
+:class:`~repro.passes.base.BasePass` subclasses defined there, and fails if
+
+* a pass class is not registered in the pass registry under its ``name``
+  (a pass that ships unregistered is invisible to overrides and to the RL
+  action space), or
+* a pass class's ``name`` resolves to a *different* factory in the registry
+  (a shadowed registration — two classes competing for one name), or
+* two classes declare the same ``name`` attribute.
+
+Private helpers (``_``-prefixed), abstract classes, and the framework types
+(:class:`BasePass` itself, :class:`PassSequence`, the role mixins) are
+exempt — they are infrastructure, not registrable stage substitutes.
+
+Usage: ``python tools/check_pass_registry.py`` (exit code 1 on violations).
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro.passes as passes_pkg  # noqa: E402
+from repro.passes.base import BasePass, PassSequence  # noqa: E402
+from repro.passes.registry import (  # noqa: E402
+    FinalisationPass,
+    LayoutPass,
+    OptimizationPass,
+    RoutingPass,
+    SynthesisPass,
+    UnknownPassError,
+    pass_factory,
+)
+
+#: framework types that are BasePass subclasses but not registrable passes
+_EXEMPT = {
+    BasePass,
+    PassSequence,
+    SynthesisPass,
+    LayoutPass,
+    RoutingPass,
+    OptimizationPass,
+    FinalisationPass,
+}
+
+
+def iter_pass_classes():
+    """Yield (module_name, class) for every BasePass subclass under repro.passes."""
+    prefix = passes_pkg.__name__ + "."
+    modules = [passes_pkg.__name__]
+    for info in pkgutil.walk_packages(passes_pkg.__path__, prefix):
+        modules.append(info.name)
+    seen: set[type] = set()
+    for module_name in modules:
+        module = importlib.import_module(module_name)
+        for _attr, obj in sorted(vars(module).items()):
+            if not (inspect.isclass(obj) and issubclass(obj, BasePass)):
+                continue
+            if obj.__module__ != module_name or obj in seen:
+                continue  # report each class where it is defined, once
+            seen.add(obj)
+            yield module_name, obj
+
+
+def check() -> list[str]:
+    errors: list[str] = []
+    by_name: dict[str, type] = {}
+    for module_name, cls in iter_pass_classes():
+        if cls in _EXEMPT or cls.__name__.startswith("_") or inspect.isabstract(cls):
+            continue
+        name = cls.name
+        if name in by_name and by_name[name] is not cls:
+            errors.append(
+                f"{module_name}.{cls.__name__}: name {name!r} is also declared by "
+                f"{by_name[name].__module__}.{by_name[name].__name__}"
+            )
+        by_name.setdefault(name, cls)
+        try:
+            factory = pass_factory(name)
+        except UnknownPassError:
+            errors.append(
+                f"{module_name}.{cls.__name__}: concrete pass {name!r} is not "
+                "registered — add register_pass() next to the class definition"
+            )
+            continue
+        if factory is not cls:
+            errors.append(
+                f"{module_name}.{cls.__name__}: registry name {name!r} resolves to "
+                f"{factory!r}, which shadows this class"
+            )
+    return errors
+
+
+def main() -> int:
+    errors = check()
+    if errors:
+        print(f"pass-registry lint: {len(errors)} violation(s)")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print("pass-registry lint: all concrete passes registered, no shadowed names")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
