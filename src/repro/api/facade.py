@@ -17,6 +17,7 @@ from time import perf_counter
 from ..circuit.circuit import QuantumCircuit
 from ..devices.device import Device
 from ..devices.library import get_device
+from ..obs import span
 from .registry import CompilerBackend, get_backend, list_backends
 from .result import CompilationResult
 
@@ -135,7 +136,11 @@ def compile(  # noqa: A001 - deliberate: the facade mirrors the paper's `compile
     resolved = apply_pass_overrides(resolve_backend(backend), pass_overrides)
     target = get_device(device) if isinstance(device, str) else device
     start = perf_counter()
-    result = resolved.compile(circuit, device=target, objective=objective, seed=seed)
+    # Under an active trace the local compile gets its own span (with the
+    # pipeline's per-stage spans nesting inside); untraced calls skip this
+    # at the cost of one thread-local read.
+    with span(f"compile.{resolved.name}"):
+        result = resolved.compile(circuit, device=target, objective=objective, seed=seed)
     if not result.wall_time:
         result.wall_time = perf_counter() - start
     return result

@@ -75,6 +75,17 @@ class CompilationResult:
         """Alias for :attr:`reward_name`."""
         return self.reward_name
 
+    @property
+    def trace(self) -> dict | None:
+        """The request's span tree, when it was compiled under a trace.
+
+        Populated by the compile service (``metadata["trace"]``): a JSON-able
+        nested dict of ``{name, trace_id, span_id, duration, children, ...}``
+        nodes — rebuild a :class:`~repro.obs.Span` tree with
+        ``Span.from_dict(result.trace)``.  ``None`` for untraced requests.
+        """
+        return self.metadata.get("trace")
+
     # -- helpers -----------------------------------------------------------------------
 
     def with_objective(self, objective: str) -> "CompilationResult":

@@ -7,9 +7,15 @@ use — QASM in, compiled QASM + metrics out — with production tenancy
 built in:
 
 * **Endpoints** — ``POST /v1/compile`` (sync or ``mode=async``),
-  ``GET /v1/jobs/<id>`` / ``/result`` / ``/events`` (server-sent progress),
-  ``GET /v1/stats``, ``GET /metrics`` (Prometheus), ``GET /healthz``,
-  ``POST /admin/drain``.
+  ``GET /v1/jobs/<id>`` / ``/result`` / ``/events`` (server-sent progress) /
+  ``/trace`` (the request's span tree), ``GET /v1/stats``, ``GET /metrics``
+  (Prometheus), ``GET /dashboard`` (self-contained live ops page),
+  ``GET /healthz``, ``POST /admin/drain``.
+* **Observability** — every request carries one trace id end to end
+  (``X-Repro-Trace-Id`` honoured inbound, echoed on every response), spans
+  from the gateway through the service's queues down to individual pipeline
+  stages, a bounded slow-request log, latency histograms, and optional
+  trace-stamped JSON logging (``--json-logs``).
 * **Tenancy** — API-key auth from a JSON keyfile, per-tenant token-bucket
   rate limits (429 + ``Retry-After``), and weighted fair-share scheduling
   mapped onto the service's ``priority=`` metadata so one hot tenant cannot

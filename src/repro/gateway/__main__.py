@@ -75,11 +75,28 @@ def _build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="seconds the shutdown drain waits for queued work before exiting anyway",
     )
+    parser.add_argument(
+        "--slow-requests",
+        type=int,
+        default=32,
+        help="capacity of the slow-request log (top-N traces by duration, "
+        "shown on /dashboard and in /v1/stats)",
+    )
+    parser.add_argument(
+        "--json-logs",
+        action="store_true",
+        help="emit structured JSON logs on stderr (one object per line, "
+        "stamped with the request's trace_id)",
+    )
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.json_logs:
+        from ..obs import configure_json_logging
+
+        configure_json_logging()
     registry = TenantRegistry.from_file(args.keys) if args.keys else None
     process_backends = tuple(
         name.strip() for name in args.process_backends.split(",") if name.strip()
@@ -97,8 +114,10 @@ def main(argv: "list[str] | None" = None) -> int:
         port=args.port,
         sync_timeout=args.sync_timeout,
         sample_interval=args.sample_interval,
+        slow_requests=args.slow_requests,
     )
     print(f"repro gateway listening on {gateway.url}", flush=True)
+    print(f"dashboard: {gateway.url}/dashboard", flush=True)
     if registry is None:
         print("open mode: no API keys configured (development only)", flush=True)
     else:

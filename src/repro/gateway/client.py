@@ -61,6 +61,7 @@ class GatewayClient:
         *,
         timeout: "float | None" = None,
         raw: bool = False,
+        trace_id: "str | None" = None,
     ):
         data = json.dumps(body).encode() if body is not None else None
         request = urllib.request.Request(
@@ -69,6 +70,8 @@ class GatewayClient:
         request.add_header("Content-Type", "application/json")
         if self.api_key:
             request.add_header("X-API-Key", self.api_key)
+        if trace_id:
+            request.add_header("X-Repro-Trace-Id", trace_id)
         try:
             with urllib.request.urlopen(request, timeout=timeout or self.timeout) as response:
                 payload = response.read()
@@ -130,6 +133,7 @@ class GatewayClient:
         name: str = "",
         timeout: "float | None" = None,
         pass_overrides: "dict | None" = None,
+        trace_id: "str | None" = None,
     ) -> CompilationResult:
         """Synchronous compile: blocks until done, returns the result.
 
@@ -137,7 +141,9 @@ class GatewayClient:
         OpenQASM 2 string.  If the gateway's synchronous window elapses first
         (HTTP 202), the client transparently polls the job to completion.
         ``pass_overrides`` maps stage names to registered pass names (see
-        :meth:`passes` for the catalog).
+        :meth:`passes` for the catalog).  ``trace_id`` rides as
+        ``X-Repro-Trace-Id`` so the request joins a trace the caller owns
+        (fetch the finished span tree with :meth:`trace`).
         """
         payload = self._payload(
             circuit, backend, device, objective, seed, priority, deadline, name,
@@ -146,7 +152,8 @@ class GatewayClient:
         if timeout is not None:
             payload["timeout"] = timeout
         response = self._request(
-            "POST", "/v1/compile", payload, timeout=(timeout or self.timeout) + 5
+            "POST", "/v1/compile", payload, timeout=(timeout or self.timeout) + 5,
+            trace_id=trace_id,
         )
         if response.get("state") == "done":
             return CompilationResult.from_dict(response["result"])
@@ -164,13 +171,19 @@ class GatewayClient:
         deadline: "float | None" = None,
         name: str = "",
         pass_overrides: "dict | None" = None,
+        trace_id: "str | None" = None,
     ) -> str:
-        """Asynchronous compile: returns the job id immediately."""
+        """Asynchronous compile: returns the job id immediately.
+
+        ``trace_id`` rides as ``X-Repro-Trace-Id`` (see :meth:`trace`).
+        """
         payload = self._payload(
             circuit, backend, device, objective, seed, priority, deadline, name,
             pass_overrides,
         )
-        response = self._request("POST", "/v1/compile?mode=async", payload)
+        response = self._request(
+            "POST", "/v1/compile?mode=async", payload, trace_id=trace_id
+        )
         return response["job_id"]
 
     # -- jobs --------------------------------------------------------------------------
@@ -178,6 +191,26 @@ class GatewayClient:
     def job(self, job_id: str) -> dict:
         """Job status: state, priority, timestamps, lifecycle event log."""
         return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def trace(
+        self, job_id: str, *, timeout: "float | None" = None, poll: float = 0.05
+    ) -> dict:
+        """The job's finished span tree, polling until the job completes.
+
+        Returns the ``GET /v1/jobs/<id>/trace`` payload: ``{"job_id",
+        "trace_id", "trace"}`` where ``trace`` is the nested span-tree dict
+        rooted at the gateway's ``gateway.request`` span.
+        """
+        deadline = time.monotonic() + (timeout if timeout is not None else self.timeout)
+        while True:
+            response = self._request("GET", f"/v1/jobs/{job_id}/trace")
+            if response.get("trace") is not None:
+                return response
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {response.get('state')!r} after the timeout"
+                )
+            time.sleep(poll)
 
     def result(
         self, job_id: str, *, timeout: "float | None" = None, poll: float = 0.05
@@ -243,6 +276,10 @@ class GatewayClient:
     def metrics(self) -> str:
         """The raw Prometheus exposition text."""
         return self._request("GET", "/metrics", raw=True)
+
+    def dashboard(self) -> str:
+        """The raw ``/dashboard`` HTML (self-contained; view it in a browser)."""
+        return self._request("GET", "/dashboard", raw=True)
 
     def healthz(self) -> dict:
         """Health payload; never raises on 503 (draining is a valid answer)."""

@@ -1,0 +1,242 @@
+"""The ``GET /dashboard`` page: a self-contained live ops view.
+
+One HTML document, zero external assets — styles and scripts are inline and
+charts are drawn on ``<canvas>`` elements, so the page works from an
+air-gapped deployment and never phones out.  The JS polls ``/v1/stats``
+(same-origin, with the API key the operator pastes into the header field —
+kept in ``localStorage``) every couple of seconds and renders:
+
+* stat tiles: queue depth, in-flight, cache hit rate, lane workers, gateway
+  state;
+* sparklines over the :class:`~repro.gateway.metrics.StatsSampler` ring
+  buffer (queue depth, cache hit rate, total lane workers);
+* the per-tenant / per-priority latency table (count, p50, p95, mean);
+* the slow-request table from the gateway's
+  :class:`~repro.obs.SlowRequestLog`, expandable to each trace's span
+  breakdown.
+
+The page is deliberately dumb: every number it shows comes verbatim from
+``/v1/stats``, so anything visible here is equally available to ``curl``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_dashboard"]
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro gateway dashboard</title>
+<style>
+  :root { --bg:#11151c; --panel:#1a2029; --line:#2a3342; --fg:#d7dde7;
+          --dim:#8a94a6; --accent:#4cc38a; --warn:#e5a50a; --bad:#e05561; }
+  * { box-sizing: border-box; }
+  body { margin:0; background:var(--bg); color:var(--fg);
+         font:14px/1.45 ui-monospace, SFMono-Regular, Menlo, Consolas, monospace; }
+  header { display:flex; gap:12px; align-items:center; padding:10px 16px;
+           border-bottom:1px solid var(--line); flex-wrap:wrap; }
+  header h1 { font-size:15px; margin:0; font-weight:600; }
+  header .state { padding:2px 8px; border-radius:4px; background:var(--panel); }
+  header .state.ok { color:var(--accent); }
+  header .state.bad { color:var(--bad); }
+  header input { background:var(--panel); color:var(--fg); border:1px solid var(--line);
+                 border-radius:4px; padding:4px 8px; width:180px; }
+  header .err { color:var(--bad); }
+  main { padding:16px; display:grid; gap:16px; max-width:1100px; margin:0 auto; }
+  .tiles { display:grid; grid-template-columns:repeat(auto-fit, minmax(150px, 1fr)); gap:10px; }
+  .tile { background:var(--panel); border:1px solid var(--line); border-radius:6px; padding:10px 12px; }
+  .tile .v { font-size:22px; font-weight:600; }
+  .tile .k { color:var(--dim); font-size:12px; }
+  .panel { background:var(--panel); border:1px solid var(--line); border-radius:6px; padding:12px; }
+  .panel h2 { margin:0 0 8px; font-size:13px; color:var(--dim); font-weight:600;
+              text-transform:uppercase; letter-spacing:.05em; }
+  .charts { display:grid; grid-template-columns:repeat(auto-fit, minmax(280px, 1fr)); gap:16px; }
+  canvas { width:100%; height:80px; display:block; }
+  table { width:100%; border-collapse:collapse; font-size:13px; }
+  th, td { text-align:left; padding:4px 8px; border-bottom:1px solid var(--line); }
+  th { color:var(--dim); font-weight:600; }
+  td.num, th.num { text-align:right; font-variant-numeric:tabular-nums; }
+  tr.slow-row { cursor:pointer; }
+  tr.slow-row:hover td { background:#202837; }
+  td .bar { display:inline-block; height:9px; background:var(--accent);
+            border-radius:2px; vertical-align:middle; margin-right:6px; }
+  .breakdown td { color:var(--dim); border-bottom:none; padding:1px 8px; }
+  .muted { color:var(--dim); }
+</style>
+</head>
+<body>
+<header>
+  <h1>repro gateway</h1>
+  <span id="state" class="state">connecting&hellip;</span>
+  <span class="muted">poll <span id="age">-</span></span>
+  <span style="flex:1"></span>
+  <label class="muted" for="key">API key</label>
+  <input id="key" type="password" placeholder="X-API-Key" autocomplete="off">
+  <span id="err" class="err"></span>
+</header>
+<main>
+  <div class="tiles" id="tiles"></div>
+  <div class="charts">
+    <div class="panel"><h2>queue depth</h2><canvas id="c-queue"></canvas></div>
+    <div class="panel"><h2>cache hit rate</h2><canvas id="c-hit"></canvas></div>
+    <div class="panel"><h2>lane workers</h2><canvas id="c-workers"></canvas></div>
+  </div>
+  <div class="panel"><h2>latency by label</h2>
+    <table id="latency"><thead><tr>
+      <th>label</th><th class="num">count</th><th class="num">p50</th>
+      <th class="num">p95</th><th class="num">mean</th>
+    </tr></thead><tbody></tbody></table>
+  </div>
+  <div class="panel"><h2>slowest requests <span class="muted">(click a row for its span breakdown)</span></h2>
+    <table id="slow"><thead><tr>
+      <th>trace</th><th>tenant</th><th>backend</th><th>status</th><th class="num">seconds</th>
+    </tr></thead><tbody></tbody></table>
+  </div>
+</main>
+<script>
+"use strict";
+const POLL_MS = 2000;
+const $ = (id) => document.getElementById(id);
+const keyInput = $("key");
+keyInput.value = localStorage.getItem("repro-api-key") || "";
+keyInput.addEventListener("change", () => {
+  localStorage.setItem("repro-api-key", keyInput.value);
+  poll();
+});
+
+function fmtSecs(s) {
+  if (s == null) return "-";
+  if (s < 0.001) return (s * 1e6).toFixed(0) + "us";
+  if (s < 1) return (s * 1e3).toFixed(1) + "ms";
+  return s.toFixed(2) + "s";
+}
+
+function tile(k, v) {
+  return '<div class="tile"><div class="v">' + v + '</div><div class="k">' + k + "</div></div>";
+}
+
+function esc(text) {
+  const div = document.createElement("div");
+  div.textContent = String(text);
+  return div.innerHTML;
+}
+
+function sparkline(canvas, values, color) {
+  const dpr = window.devicePixelRatio || 1;
+  const w = canvas.clientWidth || 280, h = canvas.clientHeight || 80;
+  canvas.width = w * dpr; canvas.height = h * dpr;
+  const ctx = canvas.getContext("2d");
+  ctx.scale(dpr, dpr);
+  ctx.clearRect(0, 0, w, h);
+  if (!values.length) { return; }
+  const max = Math.max(1e-9, ...values), pad = 4;
+  ctx.beginPath();
+  values.forEach((v, i) => {
+    const x = pad + (w - 2 * pad) * (values.length === 1 ? 1 : i / (values.length - 1));
+    const y = h - pad - (h - 2 * pad) * (v / max);
+    i === 0 ? ctx.moveTo(x, y) : ctx.lineTo(x, y);
+  });
+  ctx.strokeStyle = color; ctx.lineWidth = 1.5; ctx.stroke();
+  ctx.fillStyle = color; ctx.globalAlpha = 0.15;
+  ctx.lineTo(w - pad, h - pad); ctx.lineTo(pad, h - pad); ctx.closePath(); ctx.fill();
+  ctx.globalAlpha = 1;
+  ctx.fillStyle = "#8a94a6"; ctx.font = "11px monospace";
+  ctx.fillText(String(+values[values.length - 1].toFixed(3)), 6, 12);
+}
+
+function render(stats) {
+  const gw = stats.gateway || {}, svc = stats.service || {};
+  const series = stats.timeseries || [];
+  const state = $("state");
+  state.textContent = gw.status || "?";
+  state.className = "state " + (gw.status === "ok" ? "ok" : "bad");
+  const lanes = svc.lanes || {};
+  const workers = Object.values(lanes).reduce((a, l) => a + (l.workers || 0), 0);
+  const hitRate = ((svc.cache || {}).hit_rate || 0);
+  $("tiles").innerHTML =
+    tile("queue depth", svc.queue_depth ?? "-") +
+    tile("in flight", svc.in_flight ?? "-") +
+    tile("cache hit rate", (hitRate * 100).toFixed(1) + "%") +
+    tile("lane workers", workers + " / " + Object.keys(lanes).length + " lanes") +
+    tile("submitted", svc.submitted ?? "-") +
+    tile("failed", svc.failed ?? "-");
+  sparkline($("c-queue"), series.map(p => p.queue_depth || 0), "#e5a50a");
+  sparkline($("c-hit"), series.map(p => p.cache_hit_rate || 0), "#4cc38a");
+  sparkline($("c-workers"), series.map(p =>
+    Object.values(p.lane_workers || {}).reduce((a, v) => a + v, 0)), "#6f9df7");
+  const latRows = Object.entries(gw.latency || {}).sort().map(([label, e]) =>
+    "<tr><td>" + esc(label) + '</td><td class="num">' + e.count +
+    '</td><td class="num">' + fmtSecs(e.p50_seconds) +
+    '</td><td class="num">' + fmtSecs(e.p95_seconds) +
+    '</td><td class="num">' + fmtSecs(e.mean_seconds) + "</td></tr>").join("");
+  $("latency").querySelector("tbody").innerHTML =
+    latRows || '<tr><td colspan="5" class="muted">no requests yet</td></tr>';
+  renderSlow(gw.slow_requests || []);
+}
+
+const openTraces = new Set();
+function renderSlow(entries) {
+  const body = $("slow").querySelector("tbody");
+  if (!entries.length) {
+    body.innerHTML = '<tr><td colspan="5" class="muted">no completed requests yet</td></tr>';
+    return;
+  }
+  const maxSecs = Math.max(1e-9, ...entries.map(e => e.seconds));
+  body.innerHTML = entries.map(e => {
+    const id = esc(e.trace_id);
+    let rows = '<tr class="slow-row" data-trace="' + id + '"><td>' + id.slice(0, 12) +
+      "&hellip;</td><td>" + esc(e.tenant || "-") + "</td><td>" + esc(e.backend || "-") +
+      "</td><td>" + esc(e.status) + '</td><td class="num"><span class="bar" style="width:' +
+      Math.round(60 * e.seconds / maxSecs) + 'px"></span>' + fmtSecs(e.seconds) + "</td></tr>";
+    if (openTraces.has(e.trace_id)) {
+      rows += (e.breakdown || []).map(s =>
+        '<tr class="breakdown"><td colspan="4" style="padding-left:' +
+        (16 + 14 * s.depth) + 'px">' + esc(s.name) +
+        (s.status !== "ok" ? ' <span class="err">[' + esc(s.status) + "]</span>" : "") +
+        '</td><td class="num">' + fmtSecs(s.duration) + "</td></tr>").join("");
+    }
+    return rows;
+  }).join("");
+  body.querySelectorAll("tr.slow-row").forEach(row => {
+    row.addEventListener("click", () => {
+      const id = row.dataset.trace;
+      openTraces.has(id) ? openTraces.delete(id) : openTraces.add(id);
+      renderSlow(entries);
+    });
+  });
+}
+
+let lastOk = null;
+async function poll() {
+  const headers = {};
+  if (keyInput.value) headers["X-API-Key"] = keyInput.value;
+  try {
+    const resp = await fetch("/v1/stats", { headers });
+    if (!resp.ok) {
+      $("err").textContent = "stats: HTTP " + resp.status +
+        (resp.status === 401 ? " (set the API key)" : "");
+      return;
+    }
+    $("err").textContent = "";
+    lastOk = Date.now();
+    render(await resp.json());
+  } catch (e) {
+    $("err").textContent = "stats: " + e;
+  }
+}
+setInterval(() => {
+  $("age").textContent = lastOk ? ((Date.now() - lastOk) / 1000).toFixed(0) + "s ago" : "-";
+}, 500);
+setInterval(poll, POLL_MS);
+poll();
+</script>
+</body>
+</html>
+"""
+
+
+def render_dashboard() -> str:
+    """The dashboard HTML document (static; all liveness is client-side JS)."""
+    return _PAGE

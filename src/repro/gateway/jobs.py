@@ -40,6 +40,7 @@ class Job:
         priority: int = 0,
         deadline: float | None = None,
         circuit_name: str = "",
+        trace_id: "str | None" = None,
     ):
         self.id = job_id
         self.tenant = tenant
@@ -49,6 +50,11 @@ class Job:
         self.priority = priority
         self.deadline = deadline
         self.circuit_name = circuit_name
+        #: the request's trace id (echoed on responses, key into /trace)
+        self.trace_id = trace_id
+        #: the finished span tree (set by the gateway's done callback; the
+        #: ``GET /v1/jobs/<id>/trace`` payload)
+        self.trace: "dict | None" = None
         self.created_at = time.time()
         self.finished_at: float | None = None
         self.state = "queued"
@@ -117,6 +123,7 @@ class Job:
             "backend": self.backend,
             "circuit": self.circuit_name,
             "mode": self.mode,
+            "trace_id": self.trace_id,
             "state": state,
             "priority": self.priority,
             "deadline": self.deadline,

@@ -18,6 +18,8 @@ scrape the gateway directly.
 
 from __future__ import annotations
 
+import bisect
+import math
 import threading
 import time
 from collections import deque
@@ -26,21 +28,46 @@ __all__ = ["LatencyWindow", "StatsSampler", "render_prometheus", "quantile"]
 
 
 def quantile(samples: "list[float]", q: float) -> float:
-    """Nearest-rank quantile over unsorted samples (0.0 for an empty list)."""
+    """Nearest-rank quantile over unsorted samples (0.0 for an empty list).
+
+    The rank is rounded half-up via ``floor(rank + 0.5)`` — ``round()``
+    would use banker's rounding (``round(0.5) == 0``), which picks the
+    sample *below* the requested rank whenever ``q * (n - 1)`` lands exactly
+    on ``.5`` (e.g. the median of two samples).
+    """
     if not samples:
         return 0.0
     ordered = sorted(samples)
-    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    index = min(
+        len(ordered) - 1, max(0, int(math.floor(q * (len(ordered) - 1) + 0.5)))
+    )
     return ordered[index]
 
 
 class LatencyWindow:
-    """Recent request latencies, bucketed by a label (tenant, priority, ...)."""
+    """Recent request latencies, bucketed by a label (tenant, priority, ...).
+
+    Two views over the same observations:
+
+    * a bounded reservoir per label from which p50/p95 are computed on
+      demand (:meth:`summary`) — human-friendly, but quantiles of quantiles
+      cannot be aggregated by a scrape stack;
+    * a cumulative histogram per label (:meth:`histogram`) with the
+      Prometheus bucket convention (``le`` upper bounds, counts never
+      reset), which *can* be summed across instances and turned into any
+      quantile server-side.
+    """
+
+    #: histogram upper bounds in seconds (``+Inf`` is implicit)
+    HISTOGRAM_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
 
     def __init__(self, window: int = 512):
         self.window = window
         self._buckets: dict[str, deque] = {}
         self._totals: dict[str, int] = {}
+        #: label -> per-bucket counts (len(HISTOGRAM_BUCKETS) + 1 for +Inf)
+        self._hist_counts: dict[str, list[int]] = {}
+        self._hist_sums: dict[str, float] = {}
         self._lock = threading.Lock()
 
     def observe(self, label: str, seconds: float) -> None:
@@ -48,8 +75,37 @@ class LatencyWindow:
             bucket = self._buckets.get(label)
             if bucket is None:
                 bucket = self._buckets[label] = deque(maxlen=self.window)
+                self._hist_counts[label] = [0] * (len(self.HISTOGRAM_BUCKETS) + 1)
+                self._hist_sums[label] = 0.0
             bucket.append(seconds)
             self._totals[label] = self._totals.get(label, 0) + 1
+            self._hist_counts[label][bisect.bisect_left(self.HISTOGRAM_BUCKETS, seconds)] += 1
+            self._hist_sums[label] += seconds
+
+    def histogram(self) -> dict:
+        """``{label: {buckets: [(le, cumulative_count), ...], sum, count}}``.
+
+        Bucket counts are cumulative (every observation ``<= le``) and never
+        reset, matching the Prometheus histogram exposition contract; the
+        trailing ``+Inf`` bucket equals ``count``.
+        """
+        with self._lock:
+            counts = {label: list(row) for label, row in self._hist_counts.items()}
+            sums = dict(self._hist_sums)
+        out: dict = {}
+        for label, row in counts.items():
+            cumulative = 0
+            buckets = []
+            for bound, count in zip(self.HISTOGRAM_BUCKETS, row):
+                cumulative += count
+                buckets.append((bound, cumulative))
+            buckets.append((float("inf"), cumulative + row[-1]))
+            out[label] = {
+                "buckets": buckets,
+                "sum": sums[label],
+                "count": buckets[-1][1],
+            }
+        return out
 
     def summary(self) -> dict:
         """``{label: {count, p50, p95, mean}}`` over the retained window."""
@@ -301,15 +357,49 @@ def render_prometheus(
             for q_name, q_value in (("0.5", entry["p50_seconds"]), ("0.95", entry["p95_seconds"])):
                 rows.append(
                     _line(
-                        "repro_gateway_request_latency_seconds",
+                        "repro_gateway_request_latency_quantile_seconds",
                         round(q_value, 6),
                         {"label": label, "quantile": q_name},
                     )
                 )
         metric(
-            "repro_gateway_request_latency_seconds",
+            "repro_gateway_request_latency_quantile_seconds",
             "gauge",
-            "Recent request latency quantiles per tenant / priority class.",
+            "Recent request latency quantiles per tenant / priority class "
+            "(windowed; not aggregatable — prefer the histogram).",
             rows,
+        )
+        # The aggregatable view: cumulative histogram buckets a scrape stack
+        # can sum across gateway instances and re-quantile server-side.
+        hist_rows = []
+        for label, entry in sorted(latency.histogram().items()):
+            for bound, count in entry["buckets"]:
+                le = "+Inf" if math.isinf(bound) else format(bound, "g")
+                hist_rows.append(
+                    _line(
+                        "repro_gateway_request_latency_seconds_bucket",
+                        count,
+                        {"label": label, "le": le},
+                    )
+                )
+            hist_rows.append(
+                _line(
+                    "repro_gateway_request_latency_seconds_sum",
+                    round(entry["sum"], 6),
+                    {"label": label},
+                )
+            )
+            hist_rows.append(
+                _line(
+                    "repro_gateway_request_latency_seconds_count",
+                    entry["count"],
+                    {"label": label},
+                )
+            )
+        metric(
+            "repro_gateway_request_latency_seconds",
+            "histogram",
+            "Request latency per tenant / priority class (cumulative buckets).",
+            hist_rows,
         )
     return "\n".join(lines) + "\n"

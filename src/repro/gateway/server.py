@@ -36,7 +36,9 @@ from typing import TYPE_CHECKING
 from urllib.parse import parse_qs, urlsplit
 
 from ..circuit.qasm import QasmError, from_qasm
+from ..obs import SlowRequestLog, Span, get_logger, new_trace_id, valid_trace_id
 from .auth import AuthError, RateLimited, Tenant, TenantRegistry
+from .dashboard import render_dashboard
 from .fairshare import FairShareScheduler
 from .jobs import JobStore
 from .metrics import LatencyWindow, StatsSampler, render_prometheus
@@ -85,6 +87,10 @@ class GatewayServer:
     sample_interval:
         Seconds between ``stats()`` ring-buffer samples (0 disables the
         sampler thread; ``/v1/stats`` then shows only on-demand samples).
+    slow_requests:
+        Capacity of the slow-request log (top-N finished requests by
+        duration, with span breakdowns — fed to ``/v1/stats`` and the
+        ``/dashboard`` table).
     """
 
     def __init__(
@@ -97,6 +103,7 @@ class GatewayServer:
         sync_timeout: float = 60.0,
         sample_interval: float = 1.0,
         max_finished_jobs: int = 1024,
+        slow_requests: int = 32,
         name: str = "repro-gateway",
     ):
         self.name = name
@@ -111,6 +118,8 @@ class GatewayServer:
         self.fairshare = FairShareScheduler()
         self.jobs = JobStore(max_finished=max_finished_jobs)
         self.latency = LatencyWindow()
+        self.slowlog = SlowRequestLog(slow_requests)
+        self.log = get_logger("gateway")
         self.sync_timeout = sync_timeout
         self._future_jobs: dict = {}
         self._counters = {
@@ -236,8 +245,15 @@ class GatewayServer:
                 headers={"Retry-After": exc.header_value()},
             ) from None
 
-    def submit(self, tenant: Tenant, payload: dict, mode: str):
-        """Validate one compile payload and enqueue it; returns the Job."""
+    def submit(self, tenant: Tenant, payload: dict, mode: str, trace_id: "str | None" = None):
+        """Validate one compile payload and enqueue it; returns the Job.
+
+        ``trace_id`` continues an inbound trace (an ``X-Repro-Trace-Id``
+        header the handler already validated); ``None`` mints a fresh id.
+        Either way the request gets a ``gateway.request`` root span whose
+        context rides to the service, and the finished tree is retrievable
+        at ``GET /v1/jobs/<id>/trace``.
+        """
         if self.state != "ok":
             raise _HTTPError(
                 503, "draining", "gateway is draining; not accepting new work"
@@ -269,7 +285,20 @@ class GatewayServer:
             raise _HTTPError(400, "bad_request", "'priority' must be an integer") from None
         hint = max(0, min(hint, tenant.max_priority))
         priority, vtime = self.fairshare.next_ticket(tenant.name, tenant.weight, hint=hint)
+        root = Span(
+            "gateway.request",
+            trace_id=trace_id or new_trace_id(),
+            attrs={
+                "tenant": tenant.name,
+                "backend": str(backend),
+                "mode": mode,
+                "priority": hint,
+            },
+        )
         try:
+            # The service gets the *context*, not the span object, so the
+            # tree it builds is identical whether it lives in this process
+            # or behind `python -m repro.service`.
             future = self.service.submit(
                 circuit,
                 backend,
@@ -279,6 +308,7 @@ class GatewayServer:
                 priority=priority,
                 deadline=deadline,
                 pass_overrides=pass_overrides,
+                trace=root.context(),
             )
         except (TypeError, KeyError, ValueError) as exc:
             # Unknown backend/device/objective, a bad deadline, or a bad pass
@@ -296,14 +326,29 @@ class GatewayServer:
             priority=hint,
             deadline=deadline,
             circuit_name=circuit.name,
+            trace_id=root.trace_id,
         )
         self.bump("jobs_submitted")
+        self.log.info(
+            "job submitted",
+            extra={
+                "job_id": job.id,
+                "tenant": tenant.name,
+                "backend": str(backend),
+                "mode": mode,
+                "trace_id": root.trace_id,
+            },
+        )
         with self._lock:
             self._future_jobs[future] = job
-        future.add_done_callback(self._make_done_callback(job, tenant.name, hint, vtime))
+        future.add_done_callback(
+            self._make_done_callback(job, tenant.name, hint, vtime, root)
+        )
         return job
 
-    def _make_done_callback(self, job, tenant_name: str, hint: int, vtime: float):
+    def _make_done_callback(
+        self, job, tenant_name: str, hint: int, vtime: float, root: Span
+    ):
         def _done(future) -> None:
             try:
                 result = future.result()
@@ -316,13 +361,40 @@ class GatewayServer:
                     "fidelity",
                     exc,
                 )
+            # Complete the trace: the service's span tree (carried home in
+            # result.metadata["trace"]) nests under the gateway root span,
+            # and the whole tree becomes the job's /trace payload.
+            service_tree = result.metadata.get("trace")
+            if service_tree:
+                root.add(service_tree)
+            elapsed_root = root.finish(status="ok" if result.succeeded else "error")
+            job.trace = root.to_dict()
             job.finish(result)
             self.jobs.mark_finished(job)
             self.fairshare.complete(vtime)
             elapsed = time.time() - job.created_at
             self.latency.observe(f"tenant:{tenant_name}", elapsed)
             self.latency.observe(f"priority:{hint}", elapsed)
+            self.slowlog.observe(
+                trace_id=root.trace_id,
+                name=job.circuit_name or job.id,
+                seconds=elapsed_root,
+                tree=job.trace,
+                tenant=tenant_name,
+                backend=job.backend,
+                status="ok" if result.succeeded else "error",
+            )
             self.bump("jobs_completed")
+            self.log.info(
+                "job finished",
+                extra={
+                    "job_id": job.id,
+                    "tenant": tenant_name,
+                    "trace_id": root.trace_id,
+                    "seconds": round(elapsed, 6),
+                    "succeeded": result.succeeded,
+                },
+            )
             with self._lock:
                 self._future_jobs.pop(future, None)
 
@@ -358,6 +430,7 @@ class GatewayServer:
                 "jobs": self.jobs.stats(),
                 "latency": self.latency.summary(),
                 "fair_share": self.fairshare.stats(),
+                "slow_requests": self.slowlog.snapshot(),
             },
             "service": self.service.stats(),
             "timeseries": self.sampler.series(),
@@ -412,10 +485,17 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self._send_trace_header()
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_trace_header(self) -> None:
+        """Echo the request's trace id so clients can correlate logs/traces."""
+        trace_id = getattr(self, "trace_id", None)
+        if trace_id:
+            self.send_header("X-Repro-Trace-Id", trace_id)
 
     def _send_error_payload(self, exc: _HTTPError) -> None:
         self._send_json(
@@ -438,6 +518,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         self.gateway.bump("http_requests")
+        # One trace id per HTTP request: honour a well-formed inbound
+        # X-Repro-Trace-Id (so callers can stitch the gateway into their own
+        # traces), mint a fresh one otherwise.  Echoed on every response.
+        inbound = (self.headers.get("X-Repro-Trace-Id") or "").strip()
+        self.trace_id = inbound if valid_trace_id(inbound) else new_trace_id()
         parts = urlsplit(self.path)
         path = parts.path.rstrip("/") or "/"
         query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
@@ -466,6 +551,10 @@ class _Handler(BaseHTTPRequestHandler):
             return self._handle_healthz()
         if path == "/metrics" and method == "GET":
             return self._handle_metrics()
+        if path == "/dashboard" and method == "GET":
+            # Static HTML shell, no data: the page itself authenticates its
+            # /v1/stats polls with the API key the operator provides.
+            return self._handle_dashboard()
         tenant = self.gateway.authenticate(self._api_key())
         if path == "/v1/compile" and method == "POST":
             return self._handle_compile(tenant, query)
@@ -485,6 +574,8 @@ class _Handler(BaseHTTPRequestHandler):
                 return self._handle_result(job)
             if sub == "events":
                 return self._handle_events(job)
+            if sub == "trace":
+                return self._handle_trace(job)
             raise _HTTPError(404, "not_found", f"unknown job sub-resource {sub!r}")
         if path == "/admin/drain" and method == "POST":
             if not tenant.admin:
@@ -508,8 +599,31 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        self._send_trace_header()
         self.end_headers()
         self.wfile.write(body)
+
+    def _handle_dashboard(self) -> None:
+        body = render_dashboard().encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self._send_trace_header()
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _handle_trace(self, job) -> None:
+        """The job's finished span tree (202 while the request is running)."""
+        if job.trace is None:
+            return self._send_json(
+                202,
+                {"job_id": job.id, "state": job.state, "trace_id": job.trace_id},
+                headers={"Retry-After": "1"},
+            )
+        self._send_json(
+            200,
+            {"job_id": job.id, "trace_id": job.trace_id, "trace": job.trace},
+        )
 
     def _handle_passes(self, query: dict) -> None:
         """The pass-registry catalog: what names a ``pass_overrides`` may use.
@@ -535,11 +649,12 @@ class _Handler(BaseHTTPRequestHandler):
         mode = str(query.get("mode") or payload.get("mode") or "sync").lower()
         if mode not in ("sync", "async"):
             raise _HTTPError(400, "bad_request", f"mode must be sync or async, got {mode!r}")
-        job = self.gateway.submit(tenant, payload, mode)
+        job = self.gateway.submit(tenant, payload, mode, trace_id=self.trace_id)
         links = {
             "status_url": f"/v1/jobs/{job.id}",
             "result_url": f"/v1/jobs/{job.id}/result",
             "events_url": f"/v1/jobs/{job.id}/events",
+            "trace_url": f"/v1/jobs/{job.id}/trace",
         }
         if mode == "async":
             return self._send_json(202, {"job_id": job.id, "state": job.state, **links})
@@ -582,6 +697,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "text/event-stream")
         self.send_header("Cache-Control", "no-cache")
         self.send_header("Connection", "close")
+        self._send_trace_header()
         self.end_headers()
         self.close_connection = True
         index = 0
@@ -590,7 +706,14 @@ class _Handler(BaseHTTPRequestHandler):
             events = job.events_since(index, timeout=0.5)
             if events:
                 for event in events:
-                    data = json.dumps({"job_id": job.id, "time": event["time"], **event["data"]})
+                    data = json.dumps(
+                        {
+                            "job_id": job.id,
+                            "trace_id": job.trace_id,
+                            "time": event["time"],
+                            **event["data"],
+                        }
+                    )
                     self.wfile.write(
                         f"event: {event['event']}\ndata: {data}\n\n".encode()
                     )

@@ -1,0 +1,42 @@
+"""Observability: request tracing, structured logging, slow-request capture.
+
+See :mod:`repro.obs.trace` for the span model and propagation seams,
+:mod:`repro.obs.log` for trace-stamped JSON logging, and
+:mod:`repro.obs.slowlog` for the gateway's bounded slow-request log.
+"""
+
+from .log import JsonFormatter, configure_json_logging, get_logger
+from .slowlog import SlowRequestLog
+from .trace import (
+    Span,
+    SpanContext,
+    Tracer,
+    activate,
+    as_context,
+    current_span,
+    new_span_id,
+    new_trace_id,
+    span,
+    timed_span,
+    tracer,
+    valid_trace_id,
+)
+
+__all__ = [
+    "JsonFormatter",
+    "SlowRequestLog",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "activate",
+    "as_context",
+    "configure_json_logging",
+    "current_span",
+    "get_logger",
+    "new_span_id",
+    "new_trace_id",
+    "span",
+    "timed_span",
+    "tracer",
+    "valid_trace_id",
+]

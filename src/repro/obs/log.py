@@ -1,0 +1,104 @@
+"""Structured JSON logging stamped with the active trace context.
+
+`repro` components log through ordinary :mod:`logging` loggers under the
+``repro`` namespace; this module supplies the production formatter.  Each
+record becomes one JSON object per line with a fixed envelope (``ts``,
+``level``, ``logger``, ``msg``) plus whatever extras the call site attached
+via ``logger.info(..., extra={...})`` — and, crucially, the calling thread's
+active ``trace_id``/``span_id`` (see :mod:`repro.obs.trace`), so a grep for
+one trace id surfaces the gateway access line, the service scheduling
+decisions, and any pipeline warnings for that request in order.
+
+Opt in with ``--json-logs`` on ``python -m repro.gateway`` / ``python -m
+repro.service``, or programmatically via :func:`configure_json_logging`.
+Nothing here installs handlers at import time: library code stays silent
+under the standard "logging is the application's decision" contract.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+from .trace import current_span
+
+__all__ = ["JsonFormatter", "configure_json_logging", "get_logger"]
+
+#: LogRecord attributes that are envelope/bookkeeping, not user extras
+_RESERVED = frozenset(
+    (
+        "name", "msg", "args", "levelname", "levelno", "pathname", "filename",
+        "module", "exc_info", "exc_text", "stack_info", "lineno", "funcName",
+        "created", "msecs", "relativeCreated", "thread", "threadName",
+        "processName", "process", "message", "asctime", "taskName",
+    )
+)
+
+
+def _json_safe(value):
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+class JsonFormatter(logging.Formatter):
+    """Format records as single-line JSON objects with trace stamps."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        active = current_span()
+        if active is not None:
+            payload["trace_id"] = active.trace_id
+            payload["span_id"] = active.span_id
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_") or key in payload:
+                continue
+            payload[key] = _json_safe(value)
+        if record.exc_info and record.exc_info[1] is not None:
+            payload["error"] = repr(record.exc_info[1])
+        return json.dumps(payload, separators=(",", ":"), sort_keys=False)
+
+
+def configure_json_logging(
+    *,
+    level: int = logging.INFO,
+    stream=None,
+    logger: str = "repro",
+) -> logging.Logger:
+    """Route the ``repro`` logger tree to JSON-per-line on ``stream``.
+
+    Idempotent for the common case: an existing handler carrying a
+    :class:`JsonFormatter` on the same logger is replaced rather than
+    duplicated, so calling this from both a CLI entry point and a test
+    fixture does not double every line.
+    """
+    root = logging.getLogger(logger)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    for existing in list(root.handlers):
+        if isinstance(existing.formatter, JsonFormatter):
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    if name.startswith("repro"):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+# re-exported for call sites that want a wall-clock stamp matching ``ts``
+now = time.time

@@ -1,0 +1,103 @@
+"""A bounded keep-the-worst log of slow requests, with span breakdowns.
+
+The gateway's latency percentiles say *that* the tail is slow; the slow
+request log says *which* requests were slow and *where* the time went.  It
+keeps the top-N completed requests by duration (a min-heap of capacity N:
+admission is O(log N), cheap enough for the request hot path) and stores a
+flattened span breakdown per entry rather than the full tree, so the
+dashboard can render "queue.wait 1.2s / lane.execute 0.3s / stage.routing
+0.2s" without shipping unbounded JSON.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+
+__all__ = ["SlowRequestLog"]
+
+#: hard cap on rows kept per entry's span breakdown — a pathological tree
+#: (e.g. a fixed-point controller looping hundreds of stages) must not turn
+#: the ops endpoint into a megabyte payload
+_MAX_BREAKDOWN_ROWS = 40
+
+
+def _flatten(tree: "dict | None") -> list[dict]:
+    """Pre-order ``{name, duration, depth, status}`` rows from a span-tree dict."""
+    if not tree:
+        return []
+    rows = []
+    stack = [(0, tree)]
+    while stack and len(rows) < _MAX_BREAKDOWN_ROWS:
+        depth, node = stack.pop()
+        rows.append(
+            {
+                "name": node.get("name", "?"),
+                "duration": node.get("duration"),
+                "depth": depth,
+                "status": node.get("status", "ok"),
+            }
+        )
+        children = node.get("children") or []
+        stack.extend((depth + 1, child) for child in reversed(children))
+    return rows
+
+
+class SlowRequestLog:
+    """Thread-safe top-N-by-duration log of finished requests."""
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError("SlowRequestLog capacity must be >= 1")
+        self.capacity = capacity
+        self._heap: list[tuple[float, int, dict]] = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+
+    def observe(
+        self,
+        *,
+        trace_id: str,
+        name: str,
+        seconds: float,
+        tree: "dict | None" = None,
+        tenant: "str | None" = None,
+        backend: "str | None" = None,
+        status: str = "ok",
+    ) -> bool:
+        """Record a finished request; returns whether it made the top-N cut."""
+        entry = {
+            "trace_id": trace_id,
+            "name": name,
+            "seconds": seconds,
+            "tenant": tenant,
+            "backend": backend,
+            "status": status,
+            "finished_at": time.time(),
+            "breakdown": _flatten(tree),
+        }
+        with self._lock:
+            item = (seconds, next(self._seq), entry)
+            if len(self._heap) < self.capacity:
+                heapq.heappush(self._heap, item)
+                return True
+            if seconds <= self._heap[0][0]:
+                return False
+            heapq.heapreplace(self._heap, item)
+            return True
+
+    def snapshot(self) -> list[dict]:
+        """Entries slowest-first (each a plain JSON-able dict copy)."""
+        with self._lock:
+            items = sorted(self._heap, key=lambda it: (-it[0], it[1]))
+        return [dict(entry, breakdown=list(entry["breakdown"])) for _, _, entry in items]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._heap.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from ..circuit.circuit import QuantumCircuit
+from ..obs import timed_span
 from ..passes.base import BasePass, PassContext
 from ..profiling import profiler
 from .properties import AnalysisCache, TransformCache
@@ -202,7 +203,6 @@ class PassManager:
         """
         context = context or PassContext()
         runner = PassRunner(self.cache)
-        registry = profiler()
         for stage in self.stages:
             if stage.condition is not None and not stage.condition(circuit, context):
                 continue
@@ -213,13 +213,13 @@ class PassManager:
                     recording.append(pass_.name)
                 return runner.apply(pass_, circ, context)
 
-            if registry.enabled:
-                # Per-stage wall time under the stage's schedule name, so
-                # --profile and /metrics attribute time to the same names
-                # that overrides address (pass-level timings nest inside).
-                with registry.timed(f"stage.{stage.name}", items=len(circuit)):
-                    circuit = self._run_stage(stage, circuit, context, emit)
-            else:
+            # Per-stage wall time under the stage's schedule name, so
+            # --profile and /metrics attribute time to the same names that
+            # overrides address (pass-level timings nest inside).  One
+            # measurement feeds both the profile registry (when enabled) and
+            # a child span of the request's trace (when one is active on
+            # this thread); with both off the block runs untimed.
+            with timed_span(f"stage.{stage.name}", items=len(circuit)):
                 circuit = self._run_stage(stage, circuit, context, emit)
         return circuit
 

@@ -100,6 +100,35 @@ class ProfileRegistry:
             }
         return out
 
+    def merge(self, counters: dict) -> None:
+        """Fold another registry's counters into this one.
+
+        ``counters`` is :meth:`snapshot`-shaped (``{name: {calls,
+        total_seconds, items, ...}}``).  This is how process-lane workers'
+        profiling comes home: each worker snapshots its own (per-process)
+        global registry after a task and ships the delta back through the
+        pickled result, and the parent service merges it here — without this,
+        ``--profile`` silently under-reports every backend routed to a
+        process lane.  Merging is unconditional on ``enabled`` so counters
+        collected remotely are never dropped by a locally-disabled registry.
+        """
+        if not counters:
+            return
+        with self._lock:
+            for name, stats in counters.items():
+                calls = int(stats.get("calls", 0))
+                seconds = float(stats.get("total_seconds", 0.0))
+                items = int(stats.get("items", 0))
+                if not calls and not seconds and not items:
+                    continue
+                entry = self._counters.get(name)
+                if entry is None:
+                    self._counters[name] = [calls, seconds, items]
+                else:
+                    entry[0] += calls
+                    entry[1] += seconds
+                    entry[2] += items
+
     def report(self) -> str:
         """Fixed-width text table of the snapshot (debug/CLI output)."""
         rows = [f"{'name':<44} {'calls':>8} {'total_s':>10} {'mean_ms':>10} {'items':>10}"]

@@ -91,11 +91,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "counters, exposed in stats() under 'profiling' (and through the "
         "gateway's /v1/stats and /metrics)",
     )
+    parser.add_argument(
+        "--json-logs",
+        action="store_true",
+        help="emit structured JSON logs on stderr (one object per line, "
+        "stamped with the active trace_id/span_id)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.json_logs:
+        from ..obs import configure_json_logging
+
+        configure_json_logging()
     if args.profile:
         from ..profiling import enable_profiling
 

@@ -25,6 +25,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from multiprocessing.managers import BaseManager
 from typing import TYPE_CHECKING
 
+from ..obs import as_context
 from .service import SERVICE_RPC_METHODS, CompileService
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -109,6 +110,7 @@ class ServiceClient:
         priority: int = 0,
         deadline: float | None = None,
         pass_overrides: dict | None = None,
+        trace=None,
     ) -> Future:
         """Submit one compilation; returns a future of its ``CompilationResult``.
 
@@ -117,6 +119,13 @@ class ServiceClient:
         ``pass_overrides`` (stage-slot substitutions for preset backends)
         ride along to the service — the semantics are identical in-process
         and remote.
+
+        ``trace`` (a :class:`~repro.obs.Span`, ``SpanContext`` or wire dict;
+        default: the calling thread's active span) parents the service's
+        span tree there.  Remote submissions reduce the context to its
+        ``{"trace_id", "span_id"}`` wire form, so the resulting tree in
+        ``result.metadata["trace"]`` is structurally identical to the
+        in-process one.
         """
         if self._service is not None:
             return self._service.submit(
@@ -128,15 +137,17 @@ class ServiceClient:
                 priority=priority,
                 deadline=deadline,
                 pass_overrides=pass_overrides,
+                trace=trace,
             )
         if not isinstance(backend, str):
             # Remote services resolve names against their own registry;
             # instances generally do not round-trip.
             backend = getattr(backend, "name", backend)
         device_name = device if isinstance(device, str) or device is None else device.name
+        ctx = as_context(trace)
         ticket = self._proxy.submit_request(
             circuit, backend, device_name, objective, seed, priority, deadline,
-            pass_overrides,
+            pass_overrides, ctx.to_dict() if ctx is not None else None,
         )
         assert self._waiters is not None
         return self._waiters.submit(self._proxy.wait_result, ticket)
@@ -152,8 +163,11 @@ class ServiceClient:
         priority: int = 0,
         deadline: float | None = None,
         pass_overrides: dict | None = None,
+        trace=None,
     ) -> list[Future]:
         """One future per circuit, in input order."""
+        # Pin the trace context once so the whole batch shares one parent.
+        ctx = as_context(trace)
         return [
             self.submit(
                 circuit,
@@ -164,6 +178,7 @@ class ServiceClient:
                 priority=priority,
                 deadline=deadline,
                 pass_overrides=pass_overrides,
+                trace=ctx,
             )
             for circuit in circuits
         ]

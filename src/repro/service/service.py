@@ -46,7 +46,7 @@ import pickle
 import threading
 import queue as queue_module
 from concurrent.futures import Future, InvalidStateError, ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import perf_counter
 from typing import TYPE_CHECKING
 
@@ -55,6 +55,8 @@ from ..api.facade import apply_pass_overrides, resolve_backend
 from ..api.registry import CompilerBackend
 from ..api.result import CompilationResult
 from ..devices.library import get_device
+from ..obs import Span, activate, as_context
+from ..profiling import profiler, profiling_enabled
 from ..reward.functions import reward_function
 from .store import SharedCacheStore
 
@@ -109,8 +111,31 @@ def _service_compile_task(payload: tuple) -> CompilationResult:
     rides along, the worker checks it before compiling and fills it after —
     that is what makes results flow *between worker processes* instead of
     only through the parent.
+
+    ``trace_ctx`` and ``profile`` are the observability halves of the pickle
+    boundary, both used only by process lanes (thread lanes run this function
+    inline with the execute span already active on the calling thread, and
+    share the parent's profile registry directly):
+
+    * a non-``None`` ``trace_ctx`` makes the worker collect its pipeline
+      spans under a shadow container and ship them home as plain dicts in
+      ``metadata["_worker_spans"]`` — the parent grafts them under the real
+      ``lane.execute`` span and strips the transient key;
+    * ``profile=True`` makes the worker reset and enable its own (per-process)
+      global registry around the task and ship the exact per-task counter
+      delta back in ``metadata["_worker_profile"]``.  The reset matters with
+      fork start methods, where the child inherits whatever counters the
+      parent had at fork time; each worker process runs one task at a time,
+      so clear-then-snapshot is an exact delta.
+
+    Both transient keys are attached *after* any shared-store ``put``, so the
+    cross-process cache never stores per-request observability payloads.
     """
-    circuit, backend, device, objective, seed, key, store = payload
+    circuit, backend, device, objective, seed, key, store, trace_ctx, profile = payload
+    registry = profiler()
+    if profile:
+        registry.clear()
+        registry.enabled = True
     if store is not None:
         try:
             hit = store.get(key)
@@ -120,10 +145,22 @@ def _service_compile_task(payload: tuple) -> CompilationResult:
         if hit is not None:
             result = hit.with_objective(objective)
             result.metadata = {**result.metadata, "cached": True}
+            result.metadata.pop("trace", None)
             return result
-    result = _compile_task((circuit, backend, device, objective, seed))
+    container = (
+        Span("lane.worker", context=as_context(trace_ctx)) if trace_ctx is not None else None
+    )
+    with activate(container):
+        result = _compile_task((circuit, backend, device, objective, seed))
     if store is not None and result.succeeded:
         store.put(key, result, result.wall_time or None)
+    extras = {}
+    if container is not None and container.children:
+        extras["_worker_spans"] = [child.to_dict() for child in container.children]
+    if profile:
+        extras["_worker_profile"] = registry.snapshot()
+    if extras:
+        result.metadata = {**result.metadata, **extras}
     return result
 
 
@@ -153,6 +190,14 @@ class CompileRequest:
     started: bool = False
     #: the lane the request was dispatched to (set by the scheduler)
     lane: "object | None" = None
+    #: the request's ``service.request`` span (``None`` when untraced)
+    span: "Span | None" = None
+    #: open ``queue.wait`` child span, finished when a worker claims the
+    #: request (or when the request resolves without one — cache hit, expiry)
+    queue_span: "Span | None" = None
+    #: the ``lane.execute`` child span; coalesced followers graft the owner's
+    #: instance into their own trees, sharing its span id
+    execute_span: "Span | None" = None
 
     def key(self) -> tuple:
         """The shared-cache key (the one scheme shared with ``compile_batch``)."""
@@ -436,8 +481,18 @@ class CompileService:
         priority: int = 0,
         deadline: float | None = None,
         pass_overrides: dict | None = None,
+        trace: "Span | object | dict | None" = None,
     ) -> Future:
         """Enqueue one compilation; the returned future resolves to its result.
+
+        ``trace`` continues an existing trace: a :class:`~repro.obs.Span`,
+        :class:`~repro.obs.SpanContext`, or ``{"trace_id", "span_id"}`` dict
+        parents this request's ``service.request`` span there; the default
+        ``None`` picks up the calling thread's active span, if any, so code
+        already running under a span gets propagation for free.  With no
+        context at all the request runs untraced (zero overhead).  The
+        finished span tree — ``queue.wait``, ``lane.execute``, per-stage
+        pipeline spans — comes back in ``result.metadata["trace"]``.
 
         ``priority`` (higher first) decides the order requests leave the
         queues; ``deadline`` (seconds from now) expires the request into a
@@ -464,6 +519,7 @@ class CompileService:
         resolved = apply_pass_overrides(resolve_backend(backend), pass_overrides)
         reward_function(objective)  # fail fast on unknown objectives
         target = get_device(device) if isinstance(device, str) else device
+        ctx = as_context(trace)
         now = perf_counter()
         request = CompileRequest(
             circuit=circuit,
@@ -478,6 +534,19 @@ class CompileService:
             deadline_at=None if deadline is None else now + deadline,
             seq=next(self._seq),
         )
+        if ctx is not None:
+            request.span = Span(
+                "service.request",
+                context=ctx,
+                attrs={
+                    "backend": resolved.name,
+                    "objective": objective,
+                    "priority": priority,
+                },
+            )
+            # Queue wait starts now; a lane worker closes it when it claims
+            # the request (cache hits and expiries close it at _finish).
+            request.queue_span = request.span.child("queue.wait")
         # The closed-check and the enqueue share one critical section:
         # shutdown() flips _closed under this lock *before* it drains the
         # queue, so a request that passed the check is guaranteed to be
@@ -502,10 +571,18 @@ class CompileService:
         priority: int = 0,
         deadline: float | None = None,
         pass_overrides: dict | None = None,
+        trace: "Span | object | dict | None" = None,
     ) -> list[Future]:
-        """Enqueue one request per circuit; futures come back in input order."""
-        # Resolve the (possibly overridden) backend once for the whole batch.
+        """Enqueue one request per circuit; futures come back in input order.
+
+        ``trace`` (or the caller's ambient span) parents every request of the
+        batch, so one trace tree shows the whole sweep fanning out.
+        """
+        # Resolve the (possibly overridden) backend once for the whole batch;
+        # likewise pin the trace context so every request shares one parent
+        # even if the ambient span changes while the loop runs.
         resolved = apply_pass_overrides(resolve_backend(backend), pass_overrides)
+        ctx = as_context(trace)
         return [
             self.submit(
                 circuit,
@@ -515,6 +592,7 @@ class CompileService:
                 seed=seed,
                 priority=priority,
                 deadline=deadline,
+                trace=ctx,
             )
             for circuit in circuits
         ]
@@ -635,12 +713,17 @@ class CompileService:
         priority: int = 0,
         deadline: float | None = None,
         pass_overrides: dict | None = None,
+        trace: dict | None = None,
     ) -> str:
         """``submit()`` for remote callers: returns a ticket id instead of a future.
 
         Carries the full QoS surface — remote clients get identical
         priority/deadline and ``pass_overrides`` semantics to in-process
-        ones.
+        ones.  ``trace`` is the wire form of a span context (``{"trace_id",
+        "span_id"}`` dict): the server parents its ``service.request`` span
+        there, exactly as the in-process path does, so a trace crossing the
+        RPC boundary produces the same tree shape as one that never left the
+        process.
         """
         future = self.submit(
             circuit,
@@ -651,6 +734,7 @@ class CompileService:
             priority=priority,
             deadline=deadline,
             pass_overrides=pass_overrides,
+            trace=trace,
         )
         ticket = f"req-{next(self._request_ids)}"
         with self._lock:
@@ -792,6 +876,11 @@ class CompileService:
         if hit is not None:
             result = hit.with_objective(request.objective)
             result.metadata = {**result.metadata, "cached": True}
+            # A cached result must answer with *this* request's trace, never
+            # a stale tree the stored entry might somehow carry.
+            result.metadata.pop("trace", None)
+            if request.span is not None:
+                request.span.event("cache.hit")
             with self._lock:
                 self._metrics["cache_hits"] += 1
             self._finish(request, result)
@@ -812,6 +901,11 @@ class CompileService:
                 owner, followers = inflight
                 followers.append(request)
                 self._metrics["coalesced"] += 1
+                if request.span is not None:
+                    # The follower's own request span survives; its execute
+                    # time will be the owner's shared lane.execute span,
+                    # grafted at completion.
+                    request.span.set(coalesced=True)
                 boost = (
                     request.priority > owner.effective_priority
                     and not owner.started
@@ -895,8 +989,27 @@ class CompileService:
         if request.expired():
             self._expire(request, key)
             return
+        if request.queue_span is not None:
+            # The request just left the queues: close the wait span here so
+            # queue time and execute time partition the latency cleanly.
+            request.queue_span.finish()
+        execute_span = None
+        if request.span is not None:
+            execute_span = request.span.child(
+                "lane.execute", attrs={"lane": lane.backend_name, "kind": lane.kind}
+            )
+            request.execute_span = execute_span
         self._notify("started", request)
         store = self._shared_store if lane.kind == "process" else None
+        # Process lanes carry the trace as a picklable context and profile as
+        # a flag (the worker process has its own registry); thread lanes get
+        # both for free — the execute span is activated on this thread and
+        # the global registry is shared in-process.
+        trace_ctx = (
+            execute_span.context()
+            if execute_span is not None and lane.kind == "process"
+            else None
+        )
         payload = (
             request.circuit,
             request.backend,
@@ -905,18 +1018,35 @@ class CompileService:
             request.seed,
             key,
             store,
+            trace_ctx,
+            lane.kind == "process" and profiling_enabled(),
         )
         try:
             if lane.pool is not None:
                 result = lane.pool.submit(_service_compile_task, payload).result()
             else:
-                result = _service_compile_task(payload)
+                with activate(execute_span):
+                    result = _service_compile_task(payload)
         except Exception as exc:  # noqa: BLE001 - pool-level failure (e.g. broken pool)
             result = _failure_result(request.circuit, request.backend.name, request.objective, exc)
+        if lane.kind == "process":
+            # Strip the worker's transient observability payloads before the
+            # result can reach the parent cache or any caller.
+            worker_spans = result.metadata.pop("_worker_spans", None)
+            worker_profile = result.metadata.pop("_worker_profile", None)
+            if worker_spans and execute_span is not None:
+                for subtree in worker_spans:
+                    execute_span.add(subtree)
+            if worker_profile:
+                profiler().merge(worker_profile)
+        if execute_span is not None:
+            execute_span.finish(status="ok" if result.succeeded else "error")
         self._complete(request, key, result)
 
     def _expire(self, request: CompileRequest, key: tuple | None = None) -> None:
         """Resolve an expired request (and re-route any coalesced followers)."""
+        if request.span is not None:
+            request.span.event("deadline.expired")
         with self._lock:
             self._metrics["deadline_exceeded"] += 1
         followers = self._release_inflight(request, key) if key is not None else []
@@ -954,6 +1084,12 @@ class CompileService:
             if result.succeeded:
                 shared = result.with_objective(follower.objective)
                 shared.metadata = {**shared.metadata, "cached": True}
+                if follower.span is not None and request.execute_span is not None:
+                    # Coalesced requests share the owner's lane.execute span
+                    # (same span id in every tree) while keeping their own
+                    # request and queue.wait spans — the trace shows both
+                    # *that* the work ran once and *who* waited on it.
+                    follower.span.add(request.execute_span)
                 self._finish(follower, shared)
             else:
                 # The owner failed (failures are never cached or shared):
@@ -985,6 +1121,18 @@ class CompileService:
             )
 
     def _finish(self, request: CompileRequest, result: CompilationResult) -> None:
+        if request.span is not None:
+            if request.queue_span is not None:
+                # Still open on paths that never reached a worker (cache hit,
+                # expiry, shutdown); finish() is idempotent for the rest.
+                request.queue_span.finish()
+            request.span.finish(status="ok" if result.succeeded else "error")
+            # Annotate a copy: ``result`` may be (or later become) the object
+            # held by the result cache, and a cached entry must never carry
+            # one request's trace into another request's answer.
+            result = replace(
+                result, metadata={**result.metadata, "trace": request.span.to_dict()}
+            )
         try:
             request.future.set_result(result)
         except InvalidStateError:  # already failed by a drain=False shutdown

@@ -367,3 +367,91 @@ class TestPassCatalogAndOverrides:
         with pytest.raises(GatewayError) as excinfo:
             client._request("POST", "/v1/compile", payload)
         assert excinfo.value.status == 400
+
+
+class TestObservabilityHTTP:
+    def test_trace_id_round_trips_to_a_full_span_tree(self, gateway, ghz3):
+        client = GatewayClient(gateway.url, api_key="alice-key")
+        job_id = client.submit(
+            ghz3, backend="qiskit-o1", device="ibmq_washington",
+            trace_id="trace-gw-0001",
+        )
+        payload = client.trace(job_id, timeout=60)
+        assert payload["job_id"] == job_id
+        assert payload["trace_id"] == "trace-gw-0001"
+        tree = payload["trace"]
+        assert tree["name"] == "gateway.request"
+        assert tree["attrs"]["tenant"] == "alice"
+        names, stack = set(), [tree]
+        while stack:
+            node = stack.pop()
+            assert node["trace_id"] == "trace-gw-0001"
+            names.add(node["name"])
+            stack.extend(node.get("children") or [])
+        assert {"service.request", "queue.wait", "lane.execute"} <= names
+        assert any(name.startswith("stage.") for name in names)
+        # The job description carries the id too.
+        assert client.job(job_id)["trace_id"] == "trace-gw-0001"
+
+    def test_every_response_echoes_a_trace_id(self, gateway):
+        request = urllib.request.Request(gateway.url + "/healthz")
+        request.add_header("X-Repro-Trace-Id", "trace-echo-42")
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.headers["X-Repro-Trace-Id"] == "trace-echo-42"
+        # A malformed inbound id is replaced with a freshly minted one, never
+        # echoed back verbatim.
+        request = urllib.request.Request(gateway.url + "/healthz")
+        request.add_header("X-Repro-Trace-Id", "bad id with spaces")
+        with urllib.request.urlopen(request, timeout=30) as response:
+            echoed = response.headers["X-Repro-Trace-Id"]
+            assert echoed and echoed != "bad id with spaces"
+
+    def test_dashboard_is_self_contained(self, gateway):
+        # No auth required for the static shell: its JS authenticates the
+        # /v1/stats polls itself.
+        with urllib.request.urlopen(gateway.url + "/dashboard", timeout=30) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/html")
+            html = response.read().decode()
+        # Zero external asset fetches: every reference is same-origin.
+        assert "http://" not in html and "https://" not in html
+        assert "/v1/stats" in html
+        assert "<script>" in html and "<style>" in html
+
+    def test_latency_histogram_in_metrics(self, gateway, ghz3):
+        client = GatewayClient(gateway.url, api_key="alice-key")
+        client.compile(ghz3, backend="qiskit-o0", device="ibmq_washington")
+        text = client.metrics()
+        assert "# TYPE repro_gateway_request_latency_seconds histogram" in text
+        inf_counts, totals = {}, {}
+        for line in text.splitlines():
+            if line.startswith("repro_gateway_request_latency_seconds_bucket") and 'le="+Inf"' in line:
+                label = line.split('label="')[1].split('"')[0]
+                inf_counts[label] = float(line.rsplit(" ", 1)[1])
+            if line.startswith("repro_gateway_request_latency_seconds_count"):
+                label = line.split('label="')[1].split('"')[0]
+                totals[label] = float(line.rsplit(" ", 1)[1])
+        assert "tenant:alice" in inf_counts
+        assert inf_counts == totals  # the +Inf bucket is the series total
+        # The windowed quantile view survives under its new gauge name.
+        assert "# TYPE repro_gateway_request_latency_quantile_seconds gauge" in text
+        assert 'quantile="0.95"' in text
+
+    def test_slow_request_log_feeds_stats(self, gateway, ghz3):
+        client = GatewayClient(gateway.url, api_key="alice-key")
+        client.compile(ghz3, backend="qiskit-o0", device="ibmq_washington")
+        slow = client.stats()["gateway"]["slow_requests"]
+        assert slow, "completed request missing from the slow-request log"
+        entry = slow[0]
+        assert entry["trace_id"] and entry["tenant"] == "alice"
+        assert entry["status"] == "ok"
+        rows = entry["breakdown"]
+        assert rows and rows[0]["name"] == "gateway.request"
+        assert {"service.request", "queue.wait"} <= {row["name"] for row in rows}
+
+    def test_sse_events_carry_the_trace_id(self, gateway, ghz3):
+        client = GatewayClient(gateway.url, api_key="alice-key")
+        job_id = client.submit(ghz3, backend="qiskit-o0", trace_id="trace-sse-77")
+        events = list(client.events(job_id, timeout=60))
+        assert events[-1]["event"] == "done"
+        assert all(event["trace_id"] == "trace-sse-77" for event in events)

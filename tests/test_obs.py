@@ -1,0 +1,535 @@
+"""Tests for the observability subsystem: tracing, JSON logs, slow-request log.
+
+Covers the span core (tree building, serialisation, propagation seams), the
+:func:`~repro.obs.timed_span` / profiler contract, trace propagation through
+the compile service (in-process, coalesced, process-lane, and remote), and
+the supporting pieces: :class:`~repro.obs.SlowRequestLog` and the JSON log
+formatter's trace stamping.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.api.result import CompilationResult
+from repro.bench import benchmark_circuit
+from repro.gateway.metrics import quantile
+from repro.obs import (
+    JsonFormatter,
+    SlowRequestLog,
+    Span,
+    SpanContext,
+    activate,
+    as_context,
+    configure_json_logging,
+    current_span,
+    get_logger,
+    new_trace_id,
+    span,
+    timed_span,
+    valid_trace_id,
+)
+from repro.profiling import disable_profiling, enable_profiling, profiler
+from repro.service import CacheServer, CompileService, ServiceClient
+
+
+@pytest.fixture(scope="module")
+def ghz4():
+    return benchmark_circuit("ghz", 4)
+
+
+@pytest.fixture(autouse=True)
+def _profiling_off():
+    """Every test starts and ends with the profile registry disabled."""
+    disable_profiling()
+    profiler().clear()
+    yield
+    disable_profiling()
+    profiler().clear()
+
+
+# ---------------------------------------------------------------------------------
+# span core
+# ---------------------------------------------------------------------------------
+
+
+class TestSpanCore:
+    def test_tree_building_and_ids(self):
+        root = Span("root", attrs={"tenant": "alice"})
+        child = root.child("work")
+        grandchild = child.child("inner")
+        assert child.trace_id == root.trace_id == grandchild.trace_id
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+        assert len({root.span_id, child.span_id, grandchild.span_id}) == 3
+        assert not root.finished
+        duration = root.finish()
+        assert root.finished and duration >= 0
+
+    def test_finish_is_idempotent(self):
+        node = Span("once")
+        first = node.finish(status="error")
+        second = node.finish(status="ok")  # too late: already closed
+        assert first == second == node.duration
+        assert node.status == "ok"  # status updates still apply by design
+
+    def test_event_is_a_finished_child(self):
+        root = Span("root")
+        marker = root.event("cache.hit", key="abc")
+        assert marker.finished
+        assert marker.attrs == {"key": "abc"}
+        assert root.children == [marker]
+
+    def test_json_round_trip_preserves_structure_and_ids(self):
+        root = Span("root", attrs={"n": 1})
+        child = root.child("stage.routing")
+        child.finish(status="error")
+        root.finish()
+        payload = json.loads(json.dumps(root.to_dict()))
+        rebuilt = Span.from_dict(payload)
+        assert [(d, s.name) for d, s in rebuilt.walk()] == [
+            (d, s.name) for d, s in root.walk()
+        ]
+        assert rebuilt.span_id == root.span_id
+        assert rebuilt.children[0].span_id == child.span_id
+        assert rebuilt.children[0].status == "error"
+        assert rebuilt.attrs == {"n": 1}
+        assert rebuilt.duration == pytest.approx(root.duration)
+
+    def test_as_context_accepts_every_carrier(self):
+        root = Span("root")
+        for carrier in (root, root.context(), root.context().to_dict()):
+            ctx = as_context(carrier)
+            assert ctx == SpanContext(root.trace_id, root.span_id)
+        assert as_context(None) is None  # no ambient span on this thread
+        with pytest.raises(TypeError):
+            as_context(42)
+
+    def test_as_context_picks_up_the_ambient_span(self):
+        root = Span("root")
+        with activate(root):
+            assert as_context(None) == root.context()
+
+    def test_valid_trace_id(self):
+        assert valid_trace_id(new_trace_id())
+        assert valid_trace_id("abc-DEF_123")
+        assert not valid_trace_id("no spaces")
+        assert not valid_trace_id("abc")  # too short
+        assert not valid_trace_id("x" * 129)
+        assert not valid_trace_id(None)
+        assert not valid_trace_id(b"deadbeefcafe")
+
+
+class TestPropagation:
+    def test_span_is_a_noop_without_a_parent(self):
+        assert current_span() is None
+        with span("orphan") as node:
+            assert node is None
+
+    def test_span_nests_under_the_active_span(self):
+        root = Span("root")
+        with activate(root):
+            with span("outer") as outer:
+                assert current_span() is outer
+                with span("inner", attrs={"k": 1}) as inner:
+                    assert inner.parent_id == outer.span_id
+            assert current_span() is root
+        assert current_span() is None
+        assert [s.name for _, s in root.walk()] == ["root", "outer", "inner"]
+
+    def test_span_records_errors(self):
+        root = Span("root")
+        with activate(root):
+            with pytest.raises(ValueError):
+                with span("boom"):
+                    raise ValueError("nope")
+        assert root.children[0].status == "error"
+        assert root.children[0].finished
+
+    def test_activate_crosses_threads(self):
+        root = Span("root")
+        seen = {}
+
+        def worker():
+            # The span arrived through an explicit payload, not inheritance.
+            assert current_span() is None
+            with activate(root):
+                with span("thread.work") as node:
+                    seen["node"] = node
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["node"].parent_id == root.span_id
+        assert root.children[0].name == "thread.work"
+
+    def test_timed_span_feeds_span_and_profiler_identically(self):
+        registry = enable_profiling(clear=True)
+        root = Span("root")
+        with activate(root):
+            with timed_span("stage.test", items=7) as node:
+                pass
+        counters = registry.snapshot()
+        assert counters["stage.test"]["calls"] == 1
+        assert counters["stage.test"]["items"] == 7
+        # One perf_counter pair serves both sinks.
+        assert node.duration == pytest.approx(counters["stage.test"]["total_seconds"])
+        assert node.attrs["items"] == 7
+
+    def test_timed_span_profiles_without_a_trace(self):
+        registry = enable_profiling(clear=True)
+        with timed_span("stage.lonely", items=2) as node:
+            pass
+        assert node is None
+        assert registry.snapshot()["stage.lonely"]["calls"] == 1
+
+    def test_timed_span_is_a_noop_when_both_sinks_are_off(self):
+        with timed_span("stage.ghost") as node:
+            pass
+        assert node is None
+        assert "stage.ghost" not in profiler().snapshot()
+
+
+# ---------------------------------------------------------------------------------
+# quantile fix (satellite): floor(q * (n - 1) + 0.5), not banker's rounding
+# ---------------------------------------------------------------------------------
+
+
+class TestQuantileRounding:
+    def test_median_of_two_rounds_up(self):
+        # round(0.5) == 0 under banker's rounding, which used to pick the
+        # *lower* of two samples as the median.
+        assert quantile([10.0, 20.0], 0.5) == 20.0
+
+    def test_exact_half_ranks_round_up_everywhere(self):
+        assert quantile([1, 2, 3, 4], 0.5) == 3  # rank 1.5 -> index 2
+        assert quantile([1, 2, 3, 4, 5, 6], 0.5) == 4  # rank 2.5 -> index 3
+        assert quantile([1, 2, 3], 0.25) == 2  # rank 0.5 -> index 1
+
+    def test_extremes_clamp(self):
+        assert quantile([5.0, 1.0, 3.0], 0.0) == 1.0
+        assert quantile([5.0, 1.0, 3.0], 1.0) == 5.0
+
+
+# ---------------------------------------------------------------------------------
+# slow-request log
+# ---------------------------------------------------------------------------------
+
+
+class TestSlowRequestLog:
+    def test_keeps_the_slowest_n(self):
+        log = SlowRequestLog(capacity=3)
+        admitted = [
+            log.observe(trace_id=f"t{i}", name=f"job{i}", seconds=float(i))
+            for i in range(1, 6)
+        ]
+        assert admitted == [True, True, True, True, True]  # each evicts a faster one
+        assert not log.observe(trace_id="tiny", name="fast", seconds=0.5)
+        assert len(log) == 3
+        assert [e["seconds"] for e in log.snapshot()] == [5.0, 4.0, 3.0]
+
+    def test_breakdown_is_flattened_and_capped(self):
+        root = Span("gateway.request")
+        child = root.child("service.request")
+        for i in range(60):
+            child.child(f"stage.{i}").finish()
+        child.finish()
+        root.finish()
+        log = SlowRequestLog()
+        log.observe(trace_id=root.trace_id, name="big", seconds=1.0, tree=root.to_dict())
+        (entry,) = log.snapshot()
+        rows = entry["breakdown"]
+        assert len(rows) == 40  # bounded against pathological trees
+        assert rows[0] == {
+            "name": "gateway.request",
+            "duration": root.duration,
+            "depth": 0,
+            "status": "ok",
+        }
+        assert rows[1]["name"] == "service.request" and rows[1]["depth"] == 1
+        assert rows[2]["name"] == "stage.0" and rows[2]["depth"] == 2
+
+    def test_capacity_validation_and_clear(self):
+        with pytest.raises(ValueError):
+            SlowRequestLog(capacity=0)
+        log = SlowRequestLog(capacity=2)
+        log.observe(trace_id="t", name="x", seconds=1.0)
+        log.clear()
+        assert len(log) == 0 and log.snapshot() == []
+
+
+# ---------------------------------------------------------------------------------
+# JSON logging
+# ---------------------------------------------------------------------------------
+
+
+class TestJsonLogging:
+    def test_records_carry_the_trace_stamp(self):
+        stream = io.StringIO()
+        configure_json_logging(stream=stream, logger="repro-test-json")
+        log = get_logger("repro-test-json.unit")
+        root = Span("root")
+        with activate(root):
+            log.info("traced line", extra={"tenant": "alice", "weird": object()})
+        log.info("untraced line")
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert lines[0]["msg"] == "traced line"
+        assert lines[0]["trace_id"] == root.trace_id
+        assert lines[0]["span_id"] == root.span_id
+        assert lines[0]["tenant"] == "alice"
+        assert "object object" in lines[0]["weird"]  # non-JSON extras degrade to repr
+        assert "trace_id" not in lines[1]
+
+    def test_configure_is_idempotent(self):
+        stream = io.StringIO()
+        logger = configure_json_logging(stream=stream, logger="repro-test-idem")
+        configure_json_logging(stream=stream, logger="repro-test-idem")
+        json_handlers = [
+            h for h in logger.handlers if isinstance(h.formatter, JsonFormatter)
+        ]
+        assert len(json_handlers) == 1
+        logger.info("once")
+        assert len(stream.getvalue().splitlines()) == 1
+
+    def test_formatter_includes_exception_repr(self):
+        stream = io.StringIO()
+        logger = configure_json_logging(stream=stream, logger="repro-test-exc")
+        try:
+            raise RuntimeError("kaboom")
+        except RuntimeError:
+            logger.exception("failed")
+        payload = json.loads(stream.getvalue().splitlines()[0])
+        assert payload["level"] == "ERROR"
+        assert "kaboom" in payload["error"]
+
+
+# ---------------------------------------------------------------------------------
+# traces through the compile service
+# ---------------------------------------------------------------------------------
+
+
+def span_names(tree: dict) -> set:
+    """Every span name in a serialised tree."""
+    names = set()
+    stack = [tree]
+    while stack:
+        node = stack.pop()
+        names.add(node["name"])
+        stack.extend(node.get("children") or [])
+    return names
+
+
+def name_structure(tree: dict) -> tuple:
+    """The tree as nested ``(name, (children...))`` tuples, children sorted."""
+    children = tuple(
+        sorted(name_structure(child) for child in tree.get("children") or [])
+    )
+    return (tree["name"], children)
+
+
+def find_spans(tree: dict, name: str) -> list[dict]:
+    found = []
+    stack = [tree]
+    while stack:
+        node = stack.pop()
+        if node["name"] == name:
+            found.append(node)
+        stack.extend(node.get("children") or [])
+    return found
+
+
+class TestServiceTracing:
+    def test_untraced_requests_carry_no_trace(self, ghz4):
+        with CompileService(max_workers=1) as service:
+            result = service.submit(
+                ghz4, "qiskit-o0", device="ibmq_washington"
+            ).result(timeout=120)
+        assert result.succeeded
+        assert "trace" not in result.metadata
+
+    def test_in_process_propagation_builds_the_full_tree(self, ghz4):
+        root = Span("test.root", trace_id="trace-test-0001")
+        with CompileService(max_workers=1) as service:
+            result = service.submit(
+                ghz4, "qiskit-o1", device="ibmq_washington", trace=root
+            ).result(timeout=120)
+        assert result.succeeded
+        tree = result.metadata["trace"]
+        assert tree["name"] == "service.request"
+        assert tree["trace_id"] == "trace-test-0001"
+        assert tree["parent_id"] == root.span_id
+        names = span_names(tree)
+        assert {"queue.wait", "lane.execute"} <= names
+        assert {n for n in names if n.startswith("stage.")}, names
+        # Every span shares the one trace id and is finished.
+        stack = [tree]
+        while stack:
+            node = stack.pop()
+            assert node["trace_id"] == "trace-test-0001"
+            assert node["duration"] is not None
+            stack.extend(node.get("children") or [])
+        # The tree is a JSON round-trip away from a Span at all times.
+        rebuilt = Span.from_dict(json.loads(json.dumps(tree)))
+        assert span_names(rebuilt.to_dict()) == names
+
+    def test_ambient_span_propagates_without_an_argument(self, ghz4):
+        root = Span("ambient.root")
+        with CompileService(max_workers=1) as service:
+            with activate(root):
+                future = service.submit(ghz4, "qiskit-o0", device="ibmq_washington")
+            result = future.result(timeout=120)
+        assert result.metadata["trace"]["trace_id"] == root.trace_id
+
+    def test_cache_hits_answer_with_this_requests_trace(self, ghz4):
+        with CompileService(max_workers=1) as service:
+            service.submit(
+                ghz4, "qiskit-o0", device="ibmq_washington", seed=7
+            ).result(timeout=120)
+            root = Span("cache.root")
+            again = service.submit(
+                ghz4, "qiskit-o0", device="ibmq_washington", seed=7, trace=root
+            ).result(timeout=120)
+        assert again.metadata.get("cached") is True
+        tree = again.metadata["trace"]
+        assert tree["trace_id"] == root.trace_id
+        assert "cache.hit" in span_names(tree)
+        assert "lane.execute" not in span_names(tree)
+
+    def test_coalesced_followers_share_the_execute_span(self, ghz4):
+        with CompileService(max_workers=1) as service:
+            # Occupy the single worker so both identical requests are queued
+            # together and the second coalesces onto the first.
+            blocker = service.submit(
+                ghz4, "qiskit-o1", device="ibmq_washington", seed=999
+            )
+            owner_root = Span("owner.root")
+            follower_root = Span("follower.root")
+            owner = service.submit(
+                ghz4, "qiskit-o1", device="ibmq_washington", seed=41, trace=owner_root
+            )
+            follower = service.submit(
+                ghz4, "qiskit-o1", device="ibmq_washington", seed=41, trace=follower_root
+            )
+            blocker.result(timeout=120)
+            owner_tree = owner.result(timeout=120).metadata["trace"]
+            follower_tree = follower.result(timeout=120).metadata["trace"]
+            assert service.stats()["coalesced"] == 1
+        # Distinct request spans, one shared lane.execute span.
+        assert owner_tree["span_id"] != follower_tree["span_id"]
+        assert follower_tree["attrs"].get("coalesced") is True
+        (owner_exec,) = find_spans(owner_tree, "lane.execute")
+        (follower_exec,) = find_spans(follower_tree, "lane.execute")
+        assert owner_exec["span_id"] == follower_exec["span_id"]
+        # Both trees still carry their own queue.wait.
+        assert find_spans(owner_tree, "queue.wait")
+        assert find_spans(follower_tree, "queue.wait")
+
+    def test_process_lane_trace_and_profile_merge(self, ghz4):
+        server = CacheServer(maxsize=64)
+        try:
+            registry = enable_profiling(clear=True)
+            root = Span("process.root")
+            with CompileService(
+                store=server.store(), process_backends=("qiskit-o1",), max_workers=1
+            ) as service:
+                result = service.submit(
+                    ghz4, "qiskit-o1", device="ibmq_washington", trace=root
+                ).result(timeout=180)
+            assert result.succeeded
+            tree = result.metadata["trace"]
+            # The worker's spans came home across the pickle boundary (grafted
+            # under lane.execute, same shape as a thread lane) and the
+            # transport keys were stripped before the result reached us.
+            assert "lane.execute" in span_names(tree)
+            assert {n for n in span_names(tree) if n.startswith("stage.")}
+            assert "_worker_spans" not in result.metadata
+            assert "_worker_profile" not in result.metadata
+            # Satellite: the worker's profile counters merged into the parent
+            # registry, so --profile sees process-lane stages.
+            counters = registry.snapshot()
+            stage_counters = {n for n in counters if n.startswith("stage.")}
+            assert stage_counters, counters.keys()
+            assert all(counters[n]["calls"] >= 1 for n in stage_counters)
+        finally:
+            server.shutdown()
+
+
+class TestResultTraceRoundTrip:
+    def test_trace_survives_to_dict_from_dict(self, ghz4):
+        root = Span("roundtrip.root")
+        with CompileService(max_workers=1) as service:
+            result = service.submit(
+                ghz4, "qiskit-o0", device="ibmq_washington", trace=root
+            ).result(timeout=120)
+        wire = json.loads(json.dumps(result.to_dict()))
+        rebuilt = CompilationResult.from_dict(wire)
+        assert rebuilt.trace == result.metadata["trace"]
+        assert rebuilt.trace["trace_id"] == root.trace_id
+        assert name_structure(rebuilt.trace) == name_structure(result.trace)
+
+    def test_trace_property_defaults_to_none(self):
+        result = CompilationResult(
+            circuit=None, device=None, reward=0.0, reward_name="fidelity"
+        )
+        assert result.trace is None
+
+
+class TestRemoteServiceTracing:
+    def test_remote_tree_matches_in_process_structure(self, ghz4, tmp_path):
+        """One structure for both backends: the RPC seam loses nothing."""
+        with CompileService(max_workers=1) as service:
+            local = service.submit(
+                ghz4,
+                "qiskit-o1",
+                device="ibmq_washington",
+                trace=Span("local.root"),
+            ).result(timeout=120)
+        local_tree = local.metadata["trace"]
+
+        src = Path(__file__).resolve().parent.parent / "src"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin", "HOME": str(tmp_path)},
+        )
+        try:
+            address = authkey = None
+            for _ in range(50):
+                line = proc.stdout.readline()
+                if not line:
+                    break
+                match = re.search(r"listening on ([\d.]+):(\d+)", line)
+                if match:
+                    address = (match.group(1), int(match.group(2)))
+                match = re.search(r"authkey: ([0-9a-f]+)", line)
+                if match:
+                    authkey = bytes.fromhex(match.group(1))
+                    break
+            assert address is not None and authkey is not None, "server did not start"
+            with ServiceClient(address=address, authkey=authkey) as client:
+                root = Span("remote.root", trace_id="trace-remote-0001")
+                remote = client.submit(
+                    ghz4, backend="qiskit-o1", device="ibmq_washington", trace=root
+                ).result(timeout=180)
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=20)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck server
+                proc.kill()
+        assert remote.succeeded
+        remote_tree = remote.metadata["trace"]
+        assert remote_tree["trace_id"] == "trace-remote-0001"
+        assert remote_tree["parent_id"] == root.span_id
+        assert name_structure(remote_tree) == name_structure(local_tree)
+        assert {"queue.wait", "lane.execute"} <= span_names(remote_tree)
