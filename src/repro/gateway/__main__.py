@@ -58,6 +58,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=4096, help="capacity of the service result cache"
     )
     parser.add_argument(
+        "--cache-server",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="back the result cache by remote TCP cache server(s) — repeat "
+        "for consistent-hash sharding (requires --cache-authkey-file)",
+    )
+    parser.add_argument(
+        "--cache-authkey-file",
+        default=None,
+        metavar="PATH",
+        help="file holding the hex-encoded cache-server secret",
+    )
+    parser.add_argument(
         "--sync-timeout",
         type=float,
         default=60.0,
@@ -101,7 +115,23 @@ def main(argv: "list[str] | None" = None) -> int:
     process_backends = tuple(
         name.strip() for name in args.process_backends.split(",") if name.strip()
     )
+    store = None
+    if args.cache_server:
+        from pathlib import Path
+
+        from ..service import ShardedCacheStore, SharedCacheStore
+
+        if not args.cache_authkey_file:
+            parser = _build_parser()
+            parser.error("--cache-server requires --cache-authkey-file")
+        authkey = bytes.fromhex(Path(args.cache_authkey_file).read_text().strip())
+        shards = []
+        for endpoint in args.cache_server:
+            host, _, port = endpoint.rpartition(":")
+            shards.append(SharedCacheStore((host, int(port)), authkey))
+        store = shards[0] if len(shards) == 1 else ShardedCacheStore(shards)
     service = CompileService(
+        store=store,
         process_backends=process_backends,
         max_workers=args.service_workers,
         min_workers=args.min_workers,

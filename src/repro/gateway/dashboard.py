@@ -83,6 +83,18 @@ _PAGE = """<!DOCTYPE html>
     <div class="panel"><h2>cache hit rate</h2><canvas id="c-hit"></canvas></div>
     <div class="panel"><h2>lane workers</h2><canvas id="c-workers"></canvas></div>
   </div>
+  <div class="panel" id="shards-panel" style="display:none"><h2>cache shards</h2>
+    <table id="shards"><thead><tr>
+      <th>shard</th><th>state</th><th class="num">entries</th><th class="num">hits</th>
+      <th class="num">misses</th><th class="num">timeouts</th><th class="num">reconnects</th>
+    </tr></thead><tbody></tbody></table>
+  </div>
+  <div class="panel" id="peers-panel" style="display:none"><h2>cluster peers</h2>
+    <table id="peers"><thead><tr>
+      <th>peer</th><th>state</th><th class="num">backlog</th><th class="num">forwarded</th>
+      <th class="num">rescued</th><th class="num">errors</th>
+    </tr></thead><tbody></tbody></table>
+  </div>
   <div class="panel"><h2>latency by label</h2>
     <table id="latency"><thead><tr>
       <th>label</th><th class="num">count</th><th class="num">p50</th>
@@ -155,13 +167,25 @@ function render(stats) {
   const lanes = svc.lanes || {};
   const workers = Object.values(lanes).reduce((a, l) => a + (l.workers || 0), 0);
   const hitRate = ((svc.cache || {}).hit_rate || 0);
-  $("tiles").innerHTML =
+  let tiles =
     tile("queue depth", svc.queue_depth ?? "-") +
     tile("in flight", svc.in_flight ?? "-") +
     tile("cache hit rate", (hitRate * 100).toFixed(1) + "%") +
     tile("lane workers", workers + " / " + Object.keys(lanes).length + " lanes") +
     tile("submitted", svc.submitted ?? "-") +
     tile("failed", svc.failed ?? "-");
+  const cache = svc.cache || {};
+  if (cache.sharded) {
+    const up = (cache.shard_count || 0) - (cache.shards_down || 0);
+    tiles += tile("cache shards up", up + " / " + (cache.shard_count || 0));
+  }
+  const fwd = svc.forwarding;
+  if (fwd) {
+    tiles += tile("forwarded to peers", (fwd.forwarded ?? 0) + " (" + (fwd.outstanding ?? 0) + " live)");
+  }
+  $("tiles").innerHTML = tiles;
+  renderShards(cache);
+  renderPeers(fwd);
   sparkline($("c-queue"), series.map(p => p.queue_depth || 0), "#e5a50a");
   sparkline($("c-hit"), series.map(p => p.cache_hit_rate || 0), "#4cc38a");
   sparkline($("c-workers"), series.map(p =>
@@ -174,6 +198,33 @@ function render(stats) {
   $("latency").querySelector("tbody").innerHTML =
     latRows || '<tr><td colspan="5" class="muted">no requests yet</td></tr>';
   renderSlow(gw.slow_requests || []);
+}
+
+function renderShards(cache) {
+  const panel = $("shards-panel");
+  if (!cache.sharded || !(cache.shards || []).length) { panel.style.display = "none"; return; }
+  panel.style.display = "";
+  $("shards").querySelector("tbody").innerHTML = cache.shards.map(s =>
+    "<tr><td>" + esc(s.shard) + "</td><td>" +
+    (s.down ? '<span class="err">down</span>' : "up") +
+    '</td><td class="num">' + (s.entries ?? "-") +
+    '</td><td class="num">' + (s.hits ?? "-") +
+    '</td><td class="num">' + (s.misses ?? "-") +
+    '</td><td class="num">' + (s.timeouts ?? 0) +
+    '</td><td class="num">' + (s.reconnects ?? 0) + "</td></tr>").join("");
+}
+
+function renderPeers(fwd) {
+  const panel = $("peers-panel");
+  if (!fwd || !(fwd.peers || []).length) { panel.style.display = "none"; return; }
+  panel.style.display = "";
+  $("peers").querySelector("tbody").innerHTML = fwd.peers.map(p =>
+    "<tr><td>" + esc(p.peer) + "</td><td>" +
+    (p.down ? '<span class="err">down</span>' : (p.ready ? "ready" : "draining")) +
+    '</td><td class="num">' + (p.backlog ?? "-") +
+    '</td><td class="num">' + (p.forwarded ?? 0) +
+    '</td><td class="num">' + (p.rescued ?? 0) +
+    '</td><td class="num">' + (p.errors ?? 0) + "</td></tr>").join("");
 }
 
 const openTraces = new Set();

@@ -55,8 +55,13 @@ class Job:
         #: the finished span tree (set by the gateway's done callback; the
         #: ``GET /v1/jobs/<id>/trace`` payload)
         self.trace: "dict | None" = None
+        #: wall-clock stamps for display (API payloads, dashboards) only
         self.created_at = time.time()
         self.finished_at: float | None = None
+        #: monotonic stamps for *measuring*: an NTP step between creation and
+        #: completion must not produce negative or wildly skewed latencies
+        self.created_monotonic = time.monotonic()
+        self.finished_monotonic: float | None = None
         self.state = "queued"
         self.result: "CompilationResult | None" = None
         self._events: list[dict] = []
@@ -74,6 +79,7 @@ class Job:
             if event == DONE:
                 self.state = DONE
                 self.finished_at = time.time()
+                self.finished_monotonic = time.monotonic()
             self._events.append(
                 {"event": event, "time": time.time(), "data": data or {}}
             )
@@ -111,6 +117,18 @@ class Job:
     def done(self) -> bool:
         return self.state == DONE
 
+    def elapsed(self) -> float:
+        """Seconds from creation to completion (or to now, if unfinished).
+
+        Measured on the monotonic clock — ``created_at``/``finished_at`` are
+        wall-clock display stamps whose difference is wrong across an NTP
+        step, which is exactly what latency metrics must not inherit.
+        """
+        end = self.finished_monotonic
+        if end is None:
+            end = time.monotonic()
+        return end - self.created_monotonic
+
     def describe(self) -> dict:
         """The ``GET /v1/jobs/<id>`` JSON view."""
         with self._cond:
@@ -132,7 +150,9 @@ class Job:
             "events": events,
         }
         if finished_at is not None:
-            payload["wall_seconds"] = finished_at - self.created_at
+            # Monotonic measurement; the wall-clock stamps above stay for
+            # display, but their difference is not a duration.
+            payload["wall_seconds"] = self.elapsed()
         return payload
 
 

@@ -372,7 +372,10 @@ class GatewayServer:
             job.finish(result)
             self.jobs.mark_finished(job)
             self.fairshare.complete(vtime)
-            elapsed = time.time() - job.created_at
+            # Monotonic: an NTP step mid-request must not feed a negative or
+            # inflated latency into the window/histograms (job.created_at is
+            # wall-clock, display only).
+            elapsed = job.elapsed()
             self.latency.observe(f"tenant:{tenant_name}", elapsed)
             self.latency.observe(f"priority:{hint}", elapsed)
             self.slowlog.observe(

@@ -18,6 +18,12 @@ This package turns the one-shot compilation facilities (``repro.compile``,
 * :class:`ServiceClient` — the caller API (``submit`` → future,
   ``submit_many``, ``result``, ``stats``), identical against an in-process
   service or a ``python -m repro.service`` server.
+* The multi-node fabric: :class:`ShardedCacheStore` (consistent-hash
+  sharding of the shared cache over several TCP cache servers, with
+  bounded-timeout graceful degradation), :class:`ForwardingService` (a
+  front-router spilling overload to sibling hosts with priority, deadline
+  and trace context intact), and :func:`rolling_restart` (drain → restart →
+  re-admit each host in turn with zero lost accepted requests).
 
 Quickstart::
 
@@ -33,7 +39,10 @@ Quickstart::
 from __future__ import annotations
 
 from .client import ServiceClient, ServiceManager, ServiceTimeout
+from .forwarding import ForwardingService
+from .rolling import HostRestart, RollingRestartError, rolling_restart
 from .service import CompileRequest, CompileService, DeadlineExceeded
+from .sharding import ShardedCacheStore, stable_key_hash
 from .store import CacheServer, SharedCacheStore
 
 __all__ = [
@@ -41,8 +50,14 @@ __all__ = [
     "CompileRequest",
     "CompileService",
     "DeadlineExceeded",
+    "ForwardingService",
+    "HostRestart",
+    "RollingRestartError",
     "ServiceClient",
     "ServiceManager",
     "ServiceTimeout",
+    "ShardedCacheStore",
     "SharedCacheStore",
+    "rolling_restart",
+    "stable_key_hash",
 ]

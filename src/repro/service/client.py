@@ -15,12 +15,18 @@ One client class covers both deployment shapes:
       futures = client.submit_many(circuits, backend="qiskit-o3")
       results = [f.result() for f in futures]
       print(client.stats()["cache"]["hit_rate"])
+
+Remote ticket resolution is *multiplexed*: one waiter thread polls every
+outstanding ticket through the server's ``poll_tickets`` RPC, so any number
+of in-flight requests resolve in completion order — a finished high-priority
+request never waits behind slower ones, no matter how many were submitted
+first.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from multiprocessing.managers import BaseManager
 from typing import TYPE_CHECKING
@@ -73,31 +79,107 @@ ServiceManager.register("compile_service", exposed=SERVICE_RPC_METHODS)
 class ServiceClient:
     """Submit circuits to a compile service and collect the results as futures."""
 
+    #: consecutive waiter-loop RPC failures before pending futures are failed
+    _WAITER_ERROR_LIMIT = 3
+    #: seconds one server-side poll_tickets call may block
+    _POLL_WINDOW = 0.25
+
     def __init__(
         self,
         service: CompileService | None = None,
         *,
         address: tuple | None = None,
         authkey: bytes | None = None,
-        max_waiters: int = 8,
+        max_waiters: int | None = None,  # noqa: ARG002 - kept for API compat
     ):
         if (service is None) == (address is None):
             raise ValueError("pass exactly one of `service` (in-process) or `address` (remote)")
         self._service = service
         self._proxy = None
-        self._waiters: ThreadPoolExecutor | None = None
+        # One multiplexing waiter thread resolves every remote ticket through
+        # the server's poll_tickets RPC (started lazily on first submit).
+        # ``max_waiters`` is obsolete — the old per-ticket waiter pool capped
+        # concurrent resolution at 8 and left completed tickets stuck behind
+        # blocked waiters — but stays in the signature for older callers.
+        self._waiter: threading.Thread | None = None
+        self._pending: dict[str, Future] = {}
+        self._pending_lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
         if address is not None:
             if authkey is None:
                 raise ValueError("remote clients need the server's authkey")
             manager = ServiceManager(address=tuple(address), authkey=authkey)
             manager.connect()
             self._proxy = manager.compile_service()
-            # One waiter pool resolves remote tickets into local futures;
-            # manager proxies hold one connection per thread, so concurrent
-            # blocking wait_result calls do not serialise each other.
-            self._waiters = ThreadPoolExecutor(
-                max_workers=max_waiters, thread_name_prefix="svc-client"
-            )
+
+    # -- remote ticket multiplexing ----------------------------------------------------
+
+    def _register_ticket(self, ticket: str) -> Future:
+        """File a ticket with the waiter thread; returns its local future."""
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        with self._pending_lock:
+            if self._stop.is_set():
+                raise RuntimeError("ServiceClient is closed")
+            self._pending[ticket] = future
+            if self._waiter is None:
+                self._waiter = threading.Thread(
+                    target=self._waiter_loop, name="svc-client-waiter", daemon=True
+                )
+                self._waiter.start()
+        self._wake.set()
+        return future
+
+    def _waiter_loop(self) -> None:
+        """Resolve outstanding tickets in completion order, one RPC at a time.
+
+        Manager proxies keep one connection per thread, so this thread's
+        ``poll_tickets`` calls never contend with submissions from caller
+        threads.  After ``_WAITER_ERROR_LIMIT`` consecutive RPC failures the
+        outstanding futures are failed with the last error (the server is
+        gone — e.g. restarted, which also invalidates its tickets) and the
+        loop keeps serving tickets from any later submissions.
+        """
+        consecutive_errors = 0
+        while not self._stop.is_set():
+            with self._pending_lock:
+                tickets = list(self._pending)
+            if not tickets:
+                self._wake.wait(timeout=0.1)
+                self._wake.clear()
+                continue
+            try:
+                done = self._proxy.poll_tickets(tickets, self._POLL_WINDOW)
+            except Exception as exc:  # noqa: BLE001 - RPC failure, not a result
+                consecutive_errors += 1
+                if consecutive_errors >= self._WAITER_ERROR_LIMIT:
+                    self._fail_pending(
+                        RuntimeError(
+                            f"service connection lost while waiting for results: {exc}"
+                        )
+                    )
+                    consecutive_errors = 0
+                else:
+                    self._stop.wait(timeout=0.2)
+                continue
+            consecutive_errors = 0
+            for ticket, result in done.items():
+                with self._pending_lock:
+                    future = self._pending.pop(ticket, None)
+                if future is not None:
+                    future.set_result(result)
+        self._fail_pending(RuntimeError("ServiceClient closed with requests outstanding"))
+
+    def _fail_pending(self, error: Exception) -> None:
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future in pending:
+            try:
+                future.set_exception(error)
+            except Exception:  # noqa: BLE001 - already resolved elsewhere
+                pass
 
     def submit(
         self,
@@ -140,17 +222,26 @@ class ServiceClient:
                 trace=trace,
             )
         if not isinstance(backend, str):
-            # Remote services resolve names against their own registry;
-            # instances generally do not round-trip.
-            backend = getattr(backend, "name", backend)
+            # Remote services resolve backends by name against their *own*
+            # registry; shipping a live instance across the RPC boundary
+            # either fails to pickle cryptically or silently resolves against
+            # the wrong registry on the server.  Refuse it loudly instead.
+            name = getattr(backend, "name", None)
+            if not isinstance(name, str) or not name:
+                raise TypeError(
+                    "remote submit requires a backend name: the server resolves "
+                    "backends against its own registry, so pass a registered name "
+                    "(str) or a backend object whose .name is a non-empty str; "
+                    f"got {backend!r}"
+                )
+            backend = name
         device_name = device if isinstance(device, str) or device is None else device.name
         ctx = as_context(trace)
         ticket = self._proxy.submit_request(
             circuit, backend, device_name, objective, seed, priority, deadline,
             pass_overrides, ctx.to_dict() if ctx is not None else None,
         )
-        assert self._waiters is not None
-        return self._waiters.submit(self._proxy.wait_result, ticket)
+        return self._register_ticket(ticket)
 
     def submit_many(
         self,
@@ -238,10 +329,26 @@ class ServiceClient:
             return self._service.health()
         return self._proxy.health()
 
+    def set_draining(self, draining: bool = True) -> None:
+        """Flip the service's drain flag (rolling-restart orchestration)."""
+        if self._service is not None:
+            self._service.set_draining(draining)
+        else:
+            self._proxy.set_draining(draining)
+
     def close(self) -> None:
-        """Release client-side resources (never stops the service itself)."""
-        if self._waiters is not None:
-            self._waiters.shutdown(wait=False)
+        """Release client-side resources (never stops the service itself).
+
+        Deterministic: the waiter thread is signalled and joined, and any
+        still-pending futures fail with a clear error rather than hanging
+        their callers forever.  Idempotent.
+        """
+        self._stop.set()
+        self._wake.set()
+        waiter = self._waiter
+        if waiter is not None and waiter is not threading.current_thread():
+            waiter.join(timeout=5.0)
+        self._fail_pending(RuntimeError("ServiceClient closed with requests outstanding"))
 
     def __enter__(self) -> "ServiceClient":
         return self

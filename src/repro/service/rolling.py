@@ -1,0 +1,166 @@
+"""Rolling-restart orchestration over ``set_draining()`` / ``health()``.
+
+The primitives have existed since the gateway PR — any compile host can be
+flagged as draining (load balancers and :class:`ForwardingService` routers
+stop sending it new work) and polled for quiescence through ``health()``.
+This module sequences them into a zero-loss rolling restart:
+
+for each host, one at a time:
+  1. **drain** — ``set_draining(True)``; new work flows to the other hosts.
+  2. **quiesce** — poll ``health()`` until ``unfinished == 0`` (bounded by
+     ``drain_timeout``); every request the host had already accepted
+     completes normally.
+  3. **restart** — the caller-supplied ``restart(name, handle)`` callback
+     does the actual process bounce and returns the handle for the new
+     incarnation (often a fresh :class:`~repro.service.ServiceClient`).
+  4. **re-admit** — poll the new handle until ``health()`` reports ready,
+     then move to the next host.
+
+Handles only need ``set_draining`` / ``health`` (and whatever ``restart``
+needs), so the same driver runs against in-process
+:class:`~repro.service.CompileService` objects in tests and against remote
+:class:`~repro.service.ServiceClient` connections from
+``tools/rolling_restart.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter, sleep
+from typing import Any, Callable
+
+__all__ = ["HostRestart", "RollingRestartError", "rolling_restart"]
+
+
+class RollingRestartError(RuntimeError):
+    """A host failed to drain or to come back ready within its timeout."""
+
+    def __init__(self, host: str, phase: str, waited: float, detail: str = ""):
+        self.host = host
+        self.phase = phase
+        self.waited = waited
+        message = f"host {host!r} did not finish {phase} within {waited:.1f}s"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+@dataclass
+class HostRestart:
+    """What happened to one host during :func:`rolling_restart`."""
+
+    host: str
+    drain_seconds: float = 0.0
+    restart_seconds: float = 0.0
+    ready_seconds: float = 0.0
+    unfinished_at_drain: int = 0
+    events: list[str] = field(default_factory=list)
+
+
+def _wait_until(
+    predicate: Callable[[], bool], timeout: float, poll_interval: float
+) -> float | None:
+    """Poll ``predicate`` until true; returns elapsed seconds, ``None`` on timeout."""
+    start = perf_counter()
+    while True:
+        try:
+            if predicate():
+                return perf_counter() - start
+        except Exception:  # noqa: BLE001 - a restarting host may refuse connections
+            pass
+        if perf_counter() - start >= timeout:
+            return None
+        sleep(poll_interval)
+
+
+def rolling_restart(
+    hosts: "dict[str, Any]",
+    restart: Callable[[str, Any], Any],
+    *,
+    drain_timeout: float = 30.0,
+    ready_timeout: float = 30.0,
+    poll_interval: float = 0.05,
+    on_event: Callable[[str], None] | None = None,
+) -> list[HostRestart]:
+    """Drain, restart, and re-admit every host in sequence; zero lost requests.
+
+    Parameters
+    ----------
+    hosts:
+        ``{name: handle}`` in restart order.  Handles need ``set_draining``
+        and ``health`` (a :class:`CompileService`, :class:`ServiceClient`, or
+        :class:`ForwardingService` all qualify).
+    restart:
+        ``restart(name, handle) -> new_handle`` performs the actual bounce.
+        It runs only after the host has fully quiesced, so it may terminate
+        the process ungracefully without losing accepted work.  Returning the
+        old handle (e.g. after an in-place config reload) is fine.
+    drain_timeout / ready_timeout:
+        Bounds for the quiesce wait and the post-restart readiness wait;
+        exceeding either raises :class:`RollingRestartError` with the
+        remaining hosts untouched (and still serving).
+
+    Returns one :class:`HostRestart` report per host, in restart order.
+    """
+
+    def emit(report: HostRestart, message: str) -> None:
+        report.events.append(message)
+        if on_event is not None:
+            on_event(f"[{report.host}] {message}")
+
+    reports = []
+    for name, handle in hosts.items():
+        report = HostRestart(host=name)
+        report.unfinished_at_drain = int(handle.health().get("unfinished", 0))
+        handle.set_draining(True)
+        emit(report, f"draining ({report.unfinished_at_drain} unfinished)")
+        try:
+            waited = _wait_until(
+                lambda: int(handle.health().get("unfinished", 0)) == 0,
+                drain_timeout,
+                poll_interval,
+            )
+            if waited is None:
+                raise RollingRestartError(
+                    name,
+                    "drain",
+                    drain_timeout,
+                    f"{handle.health().get('unfinished')} requests still unfinished",
+                )
+            report.drain_seconds = waited
+            emit(report, f"quiesced in {waited:.2f}s")
+        except RollingRestartError:
+            # Leave the failed host serving rather than restarting it with
+            # work still in flight — the invariant is zero lost requests.
+            handle.set_draining(False)
+            emit(report, "drain timed out; host re-admitted, restart aborted")
+            reports.append(report)
+            raise
+
+        t0 = perf_counter()
+        new_handle = restart(name, handle)
+        if new_handle is None:
+            new_handle = handle
+        report.restart_seconds = perf_counter() - t0
+        emit(report, f"restarted in {report.restart_seconds:.2f}s")
+
+        try:
+            # In-place restarts hand back the drained handle; un-drain it so
+            # the readiness wait can succeed.  Fresh incarnations start
+            # undrained and this is a no-op.
+            new_handle.set_draining(False)
+        except Exception:  # noqa: BLE001 - the new host may still be booting
+            pass
+        waited = _wait_until(
+            lambda: bool(new_handle.health().get("ready")),
+            ready_timeout,
+            poll_interval,
+        )
+        if waited is None:
+            reports.append(report)
+            raise RollingRestartError(name, "readiness", ready_timeout)
+        report.ready_seconds = waited
+        emit(report, f"ready in {waited:.2f}s")
+        hosts[name] = new_handle
+        reports.append(report)
+    return reports

@@ -45,7 +45,8 @@ import itertools
 import pickle
 import threading
 import queue as queue_module
-from concurrent.futures import Future, InvalidStateError, ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, InvalidStateError, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field, replace
 from time import perf_counter
 from typing import TYPE_CHECKING
@@ -58,6 +59,7 @@ from ..devices.library import get_device
 from ..obs import Span, activate, as_context
 from ..profiling import profiler, profiling_enabled
 from ..reward.functions import reward_function
+from .sharding import ShardedCacheStore
 from .store import SharedCacheStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -65,10 +67,93 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..devices.device import Device
     from ..pipeline.properties import CacheStore
 
-__all__ = ["CompileRequest", "CompileService", "DeadlineExceeded", "SERVICE_RPC_METHODS"]
+__all__ = [
+    "CompileRequest",
+    "CompileService",
+    "DeadlineExceeded",
+    "SERVICE_RPC_METHODS",
+    "TicketBook",
+]
 
-#: CompileService methods exposed to remote clients through the manager
-SERVICE_RPC_METHODS = ("submit_request", "wait_result", "stats", "ping", "health")
+#: methods a served compile host (CompileService or ForwardingService)
+#: exposes to remote clients through the manager
+SERVICE_RPC_METHODS = (
+    "submit_request",
+    "wait_result",
+    "poll_tickets",
+    "stats",
+    "ping",
+    "health",
+    "set_draining",
+)
+
+
+class TicketBook:
+    """Ticket → future bookkeeping behind the remote RPC surface.
+
+    Remote clients cannot hold a ``Future`` across the manager boundary, so
+    ``submit_request`` hands them an opaque ticket instead; this class owns
+    the mapping.  Shared by :class:`CompileService` and the forwarding
+    front-service so both expose identical RPC semantics.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._futures: dict[str, Future] = {}
+
+    def issue(self, future: Future) -> str:
+        ticket = f"req-{next(self._ids)}"
+        with self._lock:
+            self._futures[ticket] = future
+        return ticket
+
+    def wait(self, ticket: str, timeout: float | None = None):
+        """Block until the ticket's request resolves; the ticket is single-use."""
+        with self._lock:
+            future = self._futures.get(ticket)
+        if future is None:
+            raise KeyError(f"unknown or already-collected request ticket {ticket!r}")
+        result = future.result(timeout)
+        with self._lock:
+            self._futures.pop(ticket, None)
+        return result
+
+    def poll(self, tickets, timeout: float = 0.5) -> dict:
+        """One multiplexed wait over many tickets.
+
+        Blocks up to ``timeout`` seconds for *any* of ``tickets`` to resolve
+        and returns ``{ticket: result}`` for every one that did (empty dict
+        on timeout).  Returned tickets are collected — single-use, like
+        :meth:`wait`.  This is what lets a remote client resolve an
+        arbitrary number of outstanding tickets through one waiter thread
+        instead of parking one blocked ``wait_result`` call per ticket.
+        """
+        with self._lock:
+            futures = {}
+            unknown = []
+            for ticket in tickets:
+                future = self._futures.get(ticket)
+                if future is None:
+                    unknown.append(ticket)
+                else:
+                    futures[ticket] = future
+        if unknown:
+            raise KeyError(
+                f"unknown or already-collected request tickets {sorted(unknown)!r}"
+            )
+        if not futures:
+            return {}
+        futures_wait(
+            list(futures.values()), timeout=timeout, return_when=FIRST_COMPLETED
+        )
+        done = {}
+        with self._lock:
+            for ticket, future in futures.items():
+                if future.done():
+                    self._futures.pop(ticket, None)
+                    done[ticket] = future.result(timeout=0)
+        return done
 
 #: scheduler-queue sentinel that stops the scheduler thread
 _STOP = object()
@@ -153,7 +238,12 @@ def _service_compile_task(payload: tuple) -> CompilationResult:
     with activate(container):
         result = _compile_task((circuit, backend, device, objective, seed))
     if store is not None and result.succeeded:
-        store.put(key, result, result.wall_time or None)
+        try:
+            store.put(key, result, result.wall_time or None)
+        except Exception:  # pragma: no cover - cache server gone; result still good
+            # A dead cache server must not fail a compilation that succeeded:
+            # the fill is best-effort, exactly like the parent-side cache put.
+            pass
     extras = {}
     if container is not None and container.children:
         extras["_worker_spans"] = [child.to_dict() for child in container.children]
@@ -424,7 +514,11 @@ class CompileService:
     ):
         self.name = name
         self.cache = CompilationCache(cache_size, store=store)
-        self._shared_store = store if isinstance(store, SharedCacheStore) else None
+        # Stores that survive the pickle boundary ride along to process-lane
+        # workers so they check/fill the shared entries from inside the pool.
+        self._shared_store = (
+            store if isinstance(store, (SharedCacheStore, ShardedCacheStore)) else None
+        )
         self._process_backends = frozenset(process_backends)
         self._max_workers = max(1, max_workers)
         self._min_workers = max(1, min(min_workers, self._max_workers))
@@ -454,8 +548,7 @@ class CompileService:
         self._observers: list = []
         self._draining = False
         self._seq = itertools.count()
-        self._request_ids = itertools.count(1)
-        self._tickets: dict[str, Future] = {}
+        self._ticket_book = TicketBook()
         self._stop_event = threading.Event()
         self._scheduler = threading.Thread(
             target=self._scheduler_loop, name=f"{name}-scheduler", daemon=True
@@ -736,21 +829,21 @@ class CompileService:
             pass_overrides=pass_overrides,
             trace=trace,
         )
-        ticket = f"req-{next(self._request_ids)}"
-        with self._lock:
-            self._tickets[ticket] = future
-        return ticket
+        return self._ticket_book.issue(future)
 
     def wait_result(self, ticket: str, timeout: float | None = None) -> CompilationResult:
         """Block until the ticket's request resolves; the ticket is single-use."""
-        with self._lock:
-            future = self._tickets.get(ticket)
-        if future is None:
-            raise KeyError(f"unknown or already-collected request ticket {ticket!r}")
-        result = future.result(timeout)
-        with self._lock:
-            self._tickets.pop(ticket, None)
-        return result
+        return self._ticket_book.wait(ticket, timeout)
+
+    def poll_tickets(self, tickets, timeout: float = 0.5) -> dict:
+        """Resolve any finished tickets among ``tickets`` in one bounded wait.
+
+        The multiplexing half of the RPC protocol: a remote client keeps one
+        waiter thread that polls all its outstanding tickets here, so a
+        completed high-priority request resolves immediately no matter how
+        many slower tickets were submitted before it.
+        """
+        return self._ticket_book.poll(tickets, timeout)
 
     def ping(self) -> str:
         """Liveness probe for remote clients."""
@@ -811,6 +904,10 @@ class CompileService:
         queue_depth = self._queue.qsize() + sum(
             lane["queue_depth"] for lane in lanes.values()
         )
+        try:
+            cache_stats = self.cache.stats()
+        except Exception as exc:  # noqa: BLE001 - a dead cache server must not kill stats
+            cache_stats = {"error": f"{type(exc).__name__}: {exc}"}
         return {
             "name": self.name,
             "submitted": metrics["submitted"],
@@ -834,7 +931,7 @@ class CompileService:
                 "scale_downs": metrics["scale_downs"],
                 "events": scale_events,
             },
-            "cache": self.cache.stats(),
+            "cache": cache_stats,
             "shared_cache": self._shared_store is not None,
             "profiling": self._profiling_stats(),
         }

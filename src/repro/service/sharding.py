@@ -1,0 +1,355 @@
+"""Consistent-hash sharding of the shared cache across N cache servers.
+
+One :class:`~repro.service.CacheServer` is a single point of failure and a
+single process's throughput; a cluster of compile hosts wants its shared
+result store spread over several of them.  :class:`ShardedCacheStore` is a
+drop-in :class:`~repro.pipeline.CacheStore` that does exactly that:
+
+* **Consistent hashing** — every entry key maps to one shard through a hash
+  ring (stable BLAKE2 digest of the key, virtual nodes per shard), so all
+  hosts agree on the placement without coordination and adding a shard moves
+  only ``~1/N`` of the key space.
+* **Graceful degradation** — every shard call runs with a bounded timeout on
+  a dedicated worker thread.  A shard that times out or errors is marked
+  *down*: its ``get``\\ s degrade to misses (the caller recompiles locally)
+  and its ``put``\\ s are dropped, instead of the failure propagating into
+  the compile path and failing requests.  Down shards are retried after
+  ``retry_interval`` seconds with a fresh connection.
+* **Per-shard stats** — :meth:`stats` aggregates the cluster-wide counters
+  over the reachable shards and reports a ``shards`` section with each
+  shard's health and counters, which is what the gateway's ``/v1/stats``
+  and dashboard shard tiles surface.
+
+The store is picklable the same way :class:`~repro.service.SharedCacheStore`
+is: only the shard credentials travel; worker threads, ring state and health
+bookkeeping are rebuilt on the far side of the pickle boundary.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import queue
+import threading
+from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from time import perf_counter
+from typing import Any, Sequence
+
+from ..pipeline.properties import CacheStore
+
+__all__ = ["ShardedCacheStore", "stable_key_hash"]
+
+
+def stable_key_hash(key: Any, salt: str = "") -> int:
+    """A 64-bit hash of a cache key that is identical in every process.
+
+    Builtin ``hash()`` is salted per process (``PYTHONHASHSEED``), so two
+    hosts would disagree about key placement; this digest is content-only.
+    Keys are the flat tuples of strings/ints produced by
+    ``result_cache_key`` — ``repr`` of those is canonical.
+    """
+    digest = hashlib.blake2b(f"{salt}|{key!r}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class _ShardWorker:
+    """One daemon thread funnelling calls to a single shard client.
+
+    Calls are handed over as ``(method, args, Future)`` and awaited with a
+    timeout — the *caller* stays bounded even when the shard's socket hangs.
+    A timed-out worker may still be blocked inside the stale call; it is
+    abandoned (daemon thread) and a fresh worker takes over on reconnect,
+    so one wedged shard can never wedge the compile path.
+    """
+
+    def __init__(self, store: CacheStore, label: str):
+        self.store = store
+        self._inbox: queue.SimpleQueue = queue.SimpleQueue()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"cache-shard-{label}", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            item = self._inbox.get()
+            if item is None:
+                return
+            method, args, box = item
+            try:
+                value = getattr(self.store, method)(*args)
+            except BaseException as exc:  # noqa: BLE001 - reported through the box
+                try:
+                    box.set_exception(exc)
+                except InvalidStateError:  # pragma: no cover - caller timed out
+                    pass
+            else:
+                try:
+                    box.set_result(value)
+                except InvalidStateError:  # pragma: no cover - caller timed out
+                    pass
+
+    def call(self, method: str, args: tuple, timeout: float):
+        box: Future = Future()
+        self._inbox.put((method, args, box))
+        return box.result(timeout)
+
+    def stop(self) -> None:
+        """Ask the worker to exit once it drains its inbox (best-effort)."""
+        self._inbox.put(None)
+
+
+class _ShardState:
+    """Health and counters for one shard (all mutation under the store lock)."""
+
+    def __init__(self, index: int, store: CacheStore):
+        self.index = index
+        self.store = store
+        self.label = self._label_for(store, index)
+        self.worker: _ShardWorker | None = None
+        self.down = False
+        self.retry_at = 0.0
+        self.failures = 0
+        self.timeouts = 0
+        self.reconnects = 0
+        self.calls = 0
+
+    @staticmethod
+    def _label_for(store: CacheStore, index: int) -> str:
+        address = getattr(store, "address", None)
+        if address:
+            return f"{address[0]}:{address[1]}" if len(address) >= 2 else str(address)
+        return f"shard-{index}"
+
+    def ensure_worker(self) -> _ShardWorker:
+        if self.worker is None:
+            self.worker = _ShardWorker(self.store, self.label)
+        return self.worker
+
+
+class ShardedCacheStore(CacheStore):
+    """Consistent-hash fan-out of one logical cache over N shard stores.
+
+    Parameters
+    ----------
+    shards:
+        The shard clients, usually :class:`~repro.service.SharedCacheStore`
+        instances pointing at distinct :class:`~repro.service.CacheServer`
+        processes (any :class:`~repro.pipeline.CacheStore` works — handy for
+        tests).  Shard order defines ring placement: every host of a cluster
+        must list the shards in the same order.
+    timeout:
+        Seconds one shard call may take before the shard is declared down.
+    retry_interval:
+        Seconds a down shard stays benched before a reconnect is attempted.
+    vnodes:
+        Virtual ring points per shard (more = smoother key distribution).
+    """
+
+    #: process-lane workers may carry this store across the pickle boundary
+    shareable = True
+
+    def __init__(
+        self,
+        shards: Sequence[CacheStore],
+        *,
+        timeout: float = 2.0,
+        retry_interval: float = 5.0,
+        vnodes: int = 64,
+    ):
+        if not shards:
+            raise ValueError("ShardedCacheStore needs at least one shard")
+        self.timeout = float(timeout)
+        self.retry_interval = float(retry_interval)
+        self.vnodes = int(vnodes)
+        self._lock = threading.Lock()
+        self._init_runtime(list(shards))
+
+    def _init_runtime(self, shards: list[CacheStore]) -> None:
+        """Build ring + health state (fresh per process: see ``__setstate__``)."""
+        self._states = [_ShardState(i, shard) for i, shard in enumerate(shards)]
+        points: list[tuple[int, int]] = []
+        for index in range(len(shards)):
+            for replica in range(self.vnodes):
+                points.append((stable_key_hash(index, salt=f"vnode-{replica}"), index))
+        points.sort()
+        self._ring_hashes = [point for point, _ in points]
+        self._ring_indices = [index for _, index in points]
+        self._fallback_misses = 0
+        self._dropped_puts = 0
+
+    # -- placement ---------------------------------------------------------------------
+
+    def shard_for(self, key) -> int:
+        """The shard index ``key`` lives on (stable across hosts/processes)."""
+        position = bisect.bisect(self._ring_hashes, stable_key_hash(key))
+        if position == len(self._ring_hashes):
+            position = 0
+        return self._ring_indices[position]
+
+    # -- bounded shard calls + health --------------------------------------------------
+
+    def _usable(self, state: _ShardState) -> bool:
+        """Whether the shard may be called now (handles the reconnect window)."""
+        with self._lock:
+            if not state.down:
+                return True
+            if perf_counter() < state.retry_at:
+                return False
+            # Reconnect attempt: bench further callers until it resolves.
+            state.retry_at = perf_counter() + self.retry_interval
+        reset = getattr(state.store, "reset", None)
+        if callable(reset):
+            reset()
+        with self._lock:
+            if state.worker is not None:
+                state.worker.stop()
+            state.worker = None  # a fresh worker (and connection) for the probe
+        return True
+
+    def _call(self, state: _ShardState, method: str, *args):
+        with self._lock:
+            state.calls += 1
+            worker = state.ensure_worker()
+        try:
+            value = worker.call(method, args, self.timeout)
+        except FutureTimeoutError:
+            self._mark_down(state, timed_out=True)
+            raise
+        except Exception:
+            self._mark_down(state, timed_out=False)
+            raise
+        with self._lock:
+            if state.down:
+                state.down = False
+                state.reconnects += 1
+        return value
+
+    def _mark_down(self, state: _ShardState, *, timed_out: bool) -> None:
+        with self._lock:
+            state.failures += 1
+            if timed_out:
+                state.timeouts += 1
+                # The worker thread is stuck inside the stale call: abandon it
+                # so the next attempt gets a live one.
+                state.worker = None
+            state.down = True
+            state.retry_at = perf_counter() + self.retry_interval
+
+    # -- CacheStore protocol -----------------------------------------------------------
+
+    def get(self, key) -> Any:
+        state = self._states[self.shard_for(key)]
+        if not self._usable(state):
+            with self._lock:
+                self._fallback_misses += 1
+            return None
+        try:
+            return self._call(state, "get", key)
+        except Exception:  # noqa: BLE001 - a dead shard degrades to a miss
+            with self._lock:
+                self._fallback_misses += 1
+            return None
+
+    def put(self, key, value, cost: float | None = None) -> None:
+        state = self._states[self.shard_for(key)]
+        if not self._usable(state):
+            with self._lock:
+                self._dropped_puts += 1
+            return
+        try:
+            self._call(state, "put", key, value, cost)
+        except Exception:  # noqa: BLE001 - a dead shard drops the write
+            with self._lock:
+                self._dropped_puts += 1
+
+    def stats(self) -> dict:
+        """Cluster-wide counters plus a per-shard health/counter breakdown.
+
+        ``hits``/``misses``/``evictions``/``entries`` aggregate the
+        *server-side* counters of every reachable shard (they count every
+        client of the cluster, which is the point of a shared store); local
+        fallback misses from down shards are folded into ``misses`` so the
+        hit rate reflects what callers actually experienced.
+        """
+        totals = {"entries": 0, "hits": 0, "misses": 0, "evictions": 0}
+        rows = []
+        for state in self._states:
+            with self._lock:
+                row = {
+                    "shard": state.label,
+                    "down": state.down,
+                    "failures": state.failures,
+                    "timeouts": state.timeouts,
+                    "reconnects": state.reconnects,
+                    "calls": state.calls,
+                }
+            shard_stats = None
+            if not row["down"]:
+                try:
+                    shard_stats = self._call(state, "stats")
+                except Exception:  # noqa: BLE001 - shard died under the poll
+                    row["down"] = True
+            if shard_stats is not None:
+                for field in totals:
+                    totals[field] += int(shard_stats.get(field, 0))
+                row.update(
+                    entries=int(shard_stats.get("entries", 0)),
+                    hits=int(shard_stats.get("hits", 0)),
+                    misses=int(shard_stats.get("misses", 0)),
+                    evictions=int(shard_stats.get("evictions", 0)),
+                )
+            rows.append(row)
+        with self._lock:
+            fallback_misses = self._fallback_misses
+            dropped_puts = self._dropped_puts
+        misses = totals["misses"] + fallback_misses
+        lookups = totals["hits"] + misses
+        return {
+            "entries": totals["entries"],
+            "hits": totals["hits"],
+            "misses": misses,
+            "evictions": totals["evictions"],
+            "hit_rate": totals["hits"] / lookups if lookups else 0.0,
+            "sharded": True,
+            "shard_count": len(self._states),
+            "shards_down": sum(1 for row in rows if row["down"]),
+            "fallback_misses": fallback_misses,
+            "dropped_puts": dropped_puts,
+            "shards": rows,
+        }
+
+    def clear(self) -> None:
+        """Clear every reachable shard (down shards are skipped, not raised)."""
+        for state in self._states:
+            if not self._usable(state):
+                continue
+            try:
+                self._call(state, "clear")
+            except Exception:  # noqa: BLE001 - a dead shard has nothing to clear
+                pass
+        with self._lock:
+            self._fallback_misses = 0
+            self._dropped_puts = 0
+
+    # -- pickling: ship shard credentials, rebuild runtime state -----------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "shards": [state.store for state in self._states],
+            "timeout": self.timeout,
+            "retry_interval": self.retry_interval,
+            "vnodes": self.vnodes,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.timeout = state["timeout"]
+        self.retry_interval = state["retry_interval"]
+        self.vnodes = state["vnodes"]
+        self._lock = threading.Lock()
+        self._init_runtime(list(state["shards"]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        labels = ", ".join(state.label for state in self._states)
+        return f"ShardedCacheStore([{labels}])"

@@ -80,6 +80,16 @@ class SharedCacheStore(CacheStore):
             self._proxy = manager.store()
         return self._proxy
 
+    def reset(self) -> None:
+        """Drop the live proxy so the next call reconnects from scratch.
+
+        A cache server that died and came back at the same address serves a
+        *new* store object; the old proxy token points at the dead one.  The
+        sharded store calls this before a reconnect attempt so the retry
+        negotiates a fresh proxy instead of replaying a stale token.
+        """
+        self._proxy = None
+
     def get(self, key) -> Any:
         return self._store().get(key)
 
@@ -124,6 +134,13 @@ class CacheServer:
     The server lives until :meth:`shutdown` (or context-manager exit); client
     stores created from it keep working across ``fork``/``spawn`` because
     they carry only the address and authkey.
+
+    ``address`` is a plain TCP bind: ``("0.0.0.0", 7800)`` exposes the store
+    to other machines, which is how several ``python -m repro.service`` hosts
+    share one result/transform shard.  Cross-machine deployments must pass an
+    explicit ``authkey`` (every host needs the same secret — see the service
+    CLI's ``--authkey-file``); the default random key only works for clients
+    spawned by this process.
     """
 
     def __init__(
@@ -132,18 +149,28 @@ class CacheServer:
         *,
         policy: str = "lru",
         address: tuple = ("127.0.0.1", 0),
+        authkey: bytes | None = None,
     ):
         if policy not in _POLICIES:
             raise ValueError(
                 f"unknown cache policy {policy!r}; expected one of {sorted(_POLICIES)}"
             )
-        self._authkey = os.urandom(16)
+        self._authkey = bytes(authkey) if authkey is not None else os.urandom(16)
         self._manager = _StoreManager(address=address, authkey=self._authkey)
         self._manager.start(initializer=_init_server_store, initargs=(maxsize, policy))
         self.address = self._manager.address
         self.maxsize = maxsize
         self.policy = policy
         self._running = True
+        # One long-lived client backs stats(): constructing a fresh
+        # SharedCacheStore per call would open a new manager connection every
+        # time a dashboard or stats aggregator polls the server.
+        self._stats_client: SharedCacheStore | None = None
+
+    @property
+    def authkey(self) -> bytes:
+        """The server's shared secret (what remote hosts need to connect)."""
+        return self._authkey
 
     def store(self) -> SharedCacheStore:
         """A new picklable client of this server's store."""
@@ -152,13 +179,23 @@ class CacheServer:
         return SharedCacheStore(self.address, self._authkey)
 
     def stats(self) -> dict[str, float]:
-        """The server-side counters (aggregated over every client)."""
-        return self.store().stats()
+        """The server-side counters (aggregated over every client).
+
+        Served through one cached client connection — polling stats in a
+        loop (dashboards, the sharded store's per-shard aggregation) must
+        not churn a manager connection per call.
+        """
+        if not self._running:
+            raise RuntimeError("CacheServer is shut down")
+        if self._stats_client is None:
+            self._stats_client = self.store()
+        return self._stats_client.stats()
 
     def shutdown(self) -> None:
         """Stop the server process (idempotent)."""
         if self._running:
             self._running = False
+            self._stats_client = None
             self._manager.shutdown()
 
     def __enter__(self) -> "CacheServer":

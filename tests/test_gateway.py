@@ -159,6 +159,53 @@ class TestFairShareUnit:
         assert quantile([1, 2, 3, 4, 5], 0.5) == 3
 
 
+class TestJobClock:
+    """Latency is measured on the monotonic clock, not wall-clock stamps.
+
+    Regression: the gateway's done callback used to compute
+    ``time.time() - job.created_at``, which goes negative (and poisons the
+    latency histograms) when NTP steps the wall clock between creation and
+    completion.
+    """
+
+    @staticmethod
+    def _job():
+        from concurrent.futures import Future
+
+        from repro.gateway.jobs import Job
+
+        return Job("job-test", "alice", "qiskit-o0", Future())
+
+    @staticmethod
+    def _result():
+        from types import SimpleNamespace
+
+        return SimpleNamespace(succeeded=True, error=None, metadata={})
+
+    def test_elapsed_survives_wall_clock_step(self):
+        job = self._job()
+        # simulate NTP stepping the wall clock back one hour mid-request:
+        # the creation stamp now sits in the future relative to time.time()
+        job.created_at = time.time() + 3600.0
+        job.finish(self._result())
+        assert job.finished_at - job.created_at < 0  # wall-clock math is wrong
+        assert 0.0 <= job.elapsed() < 60.0  # monotonic measurement is not
+        assert 0.0 <= job.describe()["wall_seconds"] < 60.0
+
+    def test_elapsed_of_unfinished_job_tracks_now(self):
+        job = self._job()
+        first = job.elapsed()
+        time.sleep(0.01)
+        assert job.elapsed() >= first >= 0.0
+
+    def test_wall_stamps_remain_for_display(self):
+        job = self._job()
+        job.finish(self._result())
+        described = job.describe()
+        assert described["created_at"] == job.created_at
+        assert described["finished_at"] == job.finished_at
+
+
 class TestGatewayHTTP:
     def test_sync_compile_round_trip(self, gateway, ghz3):
         client = GatewayClient(gateway.url, api_key="alice-key")

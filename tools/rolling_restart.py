@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Rolling restart of a repro compile cluster with zero lost requests.
+
+Drives :func:`repro.service.rolling_restart` against remote hosts: each host
+is drained (``set_draining`` RPC), polled to quiescence, bounced with the
+user-supplied restart command, and re-admitted once its ``health()`` RPC
+reports ready — one host at a time, so the cluster keeps serving throughout.
+
+Usage::
+
+    python tools/rolling_restart.py \\
+        --host hostA:7707 --host hostB:7707 \\
+        --authkey-file svc.key \\
+        --restart-cmd 'ssh {host} systemctl restart repro-service'
+
+``--restart-cmd`` is a shell command template; ``{host}`` and ``{port}`` are
+substituted per host.  Without it the driver runs in drain-check mode: each
+host is drained to quiescence and immediately re-admitted, which validates
+the drain path (and your load balancer's reaction) without bouncing anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+# Allow running from a source checkout without installation.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import RollingRestartError, ServiceClient, rolling_restart  # noqa: E402
+
+
+def _parse_endpoint(value: str) -> tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(f"expected HOST:PORT, got {value!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid port in {value!r}") from None
+
+
+def _connect(address: tuple[str, int], authkey: bytes, timeout: float) -> ServiceClient:
+    """A client for ``address``, retrying while the host boots."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            client = ServiceClient(address=address, authkey=authkey)
+            client.ping()
+            return client
+        except Exception:  # noqa: BLE001 - not up yet
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.5)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Drain, restart, and re-admit each compile host in turn."
+    )
+    parser.add_argument(
+        "--host",
+        dest="hosts",
+        type=_parse_endpoint,
+        action="append",
+        required=True,
+        metavar="HOST:PORT",
+        help="compile host to cycle (repeatable; cycled in the given order)",
+    )
+    parser.add_argument(
+        "--authkey-file",
+        required=True,
+        metavar="PATH",
+        help="file holding the cluster's hex-encoded service secret",
+    )
+    parser.add_argument(
+        "--restart-cmd",
+        default=None,
+        help="shell command template bouncing one host; {host} and {port} are "
+        "substituted (omit for drain-check mode: drain + re-admit, no bounce)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=120.0,
+        help="seconds to wait for a draining host to finish accepted work",
+    )
+    parser.add_argument(
+        "--ready-timeout",
+        type=float,
+        default=60.0,
+        help="seconds to wait for a restarted host to report ready",
+    )
+    args = parser.parse_args(argv)
+
+    text = Path(args.authkey_file).read_text().strip()
+    try:
+        authkey = bytes.fromhex(text)
+    except ValueError:
+        parser.error(f"authkey file {args.authkey_file} is not hex-encoded")
+
+    addresses = {f"{host}:{port}": (host, port) for host, port in args.hosts}
+    hosts = {}
+    for name, address in addresses.items():
+        client = _connect(address, authkey, timeout=5.0)
+        print(f"[{name}] connected ({client.ping()})")
+        hosts[name] = client
+
+    def restart(name: str, handle: ServiceClient) -> ServiceClient:
+        host, port = addresses[name]
+        if args.restart_cmd is None:
+            print(f"[{name}] drain-check mode: no restart command, re-admitting")
+            return handle
+        command = args.restart_cmd.format(host=host, port=port)
+        print(f"[{name}] running: {command}")
+        subprocess.run(command, shell=True, check=True)
+        handle.close()
+        return _connect((host, port), authkey, timeout=args.ready_timeout)
+
+    try:
+        reports = rolling_restart(
+            hosts,
+            restart,
+            drain_timeout=args.drain_timeout,
+            ready_timeout=args.ready_timeout,
+            on_event=print,
+        )
+    except RollingRestartError as exc:
+        print(f"rolling restart aborted: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        for client in hosts.values():
+            try:
+                client.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+    print("rolling restart complete:")
+    for report in reports:
+        print(
+            f"  {report.host}: drained {report.unfinished_at_drain} requests in "
+            f"{report.drain_seconds:.2f}s, restart {report.restart_seconds:.2f}s, "
+            f"ready after {report.ready_seconds:.2f}s"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
